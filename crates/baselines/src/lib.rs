@@ -1,0 +1,22 @@
+//! Baseline data loaders the paper compares MinatoLoader against (§2.1).
+//!
+//! * [`torch`] — PyTorch-DataLoader semantics: pre-determined batches,
+//!   per-worker whole-batch fetch, strict in-order delivery bounded by a
+//!   prefetch factor (the head-of-line-blocking design of Figure 1a).
+//! * [`dali`] — NVIDIA-DALI semantics: transforms offloaded to an
+//!   accelerator (configurable speedup) that training must share.
+//! * [`pecan`] — Pecan's AutoOrder policy (deflationary transforms
+//!   hoisted, inflationary postponed, barrier-delimited) over the PyTorch
+//!   engine, as the paper reimplemented it for PyTorch.
+//!
+//! The size-based classification heuristic of §3.2/Figure 3a is modelled
+//! in the simulator (`minato-sim::policy`), where its interaction with
+//! GPU starvation is measurable.
+
+pub mod dali;
+pub mod pecan;
+pub mod torch;
+
+pub use dali::{DaliConfig, DaliLoader, GpuDevice};
+pub use pecan::{auto_order, PecanLoader};
+pub use torch::{ExecOptions, TorchConfig, TorchIter, TorchLoader};

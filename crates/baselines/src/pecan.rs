@@ -1,0 +1,239 @@
+//! Pecan-style baseline: AutoOrder transformation reordering (paper §2.1).
+//!
+//! Pecan (ATC'24) reduces preprocessing cost by reordering transforms:
+//! **deflationary** transforms (shrink data) move earlier, **inflationary**
+//! ones (grow data) move later, so downstream transforms touch less data.
+//! Reordering is restricted to sections delimited by **barrier**
+//! transforms, which preserves correctness for order-sensitive steps.
+//!
+//! The paper reimplemented Pecan's AutoOrder in PyTorch for a fair
+//! comparison (§5.1) and found it behaves like the PyTorch DataLoader in
+//! single-server settings (Figure 3b: ≈3% utilization gain) because
+//! reordering does not address batch-construction blocking. We reproduce
+//! exactly that: [`auto_order`] + the in-order engine of [`crate::torch`].
+//! AutoPlacement (Pecan's second policy) targets disaggregated clusters
+//! and is out of scope, as in the paper.
+
+use crate::torch::{TorchConfig, TorchLoader};
+use minato_core::batch::Batch;
+use minato_core::dataset::Dataset;
+use minato_core::error::Result;
+use minato_core::transform::{CostClass, Pipeline};
+
+/// Reorders a pipeline per Pecan's AutoOrder policy.
+///
+/// Within each barrier-delimited section, transforms are stably
+/// partitioned: deflationary first, then neutral/unknown (original
+/// relative order), then inflationary. Barriers never move.
+///
+/// # Examples
+///
+/// ```
+/// use minato_baselines::pecan::auto_order;
+/// use minato_core::transform::{fn_transform_classed, CostClass, Pipeline};
+///
+/// let p: Pipeline<u32> = Pipeline::new(vec![
+///     fn_transform_classed("pad", CostClass::Inflationary, |x: u32| Ok(x)),
+///     fn_transform_classed("crop", CostClass::Deflationary, |x: u32| Ok(x)),
+/// ]);
+/// let ordered = auto_order(&p);
+/// assert_eq!(ordered.steps()[0].name(), "crop"); // Deflationary hoisted.
+/// assert_eq!(ordered.steps()[1].name(), "pad");
+/// ```
+pub fn auto_order<T: Send + 'static>(pipeline: &Pipeline<T>) -> Pipeline<T> {
+    let steps = pipeline.steps();
+    let mut order: Vec<usize> = Vec::with_capacity(steps.len());
+    let mut section: Vec<usize> = Vec::new();
+    let flush = |section: &mut Vec<usize>, order: &mut Vec<usize>| {
+        // Stable three-way partition of the section.
+        for &i in section.iter() {
+            if steps[i].cost_class() == CostClass::Deflationary {
+                order.push(i);
+            }
+        }
+        for &i in section.iter() {
+            let c = steps[i].cost_class();
+            if c != CostClass::Deflationary && c != CostClass::Inflationary {
+                order.push(i);
+            }
+        }
+        for &i in section.iter() {
+            if steps[i].cost_class() == CostClass::Inflationary {
+                order.push(i);
+            }
+        }
+        section.clear();
+    };
+    for (i, step) in steps.iter().enumerate() {
+        if step.is_barrier() {
+            flush(&mut section, &mut order);
+            order.push(i); // Barriers stay in place.
+        } else {
+            section.push(i);
+        }
+    }
+    flush(&mut section, &mut order);
+    pipeline.reordered(&order)
+}
+
+/// The Pecan-style baseline loader: PyTorch semantics over an AutoOrdered
+/// pipeline.
+pub struct PecanLoader<D: Dataset> {
+    inner: TorchLoader<D>,
+}
+
+impl<D: Dataset> PecanLoader<D> {
+    /// Applies AutoOrder to `pipeline` and starts a PyTorch-style loader
+    /// over the result.
+    pub fn new(dataset: D, pipeline: Pipeline<D::Sample>, cfg: TorchConfig) -> Result<Self> {
+        let ordered = auto_order(&pipeline);
+        Ok(PecanLoader {
+            inner: TorchLoader::new(dataset, ordered, cfg)?,
+        })
+    }
+
+    /// Blocking in-order batch iterator.
+    pub fn iter(&self) -> crate::torch::TorchIter<'_, D> {
+        self.inner.iter()
+    }
+
+    /// Pops the next batch; `None` when exhausted.
+    pub fn next_batch(&self) -> Option<Batch<D::Sample>> {
+        self.inner.next_batch()
+    }
+
+    /// Batches delivered so far.
+    pub fn batches_done(&self) -> u64 {
+        self.inner.batches_done()
+    }
+
+    /// Raw bytes delivered so far.
+    pub fn bytes_done(&self) -> u64 {
+        self.inner.bytes_done()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minato_core::dataset::VecDataset;
+    use minato_core::transform::{fn_transform_classed, Outcome, Transform, TransformCtx};
+    use std::sync::Arc;
+
+    fn classed(name: &str, class: CostClass) -> Arc<dyn Transform<u32>> {
+        fn_transform_classed(name, class, |x: u32| Ok(x))
+    }
+
+    struct Barrier;
+
+    impl Transform<u32> for Barrier {
+        fn name(&self) -> &str {
+            "barrier"
+        }
+
+        fn apply(
+            &self,
+            x: u32,
+            _ctx: &TransformCtx,
+        ) -> minato_core::error::Result<Outcome<u32>> {
+            Ok(Outcome::Done(x))
+        }
+
+        fn is_barrier(&self) -> bool {
+            true
+        }
+    }
+
+    fn names<T: Send + 'static>(p: &Pipeline<T>) -> Vec<String> {
+        p.steps().iter().map(|s| s.name().to_string()).collect()
+    }
+
+    #[test]
+    fn deflationary_hoisted_inflationary_postponed() {
+        let p: Pipeline<u32> = Pipeline::new(vec![
+            classed("pad", CostClass::Inflationary),
+            classed("aug", CostClass::Neutral),
+            classed("crop", CostClass::Deflationary),
+            classed("norm", CostClass::Neutral),
+        ]);
+        assert_eq!(names(&auto_order(&p)), ["crop", "aug", "norm", "pad"]);
+    }
+
+    #[test]
+    fn reordering_never_crosses_barriers() {
+        let p: Pipeline<u32> = Pipeline::new(vec![
+            classed("pad1", CostClass::Inflationary),
+            classed("crop1", CostClass::Deflationary),
+            Arc::new(Barrier),
+            classed("pad2", CostClass::Inflationary),
+            classed("crop2", CostClass::Deflationary),
+        ]);
+        assert_eq!(
+            names(&auto_order(&p)),
+            ["crop1", "pad1", "barrier", "crop2", "pad2"]
+        );
+    }
+
+    #[test]
+    fn stable_within_classes() {
+        let p: Pipeline<u32> = Pipeline::new(vec![
+            classed("n1", CostClass::Neutral),
+            classed("n2", CostClass::Unknown),
+            classed("n3", CostClass::Neutral),
+        ]);
+        assert_eq!(names(&auto_order(&p)), ["n1", "n2", "n3"]);
+    }
+
+    #[test]
+    fn speech_pipeline_moves_pad_last() {
+        // The paper's concrete example (§5.1): Pad is inflationary and
+        // moves to the end of its section.
+        let spec = minato_data::WorkloadSpec::speech(3.0);
+        let p = minato_data::work_pipeline(&spec);
+        let ordered = auto_order(&p);
+        let ns = names(&ordered);
+        // Section before the LightStep barrier: FilterBank (deflationary)
+        // first, Pad last.
+        let light_pos = ns.iter().position(|n| n == "LightStep").unwrap();
+        let pad_pos = ns.iter().position(|n| n == "Pad").unwrap();
+        let fb_pos = ns.iter().position(|n| n == "FilterBank").unwrap();
+        assert_eq!(fb_pos, 0);
+        assert_eq!(pad_pos, light_pos - 1);
+        assert_eq!(&ns[light_pos..], ["LightStep", "HeavyStep"]);
+    }
+
+    #[test]
+    fn identity_when_all_unknown() {
+        let p: Pipeline<u32> = Pipeline::new(vec![
+            classed("a", CostClass::Unknown),
+            classed("b", CostClass::Unknown),
+        ]);
+        assert_eq!(names(&auto_order(&p)), ["a", "b"]);
+    }
+
+    #[test]
+    fn empty_pipeline_ok() {
+        let p: Pipeline<u32> = Pipeline::identity();
+        assert_eq!(auto_order(&p).len(), 0);
+    }
+
+    #[test]
+    fn loader_end_to_end() {
+        let ds = VecDataset::new((0..30u32).collect::<Vec<_>>());
+        let p = Pipeline::new(vec![
+            classed("pad", CostClass::Inflationary),
+            classed("crop", CostClass::Deflationary),
+        ]);
+        let loader = PecanLoader::new(
+            ds,
+            p,
+            TorchConfig {
+                batch_size: 4,
+                num_workers: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(loader.iter().map(|b| b.len()).sum::<usize>(), 30);
+    }
+}

@@ -1,0 +1,107 @@
+//! Criterion microbenchmarks for the runtime's hot paths.
+//!
+//! These quantify the cost of the mechanisms MinatoLoader adds over a
+//! plain loader: queue operations, balancer classification, pipeline
+//! dispatch with deadline checks, reorder buffering (the baseline's HOL
+//! mechanism), and the simulator's event throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use minato_core::balancer::LoadBalancer;
+use minato_core::batch::ReorderBuffer;
+use minato_core::profiler::SampleRecord;
+use minato_core::queue::MinatoQueue;
+use minato_core::transform::{fn_transform, Pipeline};
+use minato_data::WorkloadSpec;
+use minato_sim::{simulate_inorder, simulate_minato, ClassifyMode, SimConfig};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_queue(c: &mut Criterion) {
+    c.bench_function("queue/put_pop", |b| {
+        let q: MinatoQueue<u64> = MinatoQueue::new("bench", 1024);
+        b.iter(|| {
+            q.put(black_box(42)).expect("open");
+            black_box(q.pop());
+        });
+    });
+    c.bench_function("queue/try_pop_empty", |b| {
+        let q: MinatoQueue<u64> = MinatoQueue::new("bench", 16);
+        b.iter(|| black_box(q.try_pop()));
+    });
+}
+
+fn bench_balancer(c: &mut Criterion) {
+    c.bench_function("balancer/on_fast_complete", |b| {
+        let lb = LoadBalancer::paper_default();
+        let rec = SampleRecord::total_only(Duration::from_millis(10));
+        b.iter(|| lb.on_fast_complete(black_box(&rec)));
+    });
+    c.bench_function("balancer/current_timeout", |b| {
+        let lb = LoadBalancer::paper_default();
+        for _ in 0..100 {
+            lb.on_fast_complete(&SampleRecord::total_only(Duration::from_millis(5)));
+        }
+        b.iter(|| black_box(lb.current_timeout()));
+    });
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    c.bench_function("pipeline/run_5_transforms", |b| {
+        let p: Pipeline<u64> = Pipeline::new(
+            (0..5)
+                .map(|i| fn_transform(&format!("t{i}"), |x: u64| Ok(x.wrapping_add(1))))
+                .collect(),
+        );
+        b.iter(|| black_box(p.run(black_box(7), Some(Duration::from_millis(1)))));
+    });
+}
+
+fn bench_reorder(c: &mut Criterion) {
+    c.bench_function("reorder/push_in_order", |b| {
+        b.iter(|| {
+            let mut rb = ReorderBuffer::new(0);
+            for i in 0..64u64 {
+                black_box(rb.push(i, i));
+            }
+        });
+    });
+    c.bench_function("reorder/push_reversed", |b| {
+        b.iter(|| {
+            let mut rb = ReorderBuffer::new(0);
+            for i in (0..64u64).rev() {
+                black_box(rb.push(i, i));
+            }
+        });
+    });
+}
+
+fn bench_sim(c: &mut Criterion) {
+    c.bench_function("sim/pytorch_40_batches", |b| {
+        let mut cfg = SimConfig::config_a(WorkloadSpec::object_detection());
+        cfg.max_batches = 40;
+        b.iter(|| black_box(simulate_inorder("pytorch", &cfg, None)));
+    });
+    c.bench_function("sim/minato_40_batches", |b| {
+        let mut cfg = SimConfig::config_a(WorkloadSpec::object_detection());
+        cfg.max_batches = 40;
+        b.iter(|| black_box(simulate_minato("minato", &cfg, ClassifyMode::Timeout)));
+    });
+}
+
+fn bench_profiles(c: &mut Criterion) {
+    c.bench_function("workload/sample_profile", |b| {
+        let wl = WorkloadSpec::image_segmentation();
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % 1000;
+            black_box(wl.sample_profile(i))
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    targets = bench_queue, bench_balancer, bench_pipeline, bench_reorder, bench_sim, bench_profiles
+}
+criterion_main!(benches);

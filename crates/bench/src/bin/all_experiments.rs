@@ -1,0 +1,20 @@
+//! Runs the full experiment battery (every table and figure) and prints
+//! the results; set MINATO_FULL=1 for paper-length runs.
+use minato_bench::*;
+
+fn main() {
+    let s = Scale::from_env();
+    println!("{}", tab02_preprocessing_stats());
+    println!("{}", fig02_variability());
+    println!("{}", fig01_pytorch_usage(s));
+    println!("{}", fig03_heuristics(s));
+    println!("{}", fig04_prefetch(s));
+    println!("{}", fig07_throughput(s));
+    println!("{}", fig08_usage(s));
+    println!("{}", fig09_scalability(s));
+    println!("{}", fig10_memory(s));
+    println!("{}", fig11_batch_composition(s));
+    println!("{}", fig11_accuracy::fig11_accuracy(true));
+    println!("{}", fig12_slow_fraction(s));
+    println!("{}", artifact_e1_e2(s));
+}

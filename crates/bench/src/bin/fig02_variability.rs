@@ -1,0 +1,4 @@
+//! Regenerates Figure 2 (per-sample preprocessing variability).
+fn main() {
+    println!("{}", minato_bench::fig02_variability());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 8 (CPU/GPU usage, all systems × workloads).
+fn main() {
+    println!("{}", minato_bench::fig08_usage(minato_bench::Scale::from_env()));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 11b/c (batch composition analysis).
+fn main() {
+    println!("{}", minato_bench::fig11_batch_composition(minato_bench::Scale::from_env()));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 12 (training time vs proportion of slow samples).
+fn main() {
+    println!("{}", minato_bench::fig12_slow_fraction(minato_bench::Scale::from_env()));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 2 (preprocessing time statistics).
+fn main() {
+    println!("{}", minato_bench::tab02_preprocessing_stats());
+}

@@ -1,0 +1,44 @@
+//! Experiment harnesses reproducing every table and figure of the paper's
+//! evaluation.
+//!
+//! Each `fig*`/`tab*` function regenerates one artifact and returns the
+//! rendered result (aligned table plus sparkline traces). The binaries in
+//! `src/bin/` print single experiments; the `experiments` bench target
+//! runs the full battery. `Scale::Full` reproduces paper-length runs
+//! (Table 3 training lengths); `Scale::Quick` caps batch counts so the
+//! whole battery finishes in seconds (shapes are preserved — the
+//! simulator is deterministic).
+
+pub mod ablations;
+pub mod experiments;
+pub mod fig11_accuracy;
+
+pub use experiments::*;
+
+/// Run length for the simulation harnesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-length runs (Table 3: 50 epochs / 1000 iterations).
+    Full,
+    /// Capped runs for CI and `cargo bench`.
+    Quick,
+}
+
+impl Scale {
+    /// Reads `MINATO_FULL=1` from the environment, defaulting to quick.
+    pub fn from_env() -> Scale {
+        if std::env::var_os("MINATO_FULL").is_some() {
+            Scale::Full
+        } else {
+            Scale::Quick
+        }
+    }
+
+    /// Batch cap for this scale (0 = uncapped).
+    pub fn cap(self, quick_cap: usize) -> usize {
+        match self {
+            Scale::Full => 0,
+            Scale::Quick => quick_cap,
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Error types for the loader runtime.
+
+use std::fmt;
+
+/// Errors surfaced by datasets, transforms, and the loader runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoaderError {
+    /// The dataset failed to produce the sample at `index`.
+    Dataset {
+        /// Index whose load failed.
+        index: usize,
+        /// Human-readable cause.
+        msg: String,
+    },
+    /// A transform failed while preprocessing a sample.
+    Transform {
+        /// Name of the failing transform.
+        name: String,
+        /// Human-readable cause.
+        msg: String,
+    },
+    /// The loader is shutting down; no further work is accepted.
+    Shutdown,
+    /// Builder configuration was invalid (e.g., zero batch size).
+    Config(String),
+}
+
+impl fmt::Display for LoaderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoaderError::Dataset { index, msg } => {
+                write!(f, "dataset failed to load sample {index}: {msg}")
+            }
+            LoaderError::Transform { name, msg } => {
+                write!(f, "transform `{name}` failed: {msg}")
+            }
+            LoaderError::Shutdown => write!(f, "loader is shutting down"),
+            LoaderError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LoaderError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, LoaderError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = LoaderError::Dataset {
+            index: 7,
+            msg: "io".into(),
+        };
+        assert!(e.to_string().contains("sample 7"));
+        let e = LoaderError::Transform {
+            name: "Resize".into(),
+            msg: "bad dims".into(),
+        };
+        assert!(e.to_string().contains("Resize"));
+        assert!(LoaderError::Shutdown.to_string().contains("shutting down"));
+        assert!(LoaderError::Config("x".into()).to_string().contains("x"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&LoaderError::Shutdown);
+    }
+}

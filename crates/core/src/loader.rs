@@ -1,0 +1,941 @@
+//! The `MinatoLoader` public API.
+//!
+//! A drop-in data loader in the shape of PyTorch's `DataLoader`: construct
+//! with a dataset + transform pipeline, iterate batches. Internally it runs
+//! the paper's full architecture — sample-aware load balancer (§4.2),
+//! fast/slow/temp/batch queues (Figure 5), background completion of slow
+//! samples, and the adaptive worker scheduler (§4.3).
+//!
+//! # Examples
+//!
+//! ```
+//! use minato_core::prelude::*;
+//!
+//! let dataset = VecDataset::new((0..64u32).collect::<Vec<_>>());
+//! let pipeline = Pipeline::new(vec![fn_transform("double", |x: u32| Ok(x * 2))]);
+//! let loader = MinatoLoader::builder(dataset, pipeline)
+//!     .batch_size(8)
+//!     .initial_workers(2)
+//!     .max_workers(4)
+//!     .build()
+//!     .unwrap();
+//! let total: usize = loader.iter().map(|b| b.len()).sum();
+//! assert_eq!(total, 64);
+//! ```
+
+use crate::balancer::{BalancerConfig, LoadBalancer, TimeoutPolicy};
+use crate::batch::{Batch, TransferHook};
+use crate::dataset::{Dataset, EpochSampler, Sampler};
+use crate::error::{LoaderError, Result};
+use crate::queue::{MinatoQueue, WakeupPolicy};
+use crate::scheduler::{SchedulerConfig, WorkerGate, WorkerScheduler};
+use crate::stats::{LoaderStats, MonitorTrace};
+use crate::transform::Pipeline;
+use crate::worker::{batch_worker, loader_worker, slow_worker, Runtime};
+use minato_metrics::{Counter, UtilizationMeter};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// What to do when a dataset or transform errors on one sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorPolicy {
+    /// Count the error, remember the first one, and continue with the
+    /// remaining samples (default).
+    Skip,
+    /// Stop the loader; the error is reported by
+    /// [`MinatoLoader::first_error`].
+    Fail,
+}
+
+/// Fully resolved loader configuration (see [`MinatoLoaderBuilder`]).
+#[derive(Debug, Clone)]
+pub struct LoaderConfig {
+    /// Samples per emitted batch.
+    pub batch_size: usize,
+    /// Number of consumer endpoints (one batch queue per GPU).
+    pub num_gpus: usize,
+    /// Epochs to iterate.
+    pub epochs: usize,
+    /// Shuffle indices each epoch.
+    pub shuffle: bool,
+    /// RNG seed for shuffling.
+    pub seed: u64,
+    /// Workers active at start (paper default: 12 per GPU worker).
+    pub initial_workers: usize,
+    /// Hard cap on preprocessing workers (paper: CPU core count).
+    pub max_workers: usize,
+    /// Background slow-task workers.
+    pub slow_workers: usize,
+    /// Batch-construction workers.
+    pub batch_workers: usize,
+    /// Capacity of fast/slow/temp queues (paper: 100).
+    pub queue_capacity: usize,
+    /// Capacity of each per-GPU batch queue (paper: prefetch factor 2).
+    pub prefetch_factor: usize,
+    /// Drop the final partial batch.
+    pub drop_last: bool,
+    /// Balancer timeout policy.
+    pub timeout_policy: TimeoutPolicy,
+    /// Warm-up samples before the adaptive timeout activates.
+    pub warmup_samples: u64,
+    /// Enable the adaptive worker scheduler (Formulas 1–2).
+    pub adaptive_workers: bool,
+    /// Scheduler tuning (gains, clip, monitor interval).
+    pub scheduler: SchedulerConfig,
+    /// How blocked queue operations wait.
+    pub wakeup: WakeupPolicy,
+    /// How long a starved batch worker waits before re-checking queues.
+    pub starvation_wait: Duration,
+    /// Strict sampler-order mode (§6); disables fast/slow classification.
+    pub order_preserving: bool,
+    /// Per-sample error handling.
+    pub error_policy: ErrorPolicy,
+}
+
+/// Builder for [`MinatoLoader`]. All knobs default to the paper's
+/// configuration (§5.1).
+pub struct MinatoLoaderBuilder<D: Dataset> {
+    dataset: D,
+    pipeline: Pipeline<D::Sample>,
+    cfg: LoaderConfig,
+    transfer_hook: Option<Arc<dyn TransferHook<D::Sample>>>,
+}
+
+impl<D: Dataset> MinatoLoaderBuilder<D> {
+    fn new(dataset: D, pipeline: Pipeline<D::Sample>) -> Self {
+        let max_workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(16);
+        MinatoLoaderBuilder {
+            dataset,
+            pipeline,
+            transfer_hook: None,
+            cfg: LoaderConfig {
+                batch_size: 1,
+                num_gpus: 1,
+                epochs: 1,
+                shuffle: true,
+                seed: 0,
+                initial_workers: 12.min(max_workers),
+                max_workers,
+                slow_workers: 2,
+                batch_workers: 1,
+                queue_capacity: 100,
+                prefetch_factor: 2,
+                drop_last: false,
+                timeout_policy: TimeoutPolicy::paper_default(),
+                warmup_samples: 32,
+                adaptive_workers: true,
+                scheduler: SchedulerConfig::paper_default(max_workers),
+                wakeup: WakeupPolicy::Condvar,
+                starvation_wait: Duration::from_millis(1),
+                order_preserving: false,
+                error_policy: ErrorPolicy::Skip,
+            },
+        }
+    }
+
+    /// Samples per batch.
+    pub fn batch_size(mut self, n: usize) -> Self {
+        self.cfg.batch_size = n;
+        self
+    }
+
+    /// Number of GPUs to feed (one batch queue each).
+    pub fn num_gpus(mut self, n: usize) -> Self {
+        self.cfg.num_gpus = n;
+        self
+    }
+
+    /// Epochs to iterate.
+    pub fn epochs(mut self, n: usize) -> Self {
+        self.cfg.epochs = n;
+        self
+    }
+
+    /// Enable/disable per-epoch shuffling.
+    pub fn shuffle(mut self, yes: bool) -> Self {
+        self.cfg.shuffle = yes;
+        self
+    }
+
+    /// RNG seed for shuffling.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Workers active at start.
+    pub fn initial_workers(mut self, n: usize) -> Self {
+        self.cfg.initial_workers = n;
+        self
+    }
+
+    /// Hard worker cap (`max_workers` in Formula 1).
+    pub fn max_workers(mut self, n: usize) -> Self {
+        self.cfg.max_workers = n;
+        self
+    }
+
+    /// Background slow-task workers.
+    pub fn slow_workers(mut self, n: usize) -> Self {
+        self.cfg.slow_workers = n;
+        self
+    }
+
+    /// Batch-construction workers.
+    pub fn batch_workers(mut self, n: usize) -> Self {
+        self.cfg.batch_workers = n;
+        self
+    }
+
+    /// Capacity of fast/slow/temp queues.
+    pub fn queue_capacity(mut self, n: usize) -> Self {
+        self.cfg.queue_capacity = n;
+        self
+    }
+
+    /// Batches buffered per GPU (prefetching).
+    pub fn prefetch_factor(mut self, n: usize) -> Self {
+        self.cfg.prefetch_factor = n;
+        self
+    }
+
+    /// Drop the final partial batch.
+    pub fn drop_last(mut self, yes: bool) -> Self {
+        self.cfg.drop_last = yes;
+        self
+    }
+
+    /// Balancer timeout policy (adaptive P75 by default).
+    pub fn timeout_policy(mut self, p: TimeoutPolicy) -> Self {
+        self.cfg.timeout_policy = p;
+        self
+    }
+
+    /// Warm-up sample count before the adaptive timeout activates.
+    pub fn warmup_samples(mut self, n: u64) -> Self {
+        self.cfg.warmup_samples = n;
+        self
+    }
+
+    /// Enable/disable adaptive worker scaling.
+    pub fn adaptive_workers(mut self, yes: bool) -> Self {
+        self.cfg.adaptive_workers = yes;
+        self
+    }
+
+    /// Scheduler tuning parameters.
+    pub fn scheduler(mut self, s: SchedulerConfig) -> Self {
+        self.cfg.scheduler = s;
+        self
+    }
+
+    /// Queue wakeup policy (condvar vs paper-faithful sleep-poll).
+    pub fn wakeup(mut self, w: WakeupPolicy) -> Self {
+        self.cfg.wakeup = w;
+        self
+    }
+
+    /// Starved batch-worker re-check interval (paper: 10 ms).
+    pub fn starvation_wait(mut self, d: Duration) -> Self {
+        self.cfg.starvation_wait = d;
+        self
+    }
+
+    /// Strict-order mode (§6): disables classification, restores sampler
+    /// order.
+    pub fn order_preserving(mut self, yes: bool) -> Self {
+        self.cfg.order_preserving = yes;
+        if yes {
+            self.cfg.timeout_policy = TimeoutPolicy::Disabled;
+        }
+        self
+    }
+
+    /// Per-sample error handling.
+    pub fn error_policy(mut self, p: ErrorPolicy) -> Self {
+        self.cfg.error_policy = p;
+        self
+    }
+
+    /// Device-transfer prefetch hook, invoked per batch at enqueue time
+    /// (the paper's CUDA-stream prefetch, §4.3).
+    pub fn transfer_hook(mut self, hook: Arc<dyn TransferHook<D::Sample>>) -> Self {
+        self.transfer_hook = Some(hook);
+        self
+    }
+
+    /// Validates the configuration and starts the loader threads.
+    pub fn build(self) -> Result<MinatoLoader<D>> {
+        let cfg = &self.cfg;
+        if cfg.batch_size == 0 {
+            return Err(LoaderError::Config("batch_size must be positive".into()));
+        }
+        if cfg.num_gpus == 0 {
+            return Err(LoaderError::Config("num_gpus must be positive".into()));
+        }
+        if cfg.initial_workers == 0 {
+            return Err(LoaderError::Config(
+                "initial_workers must be positive".into(),
+            ));
+        }
+        if cfg.max_workers < cfg.initial_workers {
+            return Err(LoaderError::Config(
+                "max_workers must be >= initial_workers".into(),
+            ));
+        }
+        if cfg.slow_workers == 0 && !matches!(cfg.timeout_policy, TimeoutPolicy::Disabled) {
+            return Err(LoaderError::Config(
+                "slow_workers must be positive unless the timeout is disabled".into(),
+            ));
+        }
+        if cfg.batch_workers == 0 {
+            return Err(LoaderError::Config("batch_workers must be positive".into()));
+        }
+        if cfg.queue_capacity == 0 || cfg.prefetch_factor == 0 {
+            return Err(LoaderError::Config(
+                "queue capacities must be positive".into(),
+            ));
+        }
+        MinatoLoader::start(self.dataset, self.pipeline, self.cfg, self.transfer_hook)
+    }
+}
+
+/// The MinatoLoader runtime handle.
+///
+/// Iterate with [`MinatoLoader::iter`] (single GPU) or
+/// [`MinatoLoader::gpu_iter`] (per-GPU streams). Dropping the loader shuts
+/// the pipeline down and joins every worker thread.
+pub struct MinatoLoader<D: Dataset> {
+    rt: Arc<Runtime<D>>,
+    handles: Vec<JoinHandle<()>>,
+    trace: Arc<Mutex<MonitorTrace>>,
+    joined: AtomicBool,
+}
+
+impl<D: Dataset> MinatoLoader<D> {
+    /// Starts building a loader over `dataset` with `pipeline` applied to
+    /// every sample.
+    pub fn builder(dataset: D, pipeline: Pipeline<D::Sample>) -> MinatoLoaderBuilder<D> {
+        MinatoLoaderBuilder::new(dataset, pipeline)
+    }
+
+    fn start(
+        dataset: D,
+        pipeline: Pipeline<D::Sample>,
+        mut cfg: LoaderConfig,
+        transfer_hook: Option<Arc<dyn TransferHook<D::Sample>>>,
+    ) -> Result<Self> {
+        // The scheduler's pool bounds must describe the threads actually
+        // spawned: the builder's `max_workers` is authoritative. (The
+        // default SchedulerConfig is sized from `available_parallelism`,
+        // which may be smaller than an explicit `max_workers` override.)
+        cfg.scheduler.max_workers = cfg.max_workers;
+        cfg.scheduler.min_workers = cfg.scheduler.min_workers.clamp(1, cfg.max_workers);
+        let sampler: Arc<dyn Sampler> = Arc::new(EpochSampler::new(
+            dataset.len(),
+            cfg.epochs,
+            cfg.shuffle,
+            cfg.seed,
+        ));
+        let balancer = LoadBalancer::new(BalancerConfig {
+            policy: cfg.timeout_policy,
+            warmup_samples: cfg.warmup_samples,
+            ..BalancerConfig::default()
+        });
+        // In order-preserving mode every sample is fast; avoid spawning
+        // slow workers that would idle forever.
+        let slow_workers = if matches!(cfg.timeout_policy, TimeoutPolicy::Disabled) {
+            0
+        } else {
+            cfg.slow_workers
+        };
+        let batch_qs: Vec<MinatoQueue<Batch<D::Sample>>> = (0..cfg.num_gpus)
+            .map(|g| {
+                MinatoQueue::with_policy(&format!("batch[{g}]"), cfg.prefetch_factor, cfg.wakeup)
+            })
+            .collect();
+        let rt = Arc::new(Runtime {
+            fast_q: MinatoQueue::with_policy("fast", cfg.queue_capacity, cfg.wakeup),
+            slow_q: MinatoQueue::with_policy("slow", cfg.queue_capacity, cfg.wakeup),
+            temp_q: MinatoQueue::with_policy("temp", cfg.queue_capacity, cfg.wakeup),
+            batch_qs,
+            gate: WorkerGate::new(cfg.initial_workers),
+            loaders_live: AtomicUsize::new(cfg.max_workers),
+            in_flight: AtomicUsize::new(0),
+            source_drained: AtomicBool::new(false),
+            slow_live: AtomicUsize::new(slow_workers.max(1)),
+            batchers_live: AtomicUsize::new(cfg.batch_workers),
+            cpu_meter: UtilizationMeter::new(cfg.max_workers + slow_workers),
+            samples_out: Counter::new(),
+            bytes_out: Counter::new(),
+            batches_out: Counter::new(),
+            errors: Counter::new(),
+            first_error: Mutex::new(None),
+            shutdown: AtomicBool::new(false),
+            started_at: Instant::now(),
+            transfer_hook,
+            dataset,
+            pipeline,
+            sampler,
+            balancer,
+            cfg: cfg.clone(),
+        });
+
+        let mut handles = Vec::new();
+        for id in 0..cfg.max_workers {
+            let rt2 = Arc::clone(&rt);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("minato-loader-{id}"))
+                    .spawn(move || loader_worker(rt2, id))
+                    .map_err(|e| LoaderError::Config(format!("spawn failed: {e}")))?,
+            );
+        }
+        if slow_workers == 0 {
+            // Keep the close cascade intact: close the slow queue once the
+            // (never-used) temp queue closes. A tiny thread handles it.
+            let rt2 = Arc::clone(&rt);
+            handles.push(
+                std::thread::Builder::new()
+                    .name("minato-slow-0".into())
+                    .spawn(move || slow_worker(rt2))
+                    .map_err(|e| LoaderError::Config(format!("spawn failed: {e}")))?,
+            );
+        } else {
+            for id in 0..slow_workers {
+                let rt2 = Arc::clone(&rt);
+                handles.push(
+                    std::thread::Builder::new()
+                        .name(format!("minato-slow-{id}"))
+                        .spawn(move || slow_worker(rt2))
+                        .map_err(|e| LoaderError::Config(format!("spawn failed: {e}")))?,
+                );
+            }
+        }
+        for id in 0..cfg.batch_workers {
+            let rt2 = Arc::clone(&rt);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("minato-batch-{id}"))
+                    .spawn(move || batch_worker(rt2))
+                    .map_err(|e| LoaderError::Config(format!("spawn failed: {e}")))?,
+            );
+        }
+        let trace = Arc::new(Mutex::new(MonitorTrace::new()));
+        {
+            let rt2 = Arc::clone(&rt);
+            let trace2 = Arc::clone(&trace);
+            handles.push(
+                std::thread::Builder::new()
+                    .name("minato-monitor".into())
+                    .spawn(move || monitor_loop(rt2, trace2))
+                    .map_err(|e| LoaderError::Config(format!("spawn failed: {e}")))?,
+            );
+        }
+        Ok(MinatoLoader {
+            rt,
+            handles,
+            trace,
+            joined: AtomicBool::new(false),
+        })
+    }
+
+    /// Iterator over batches destined for GPU 0.
+    pub fn iter(&self) -> BatchIter<'_, D> {
+        self.gpu_iter(0)
+    }
+
+    /// Iterator over batches destined for GPU `gpu`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpu >= num_gpus`.
+    pub fn gpu_iter(&self, gpu: usize) -> BatchIter<'_, D> {
+        assert!(gpu < self.rt.batch_qs.len(), "gpu index out of range");
+        BatchIter { loader: self, gpu }
+    }
+
+    /// Pops the next batch for `gpu`, blocking; `None` once training data
+    /// is exhausted.
+    pub fn next_batch(&self, gpu: usize) -> Option<Batch<D::Sample>> {
+        self.rt.batch_qs.get(gpu)?.pop()
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> LoaderStats {
+        let rt = &self.rt;
+        let done = rt.balancer.completions();
+        LoaderStats {
+            samples_done: done,
+            slow_flagged: rt.balancer.flagged_slow(),
+            slow_fraction: rt.balancer.slow_fraction(),
+            batches_done: rt.batches_out.get(),
+            bytes_done: rt.bytes_out.get(),
+            errors: rt.errors.get(),
+            fast_queue_len: rt.fast_q.len(),
+            slow_queue_len: rt.slow_q.len(),
+            temp_queue_len: rt.temp_q.len(),
+            batch_queue_len: rt.batch_qs.iter().map(|q| q.len()).sum(),
+            active_workers: rt.gate.active_limit(),
+            timeout: rt.balancer.current_timeout(),
+            preprocess_ms: rt.balancer.profiler().summary_ms(),
+        }
+    }
+
+    /// The monitor thread's recorded trace so far.
+    pub fn trace(&self) -> MonitorTrace {
+        self.trace.lock().clone()
+    }
+
+    /// First error encountered (with `ErrorPolicy::Skip`, training
+    /// continued past it).
+    pub fn first_error(&self) -> Option<LoaderError> {
+        self.rt.first_error.lock().clone()
+    }
+
+    /// Requests shutdown and joins all worker threads. Idempotent; also
+    /// called by `Drop`.
+    pub fn shutdown(&mut self) {
+        self.rt.initiate_shutdown();
+        self.join_all();
+    }
+
+    fn join_all(&mut self) {
+        if self.joined.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        for h in self.handles.drain(..) {
+            // A panicked worker already recorded its damage; joining must
+            // not propagate the panic into the caller's drop path.
+            let _ = h.join();
+        }
+    }
+}
+
+impl<D: Dataset> Drop for MinatoLoader<D> {
+    fn drop(&mut self) {
+        self.rt.initiate_shutdown();
+        self.join_all();
+    }
+}
+
+/// Blocking batch iterator for one GPU endpoint.
+pub struct BatchIter<'a, D: Dataset> {
+    loader: &'a MinatoLoader<D>,
+    gpu: usize,
+}
+
+impl<D: Dataset> Iterator for BatchIter<'_, D> {
+    type Item = Batch<D::Sample>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.loader.next_batch(self.gpu)
+    }
+}
+
+/// Monitor loop: samples utilization/occupancy, drives the adaptive worker
+/// scheduler, and keeps the balancer's timeout fresh (§4.3).
+fn monitor_loop<D: Dataset>(rt: Arc<Runtime<D>>, trace: Arc<Mutex<MonitorTrace>>) {
+    let mut scheduler = WorkerScheduler::new(rt.cfg.scheduler.clone());
+    let interval = rt.cfg.scheduler.interval;
+    let mut prev_busy = 0u64;
+    let mut prev_bytes = 0u64;
+    loop {
+        std::thread::sleep(interval);
+        if rt.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let all_closed = rt.batch_qs.iter().all(|q| q.is_closed());
+        let now = rt.started_at.elapsed().as_secs_f64();
+        let active = rt.gate.active_limit().max(1);
+
+        // CPU utilization of *active* workers over the last interval.
+        let busy = rt.cpu_meter.busy_ns();
+        let busy_delta = busy.saturating_sub(prev_busy);
+        prev_busy = busy;
+        let cpu_norm = (busy_delta as f64 / (interval.as_nanos() as f64 * active as f64))
+            .clamp(0.0, 1.0);
+
+        // Batch-queue occupancy as a fraction of total capacity.
+        let q_len: usize = rt.batch_qs.iter().map(|q| q.len()).sum();
+        let q_cap: usize = rt.batch_qs.iter().map(|q| q.capacity()).sum();
+
+        // Delivered throughput over the interval.
+        let bytes = rt.bytes_out.get();
+        let mbps = (bytes.saturating_sub(prev_bytes)) as f64 / 1e6 / interval.as_secs_f64();
+        prev_bytes = bytes;
+
+        {
+            let mut t = trace.lock();
+            t.cpu_pct.push(now, cpu_norm * 100.0);
+            t.workers.push(now, active as f64);
+            t.batch_occupancy
+                .push(now, q_len as f64 / q_cap.max(1) as f64);
+            t.throughput_mbps.push(now, mbps);
+        }
+
+        if rt.cfg.adaptive_workers {
+            let target = scheduler.decide(active, q_len, q_cap, cpu_norm);
+            if target != active {
+                rt.gate.set_active_limit(target);
+            }
+        }
+        rt.balancer.refresh_now();
+
+        if all_closed {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::VecDataset;
+    use crate::transform::{fn_transform, Outcome, Transform, TransformCtx};
+    use std::collections::HashMap;
+
+    fn quick_loader(
+        n: usize,
+        batch: usize,
+    ) -> MinatoLoader<VecDataset<u32>> {
+        let ds = VecDataset::new((0..n as u32).collect::<Vec<_>>());
+        let p = Pipeline::new(vec![fn_transform("id", |x: u32| Ok(x))]);
+        MinatoLoader::builder(ds, p)
+            .batch_size(batch)
+            .initial_workers(2)
+            .max_workers(4)
+            .slow_workers(1)
+            .build()
+            .expect("loader builds")
+    }
+
+    #[test]
+    fn builder_rejects_bad_config() {
+        let ds = VecDataset::new(vec![1u32]);
+        let p: Pipeline<u32> = Pipeline::identity();
+        assert!(matches!(
+            MinatoLoader::builder(ds.clone(), p.clone())
+                .batch_size(0)
+                .build(),
+            Err(LoaderError::Config(_))
+        ));
+        assert!(matches!(
+            MinatoLoader::builder(ds.clone(), p.clone())
+                .num_gpus(0)
+                .build(),
+            Err(LoaderError::Config(_))
+        ));
+        assert!(matches!(
+            MinatoLoader::builder(ds.clone(), p.clone())
+                .initial_workers(8)
+                .max_workers(2)
+                .build(),
+            Err(LoaderError::Config(_))
+        ));
+        assert!(matches!(
+            MinatoLoader::builder(ds, p).batch_workers(0).build(),
+            Err(LoaderError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn delivers_every_sample_exactly_once() {
+        let loader = quick_loader(100, 7);
+        let mut counts: HashMap<u32, usize> = HashMap::new();
+        let mut batches = 0;
+        for b in loader.iter() {
+            batches += 1;
+            assert!(b.len() <= 7);
+            for s in &b.samples {
+                *counts.entry(*s).or_default() += 1;
+            }
+        }
+        assert_eq!(batches, 100usize.div_ceil(7));
+        assert_eq!(counts.len(), 100);
+        assert!(counts.values().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn transform_is_applied() {
+        let ds = VecDataset::new(vec![1u32, 2, 3, 4]);
+        let p = Pipeline::new(vec![fn_transform("x10", |x: u32| Ok(x * 10))]);
+        let loader = MinatoLoader::builder(ds, p)
+            .batch_size(4)
+            .initial_workers(1)
+            .max_workers(1)
+            .shuffle(false)
+            .build()
+            .unwrap();
+        let mut all: Vec<u32> = loader.iter().flat_map(|b| b.samples).collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn multiple_epochs_multiply_delivery() {
+        let ds = VecDataset::new((0..10u32).collect::<Vec<_>>());
+        let p: Pipeline<u32> = Pipeline::identity();
+        let loader = MinatoLoader::builder(ds, p)
+            .batch_size(5)
+            .epochs(3)
+            .initial_workers(2)
+            .max_workers(2)
+            .build()
+            .unwrap();
+        let total: usize = loader.iter().map(|b| b.len()).sum();
+        assert_eq!(total, 30);
+    }
+
+    #[test]
+    fn drop_last_discards_partial() {
+        let loader = {
+            let ds = VecDataset::new((0..10u32).collect::<Vec<_>>());
+            let p: Pipeline<u32> = Pipeline::identity();
+            MinatoLoader::builder(ds, p)
+                .batch_size(4)
+                .drop_last(true)
+                .initial_workers(2)
+                .max_workers(2)
+                .build()
+                .unwrap()
+        };
+        let sizes: Vec<usize> = loader.iter().map(|b| b.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 8, "partial batch dropped");
+        assert!(sizes.iter().all(|&s| s == 4));
+    }
+
+    /// Transform that burns ~`cost_ms` per sample, cooperating with the
+    /// deadline, where marked samples are much slower.
+    struct MarkedSlow {
+        slow_every: u32,
+        fast_ms: u64,
+        slow_ms: u64,
+    }
+
+    impl Transform<u32> for MarkedSlow {
+        fn name(&self) -> &str {
+            "marked-slow"
+        }
+
+        fn apply(&self, input: u32, ctx: &TransformCtx) -> crate::error::Result<Outcome<u32>> {
+            let cost = if input % self.slow_every == 0 {
+                Duration::from_millis(self.slow_ms)
+            } else {
+                Duration::from_millis(self.fast_ms)
+            };
+            let start = Instant::now();
+            while start.elapsed() < cost {
+                if ctx.expired() {
+                    return Ok(Outcome::Interrupted(input));
+                }
+                std::thread::yield_now();
+            }
+            Ok(Outcome::Done(input))
+        }
+    }
+
+    #[test]
+    fn slow_samples_are_flagged_and_still_delivered() {
+        let ds = VecDataset::new((0..60u32).collect::<Vec<_>>());
+        let p = Pipeline::new(vec![Arc::new(MarkedSlow {
+            slow_every: 5,
+            fast_ms: 1,
+            slow_ms: 40,
+        }) as Arc<dyn Transform<u32>>]);
+        let loader = MinatoLoader::builder(ds, p)
+            .batch_size(6)
+            .initial_workers(4)
+            .max_workers(4)
+            .slow_workers(2)
+            .timeout_policy(TimeoutPolicy::Fixed(Duration::from_millis(10)))
+            .build()
+            .unwrap();
+        let mut delivered = 0;
+        let mut slow_total = 0;
+        for b in loader.iter() {
+            delivered += b.len();
+            slow_total += b.slow_count();
+        }
+        assert_eq!(delivered, 60, "slow samples must not be lost");
+        // Every 5th sample (12 of 60) is slow; allow slack for scheduling.
+        assert!(slow_total >= 8, "expected ≥8 slow flags, got {slow_total}");
+        let stats = loader.stats();
+        assert_eq!(stats.samples_done, 60);
+        assert!(stats.slow_flagged >= 8);
+    }
+
+    #[test]
+    fn order_preserving_mode_keeps_sampler_order() {
+        let ds = VecDataset::new((0..40u32).collect::<Vec<_>>());
+        let p: Pipeline<u32> = Pipeline::identity();
+        let loader = MinatoLoader::builder(ds, p)
+            .batch_size(4)
+            .shuffle(false)
+            .order_preserving(true)
+            .initial_workers(4)
+            .max_workers(4)
+            .build()
+            .unwrap();
+        let all: Vec<u32> = loader.iter().flat_map(|b| b.samples).collect();
+        assert_eq!(all, (0..40).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn multi_gpu_split_covers_dataset() {
+        let ds = VecDataset::new((0..64u32).collect::<Vec<_>>());
+        let p: Pipeline<u32> = Pipeline::identity();
+        let loader = MinatoLoader::builder(ds, p)
+            .batch_size(4)
+            .num_gpus(2)
+            .initial_workers(2)
+            .max_workers(4)
+            .build()
+            .unwrap();
+        let loader = Arc::new(loader);
+        let l2 = Arc::clone(&loader);
+        let h = std::thread::spawn(move || {
+            let mut v = Vec::new();
+            while let Some(b) = l2.next_batch(1) {
+                v.extend(b.samples);
+            }
+            v
+        });
+        let mut got: Vec<u32> = Vec::new();
+        while let Some(b) = loader.next_batch(0) {
+            got.extend(b.samples);
+        }
+        got.extend(h.join().unwrap());
+        got.sort_unstable();
+        assert_eq!(got, (0..64).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn errors_are_skipped_and_counted() {
+        let ds = crate::dataset::FnDataset::new(20, |i| {
+            if i % 4 == 0 {
+                Err(LoaderError::Dataset {
+                    index: i,
+                    msg: "synthetic".into(),
+                })
+            } else {
+                Ok(i as u32)
+            }
+        });
+        let p: Pipeline<u32> = Pipeline::identity();
+        let loader = MinatoLoader::builder(ds, p)
+            .batch_size(5)
+            .initial_workers(2)
+            .max_workers(2)
+            .build()
+            .unwrap();
+        let delivered: usize = loader.iter().map(|b| b.len()).sum();
+        assert_eq!(delivered, 15);
+        assert_eq!(loader.stats().errors, 5);
+        assert!(loader.first_error().is_some());
+    }
+
+    #[test]
+    fn fail_policy_stops_early() {
+        let ds = crate::dataset::FnDataset::new(1000, |i| {
+            if i == 3 {
+                Err(LoaderError::Dataset {
+                    index: i,
+                    msg: "fatal".into(),
+                })
+            } else {
+                Ok(i as u32)
+            }
+        });
+        let p: Pipeline<u32> = Pipeline::identity();
+        let loader = MinatoLoader::builder(ds, p)
+            .batch_size(10)
+            .shuffle(false)
+            .initial_workers(1)
+            .max_workers(1)
+            .error_policy(ErrorPolicy::Fail)
+            .build()
+            .unwrap();
+        let delivered: usize = loader.iter().map(|b| b.len()).sum();
+        assert!(delivered < 1000, "must stop before the full dataset");
+        assert!(loader.first_error().is_some());
+    }
+
+    #[test]
+    fn drop_mid_iteration_is_clean() {
+        let loader = quick_loader(500, 5);
+        let mut it = loader.iter();
+        let _ = it.next();
+        let _ = it.next();
+        drop(it);
+        drop(loader); // Must not hang or panic.
+    }
+
+    #[test]
+    fn stats_snapshot_consistent_after_drain() {
+        let loader = quick_loader(50, 5);
+        let n: usize = loader.iter().map(|b| b.len()).sum();
+        assert_eq!(n, 50);
+        let s = loader.stats();
+        assert_eq!(s.samples_done, 50);
+        assert_eq!(s.batches_done, 10);
+        assert_eq!(s.errors, 0);
+        assert_eq!(s.fast_queue_len, 0);
+        assert_eq!(s.slow_queue_len, 0);
+    }
+}
+
+#[cfg(test)]
+mod transfer_hook_tests {
+    use super::*;
+    use crate::dataset::VecDataset;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn transfer_hook_fires_once_per_batch() {
+        let count = Arc::new(AtomicUsize::new(0));
+        let gpus_seen = Arc::new(Mutex::new(Vec::new()));
+        let c2 = Arc::clone(&count);
+        let g2 = Arc::clone(&gpus_seen);
+        let ds = VecDataset::new((0..40u32).collect::<Vec<_>>());
+        let loader = MinatoLoader::builder(ds, Pipeline::identity())
+            .batch_size(5)
+            .num_gpus(2)
+            .initial_workers(2)
+            .max_workers(2)
+            .transfer_hook(Arc::new(move |b: &Batch<u32>, gpu: usize| {
+                assert!(!b.is_empty());
+                c2.fetch_add(1, Ordering::Relaxed);
+                g2.lock().push(gpu);
+            }))
+            .build()
+            .expect("valid configuration");
+        let loader = Arc::new(loader);
+        let l2 = Arc::clone(&loader);
+        let h = std::thread::spawn(move || {
+            let mut n = 0;
+            while let Some(b) = l2.next_batch(1) {
+                n += b.len();
+            }
+            n
+        });
+        let mut n = 0;
+        while let Some(b) = loader.next_batch(0) {
+            n += b.len();
+        }
+        n += h.join().expect("consumer thread");
+        assert_eq!(n, 40);
+        assert_eq!(count.load(Ordering::Relaxed), 8, "one transfer per batch");
+        let gpus = gpus_seen.lock();
+        assert!(gpus.iter().all(|&g| g < 2));
+        assert!(
+            gpus.contains(&0) && gpus.contains(&1),
+            "both devices prefetched into"
+        );
+    }
+}

@@ -1,0 +1,207 @@
+//! Lightweight preprocessing profiler (paper §4.2).
+//!
+//! During the warm-up phase the profiler collects, per sample: total
+//! preprocessing time, per-transform time, sample size, and the number of
+//! transforms applied. At the end of warm-up the load balancer derives the
+//! fast/slow cutoff from the 75th percentile of total times. Profiling then
+//! continues in the background over a sliding window so the timeout tracks
+//! workload drift.
+
+use minato_metrics::{Reservoir, Summary};
+use parking_lot::Mutex;
+use std::time::Duration;
+
+/// One profiled preprocessing execution.
+#[derive(Debug, Clone)]
+pub struct SampleRecord {
+    /// Total wall time spent preprocessing the sample.
+    pub total: Duration,
+    /// Wall time per transform (empty if not collected).
+    pub per_transform: Vec<Duration>,
+    /// Raw sample size in bytes, when known.
+    pub bytes: Option<u64>,
+    /// Number of transforms applied.
+    pub transforms_applied: usize,
+}
+
+impl SampleRecord {
+    /// Record with only a total time (the common fast path).
+    pub fn total_only(total: Duration) -> SampleRecord {
+        SampleRecord {
+            total,
+            per_transform: Vec::new(),
+            bytes: None,
+            transforms_applied: 0,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ProfilerInner {
+    totals_ms: Reservoir,
+    per_transform_ms: Vec<Reservoir>,
+    bytes: Reservoir,
+    warmup_target: u64,
+}
+
+/// Thread-safe profiling statistics store.
+///
+/// # Examples
+///
+/// ```
+/// use minato_core::profiler::{Profiler, SampleRecord};
+/// use std::time::Duration;
+///
+/// let p = Profiler::new(4096, 10);
+/// for ms in [5, 10, 100] {
+///     p.record(&SampleRecord::total_only(Duration::from_millis(ms)));
+/// }
+/// assert_eq!(p.samples_seen(), 3);
+/// assert!(p.timeout_at_percentile(0.5).unwrap() >= Duration::from_millis(10));
+/// ```
+#[derive(Debug)]
+pub struct Profiler {
+    inner: Mutex<ProfilerInner>,
+}
+
+impl Profiler {
+    /// Creates a profiler retaining up to `window` observations, with
+    /// warm-up considered complete after `warmup_samples` records.
+    pub fn new(window: usize, warmup_samples: u64) -> Profiler {
+        Profiler {
+            inner: Mutex::new(ProfilerInner {
+                totals_ms: Reservoir::new(window.max(1)),
+                per_transform_ms: Vec::new(),
+                bytes: Reservoir::new(window.max(1)),
+                warmup_target: warmup_samples,
+            }),
+        }
+    }
+
+    /// Records one preprocessing execution.
+    pub fn record(&self, rec: &SampleRecord) {
+        let mut g = self.inner.lock();
+        g.totals_ms.record(rec.total.as_secs_f64() * 1e3);
+        if let Some(b) = rec.bytes {
+            g.bytes.record(b as f64);
+        }
+        if !rec.per_transform.is_empty() {
+            if g.per_transform_ms.len() < rec.per_transform.len() {
+                let window = g.totals_ms.capacity();
+                g.per_transform_ms
+                    .resize_with(rec.per_transform.len(), || Reservoir::new(window));
+            }
+            for (i, d) in rec.per_transform.iter().enumerate() {
+                g.per_transform_ms[i].record(d.as_secs_f64() * 1e3);
+            }
+        }
+    }
+
+    /// Total executions ever recorded.
+    pub fn samples_seen(&self) -> u64 {
+        self.inner.lock().totals_ms.total_seen()
+    }
+
+    /// Whether enough samples were recorded to end the warm-up phase.
+    pub fn warmed_up(&self) -> bool {
+        let g = self.inner.lock();
+        g.totals_ms.total_seen() >= g.warmup_target
+    }
+
+    /// The timeout implied by the `p`-percentile of observed total times,
+    /// or `None` before any data.
+    pub fn timeout_at_percentile(&self, p: f64) -> Option<Duration> {
+        let g = self.inner.lock();
+        g.totals_ms
+            .quantile(p)
+            .map(|ms| Duration::from_secs_f64((ms / 1e3).max(0.0)))
+    }
+
+    /// Fraction of observed totals exceeding `timeout`.
+    pub fn fraction_slower_than(&self, timeout: Duration) -> f64 {
+        self.inner
+            .lock()
+            .totals_ms
+            .fraction_above(timeout.as_secs_f64() * 1e3)
+    }
+
+    /// Distribution summary of total preprocessing times, in milliseconds
+    /// (the paper's Table 2 row for the workload).
+    pub fn summary_ms(&self) -> Summary {
+        self.inner.lock().totals_ms.summary()
+    }
+
+    /// Per-transform time summaries, in milliseconds, indexed by pipeline
+    /// position (e.g., showing RandomCrop dominating at 338 ms, §3.1).
+    pub fn per_transform_summaries_ms(&self) -> Vec<Summary> {
+        self.inner
+            .lock()
+            .per_transform_ms
+            .iter()
+            .map(|r| r.summary())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmup_completes_after_target() {
+        let p = Profiler::new(64, 3);
+        assert!(!p.warmed_up());
+        for _ in 0..3 {
+            p.record(&SampleRecord::total_only(Duration::from_millis(1)));
+        }
+        assert!(p.warmed_up());
+    }
+
+    #[test]
+    fn percentile_timeout_reflects_distribution() {
+        let p = Profiler::new(1024, 1);
+        // 75 fast samples at 10ms, 25 slow at 1000ms: P75 sits at the
+        // boundary, P90 well into the slow set.
+        for _ in 0..75 {
+            p.record(&SampleRecord::total_only(Duration::from_millis(10)));
+        }
+        for _ in 0..25 {
+            p.record(&SampleRecord::total_only(Duration::from_millis(1000)));
+        }
+        let t75 = p.timeout_at_percentile(0.75).unwrap();
+        assert!(t75 <= Duration::from_millis(1000));
+        let t90 = p.timeout_at_percentile(0.90).unwrap();
+        assert_eq!(t90, Duration::from_millis(1000));
+        assert!((p.fraction_slower_than(Duration::from_millis(500)) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_data_yields_none() {
+        let p = Profiler::new(8, 1);
+        assert!(p.timeout_at_percentile(0.75).is_none());
+        assert_eq!(p.fraction_slower_than(Duration::from_millis(1)), 0.0);
+    }
+
+    #[test]
+    fn per_transform_summaries_collected() {
+        let p = Profiler::new(16, 1);
+        p.record(&SampleRecord {
+            total: Duration::from_millis(30),
+            per_transform: vec![Duration::from_millis(20), Duration::from_millis(10)],
+            bytes: Some(100),
+            transforms_applied: 2,
+        });
+        let sums = p.per_transform_summaries_ms();
+        assert_eq!(sums.len(), 2);
+        assert!((sums[0].avg - 20.0).abs() < 1e-9);
+        assert!((sums[1].avg - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_in_milliseconds() {
+        let p = Profiler::new(16, 1);
+        p.record(&SampleRecord::total_only(Duration::from_millis(500)));
+        let s = p.summary_ms();
+        assert!((s.avg - 500.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,510 @@
+//! Bounded, instrumented, closable MPMC queues.
+//!
+//! The paper's runtime is built from four queue roles (fast, slow, temp,
+//! batch; §4.1). All of them share the same semantics: bounded capacity
+//! (the paper caps every queue at 100), multi-producer/multi-consumer,
+//! occupancy statistics for the worker scheduler, and a close signal for
+//! clean drain at end of training.
+//!
+//! Two wakeup policies are provided. [`WakeupPolicy::Condvar`] blocks
+//! consumers on a condition variable (the efficient default);
+//! [`WakeupPolicy::SleepPoll`] re-checks on a fixed sleep, reproducing the
+//! paper's 10 ms polling loops (Algorithm 1 lines 28/37) for the ablation
+//! benchmark.
+
+use minato_metrics::Counter;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// How blocked producers/consumers wait for queue state changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WakeupPolicy {
+    /// Block on a condition variable; woken exactly when state changes.
+    Condvar,
+    /// Poll with a fixed sleep between checks (paper-faithful mode).
+    SleepPoll(Duration),
+}
+
+impl Default for WakeupPolicy {
+    fn default() -> Self {
+        WakeupPolicy::Condvar
+    }
+}
+
+/// Error returned when putting into a closed queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Closed;
+
+#[derive(Debug)]
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPMC queue with occupancy instrumentation and close-to-drain
+/// semantics.
+///
+/// * `put` blocks while full (unless closed — then it fails),
+/// * `pop` blocks while empty (unless closed — then it returns `None`),
+/// * after [`MinatoQueue::close`], remaining items can still be popped;
+///   `pop` returns `None` only when closed *and* empty.
+///
+/// # Examples
+///
+/// ```
+/// use minato_core::queue::MinatoQueue;
+///
+/// let q: MinatoQueue<u32> = MinatoQueue::new("fast", 2);
+/// q.put(1).unwrap();
+/// q.put(2).unwrap();
+/// q.close();
+/// assert_eq!(q.pop(), Some(1));
+/// assert_eq!(q.pop(), Some(2));
+/// assert_eq!(q.pop(), None); // Closed and drained.
+/// ```
+#[derive(Debug)]
+pub struct MinatoQueue<T> {
+    name: String,
+    capacity: usize,
+    policy: WakeupPolicy,
+    inner: Mutex<Inner<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    puts: Counter,
+    pops: Counter,
+    // Occupancy accumulator for the scheduler's moving average: sum of
+    // queue lengths observed at each operation, in fixed-point (len << 0).
+    occupancy_sum: AtomicU64,
+    occupancy_obs: AtomicU64,
+}
+
+impl<T> MinatoQueue<T> {
+    /// Creates a queue with the given display `name` and `capacity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(name: &str, capacity: usize) -> MinatoQueue<T> {
+        Self::with_policy(name, capacity, WakeupPolicy::Condvar)
+    }
+
+    /// Creates a queue with an explicit [`WakeupPolicy`].
+    pub fn with_policy(name: &str, capacity: usize, policy: WakeupPolicy) -> MinatoQueue<T> {
+        assert!(capacity > 0, "queue capacity must be positive");
+        MinatoQueue {
+            name: name.to_string(),
+            capacity,
+            policy,
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity.min(1024)),
+                closed: false,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            puts: Counter::new(),
+            pops: Counter::new(),
+            occupancy_sum: AtomicU64::new(0),
+            occupancy_obs: AtomicU64::new(0),
+        }
+    }
+
+    /// Queue display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Maximum number of items (the paper's `Qmax`).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn observe_len(&self, len: usize) {
+        self.occupancy_sum.fetch_add(len as u64, Ordering::Relaxed);
+        self.occupancy_obs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Blocking put. Fails with [`Closed`] if the queue was closed (before
+    /// or while waiting for space).
+    pub fn put(&self, item: T) -> Result<(), Closed> {
+        match self.policy {
+            WakeupPolicy::Condvar => {
+                let mut g = self.inner.lock();
+                loop {
+                    if g.closed {
+                        return Err(Closed);
+                    }
+                    if g.items.len() < self.capacity {
+                        g.items.push_back(item);
+                        let len = g.items.len();
+                        drop(g);
+                        self.observe_len(len);
+                        self.puts.incr();
+                        self.not_empty.notify_one();
+                        return Ok(());
+                    }
+                    self.not_full.wait(&mut g);
+                }
+            }
+            WakeupPolicy::SleepPoll(nap) => {
+                let mut item = item;
+                loop {
+                    match self.try_put(item) {
+                        Ok(()) => return Ok(()),
+                        Err(TryPutError::Closed(_)) => return Err(Closed),
+                        Err(TryPutError::Full(v)) => {
+                            item = v;
+                            std::thread::sleep(nap);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Non-blocking put.
+    pub fn try_put(&self, item: T) -> Result<(), TryPutError<T>> {
+        let mut g = self.inner.lock();
+        if g.closed {
+            return Err(TryPutError::Closed(item));
+        }
+        if g.items.len() >= self.capacity {
+            return Err(TryPutError::Full(item));
+        }
+        g.items.push_back(item);
+        let len = g.items.len();
+        drop(g);
+        self.observe_len(len);
+        self.puts.incr();
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking pop. Returns `None` only when the queue is closed and
+    /// empty.
+    pub fn pop(&self) -> Option<T> {
+        match self.policy {
+            WakeupPolicy::Condvar => {
+                let mut g = self.inner.lock();
+                loop {
+                    if let Some(item) = g.items.pop_front() {
+                        let len = g.items.len();
+                        drop(g);
+                        self.observe_len(len);
+                        self.pops.incr();
+                        self.not_full.notify_one();
+                        return Some(item);
+                    }
+                    if g.closed {
+                        return None;
+                    }
+                    self.not_empty.wait(&mut g);
+                }
+            }
+            WakeupPolicy::SleepPoll(nap) => loop {
+                match self.try_pop() {
+                    PopResult::Item(v) => return Some(v),
+                    PopResult::Empty => std::thread::sleep(nap),
+                    PopResult::ClosedAndDrained => return None,
+                }
+            },
+        }
+    }
+
+    /// Pop with a bounded wait. Returns `Ok(None)` on timeout and
+    /// `Err(Closed)` when closed and drained.
+    pub fn pop_timeout(&self, timeout: Duration) -> Result<Option<T>, Closed> {
+        match self.policy {
+            WakeupPolicy::Condvar => {
+                let deadline = std::time::Instant::now() + timeout;
+                let mut g = self.inner.lock();
+                loop {
+                    if let Some(item) = g.items.pop_front() {
+                        let len = g.items.len();
+                        drop(g);
+                        self.observe_len(len);
+                        self.pops.incr();
+                        self.not_full.notify_one();
+                        return Ok(Some(item));
+                    }
+                    if g.closed {
+                        return Err(Closed);
+                    }
+                    if self.not_empty.wait_until(&mut g, deadline).timed_out() {
+                        return Ok(None);
+                    }
+                }
+            }
+            WakeupPolicy::SleepPoll(nap) => {
+                let deadline = std::time::Instant::now() + timeout;
+                loop {
+                    match self.try_pop() {
+                        PopResult::Item(v) => return Ok(Some(v)),
+                        PopResult::ClosedAndDrained => return Err(Closed),
+                        PopResult::Empty => {
+                            if std::time::Instant::now() >= deadline {
+                                return Ok(None);
+                            }
+                            std::thread::sleep(nap.min(deadline.saturating_duration_since(
+                                std::time::Instant::now(),
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Non-blocking pop.
+    pub fn try_pop(&self) -> PopResult<T> {
+        let mut g = self.inner.lock();
+        if let Some(item) = g.items.pop_front() {
+            let len = g.items.len();
+            drop(g);
+            self.observe_len(len);
+            self.pops.incr();
+            self.not_full.notify_one();
+            PopResult::Item(item)
+        } else if g.closed {
+            PopResult::ClosedAndDrained
+        } else {
+            PopResult::Empty
+        }
+    }
+
+    /// Closes the queue: pending and future `put`s fail, `pop` drains the
+    /// remaining items then returns `None`. Idempotent.
+    pub fn close(&self) {
+        let mut g = self.inner.lock();
+        g.closed = true;
+        drop(g);
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+
+    /// Whether [`MinatoQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().closed
+    }
+
+    /// Current number of items.
+    pub fn len(&self) -> usize {
+        self.inner.lock().items.len()
+    }
+
+    /// Whether the queue currently holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total successful puts.
+    pub fn total_puts(&self) -> u64 {
+        self.puts.get()
+    }
+
+    /// Total successful pops.
+    pub fn total_pops(&self) -> u64 {
+        self.pops.get()
+    }
+
+    /// Average occupancy observed across all put/pop operations — the
+    /// `Qsize` input to the scheduler's Formula 2.
+    pub fn mean_occupancy(&self) -> f64 {
+        let obs = self.occupancy_obs.load(Ordering::Relaxed);
+        if obs == 0 {
+            0.0
+        } else {
+            self.occupancy_sum.load(Ordering::Relaxed) as f64 / obs as f64
+        }
+    }
+}
+
+/// Error from [`MinatoQueue::try_put`], returning the rejected item.
+#[derive(Debug)]
+pub enum TryPutError<T> {
+    /// The queue is at capacity.
+    Full(T),
+    /// The queue is closed.
+    Closed(T),
+}
+
+/// Result of [`MinatoQueue::try_pop`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum PopResult<T> {
+    /// An item was dequeued.
+    Item(T),
+    /// The queue is currently empty but still open.
+    Empty,
+    /// The queue is closed and fully drained.
+    ClosedAndDrained,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _: MinatoQueue<u8> = MinatoQueue::new("q", 0);
+    }
+
+    #[test]
+    fn fifo_order() {
+        let q = MinatoQueue::new("q", 8);
+        for i in 0..5 {
+            q.put(i).unwrap();
+        }
+        for i in 0..5 {
+            assert_eq!(q.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn try_put_full_returns_item() {
+        let q = MinatoQueue::new("q", 1);
+        q.put(1).unwrap();
+        match q.try_put(2) {
+            Err(TryPutError::Full(2)) => {}
+            other => panic!("expected Full(2), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn put_blocks_until_space() {
+        let q = Arc::new(MinatoQueue::new("q", 1));
+        q.put(1).unwrap();
+        let q2 = Arc::clone(&q);
+        let h = thread::spawn(move || q2.put(2));
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.pop(), Some(1));
+        h.join().unwrap().unwrap();
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn pop_blocks_until_item() {
+        let q: Arc<MinatoQueue<u32>> = Arc::new(MinatoQueue::new("q", 4));
+        let q2 = Arc::clone(&q);
+        let h = thread::spawn(move || q2.pop());
+        thread::sleep(Duration::from_millis(20));
+        q.put(9).unwrap();
+        assert_eq!(h.join().unwrap(), Some(9));
+    }
+
+    #[test]
+    fn close_unblocks_consumers_with_none() {
+        let q: Arc<MinatoQueue<u32>> = Arc::new(MinatoQueue::new("q", 4));
+        let q2 = Arc::clone(&q);
+        let h = thread::spawn(move || q2.pop());
+        thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(h.join().unwrap(), None);
+    }
+
+    #[test]
+    fn close_unblocks_blocked_producers_with_err() {
+        let q = Arc::new(MinatoQueue::new("q", 1));
+        q.put(1).unwrap();
+        let q2 = Arc::clone(&q);
+        let h = thread::spawn(move || q2.put(2));
+        thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(h.join().unwrap(), Err(Closed));
+    }
+
+    #[test]
+    fn closed_queue_drains_then_none() {
+        let q = MinatoQueue::new("q", 4);
+        q.put(1).unwrap();
+        q.close();
+        assert!(q.put(2).is_err());
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_timeout_times_out() {
+        let q: MinatoQueue<u32> = MinatoQueue::new("q", 4);
+        let r = q.pop_timeout(Duration::from_millis(10));
+        assert_eq!(r, Ok(None));
+        q.close();
+        assert_eq!(q.pop_timeout(Duration::from_millis(10)), Err(Closed));
+    }
+
+    #[test]
+    fn sleep_poll_policy_works_end_to_end() {
+        let q = Arc::new(MinatoQueue::with_policy(
+            "q",
+            1,
+            WakeupPolicy::SleepPoll(Duration::from_millis(1)),
+        ));
+        let q2 = Arc::clone(&q);
+        let h = thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Some(v) = q2.pop() {
+                got.push(v);
+            }
+            got
+        });
+        for i in 0..10 {
+            q.put(i).unwrap();
+        }
+        q.close();
+        assert_eq!(h.join().unwrap(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let q = MinatoQueue::new("q", 4);
+        q.put(1).unwrap();
+        q.put(2).unwrap();
+        let _ = q.pop();
+        assert_eq!(q.total_puts(), 2);
+        assert_eq!(q.total_pops(), 1);
+        assert!(q.mean_occupancy() > 0.0);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn mpmc_no_loss_no_duplication() {
+        let q = Arc::new(MinatoQueue::new("q", 16));
+        let producers: Vec<_> = (0..4u64)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    for i in 0..250u64 {
+                        q.put(p * 1000 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = q.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<u64> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all.len(), 1000);
+        all.dedup();
+        assert_eq!(all.len(), 1000, "duplicated items");
+    }
+}

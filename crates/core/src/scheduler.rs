@@ -1,0 +1,333 @@
+//! Adaptive CPU worker scheduler (paper §4.3, Formulas 1–2).
+//!
+//! The scheduler keeps the GPUs busy by matching the number of active
+//! preprocessing workers to the training demand. Every monitor interval it
+//! computes
+//!
+//! ```text
+//! Δ = α · (1 − Qsize/Qmax) + β · (Cusage − θc)          (Formula 2)
+//! workers = min(max_workers, max(1, workers' + Δ))      (Formula 1)
+//! ```
+//!
+//! where `Qsize` is the moving average of the batch-queue occupancy,
+//! `Cusage` the normalized CPU utilization of the active workers, and `Δ`
+//! is clipped to a small integer range for stability. Empty queues and/or
+//! hot CPUs add workers; full queues with idle CPUs retire them.
+//!
+//! The decision function is pure ([`WorkerScheduler::decide`]) so it can be
+//! unit-tested and swept in ablation benches; [`WorkerGate`] applies the
+//! decision to a pool of real threads by parking/unparking them.
+
+use minato_metrics::MovingAverage;
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Tuning parameters for the adaptive scheduler.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Queue-pressure gain (`α`).
+    pub alpha: f64,
+    /// CPU-pressure gain (`β`).
+    pub beta: f64,
+    /// CPU utilization threshold (`θc`, paper example 0.7), in `[0, 1]`.
+    pub theta_c: f64,
+    /// Clip for `Δ` (paper example: `[-2, +2]`).
+    pub delta_clip: i64,
+    /// Lower bound on active workers.
+    pub min_workers: usize,
+    /// Upper bound on active workers (paper: total CPU cores).
+    pub max_workers: usize,
+    /// Monitor interval between scaling decisions.
+    pub interval: Duration,
+    /// Window (in monitor ticks) of the queue-occupancy moving average.
+    pub queue_avg_window: usize,
+}
+
+impl SchedulerConfig {
+    /// The paper's defaults: α=β=2, θc=0.7, Δ∈[−2,2], 1..=max workers.
+    pub fn paper_default(max_workers: usize) -> SchedulerConfig {
+        SchedulerConfig {
+            alpha: 2.0,
+            beta: 2.0,
+            theta_c: 0.7,
+            delta_clip: 2,
+            min_workers: 1,
+            max_workers: max_workers.max(1),
+            interval: Duration::from_millis(100),
+            queue_avg_window: 8,
+        }
+    }
+}
+
+/// Pure scaling-decision engine.
+#[derive(Debug)]
+pub struct WorkerScheduler {
+    cfg: SchedulerConfig,
+    queue_avg: MovingAverage,
+}
+
+impl WorkerScheduler {
+    /// Creates a scheduler with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_workers == 0`, `max_workers < min_workers`, or
+    /// `theta_c` is outside `[0, 1]`.
+    pub fn new(cfg: SchedulerConfig) -> WorkerScheduler {
+        assert!(cfg.min_workers > 0, "min_workers must be at least 1");
+        assert!(
+            cfg.max_workers >= cfg.min_workers,
+            "max_workers must be >= min_workers"
+        );
+        assert!(
+            (0.0..=1.0).contains(&cfg.theta_c),
+            "theta_c must be in [0, 1]"
+        );
+        let window = cfg.queue_avg_window.max(1);
+        WorkerScheduler {
+            cfg,
+            queue_avg: MovingAverage::new(window),
+        }
+    }
+
+    /// Configuration in effect.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.cfg
+    }
+
+    /// Computes `Δ` per Formula 2 (already clipped).
+    pub fn delta(&self, q_avg: f64, q_max: f64, cpu_usage: f64) -> i64 {
+        let q_term = if q_max <= 0.0 {
+            0.0
+        } else {
+            1.0 - (q_avg / q_max).clamp(0.0, 1.0)
+        };
+        let raw = self.cfg.alpha * q_term + self.cfg.beta * (cpu_usage.clamp(0.0, 1.0) - self.cfg.theta_c);
+        let clip = self.cfg.delta_clip.max(0);
+        (raw.round() as i64).clamp(-clip, clip)
+    }
+
+    /// Folds one occupancy observation into the moving average and returns
+    /// the new worker target per Formula 1.
+    ///
+    /// * `current` — workers currently active,
+    /// * `batch_queue_len` — instantaneous batch-queue occupancy,
+    /// * `q_max` — batch-queue capacity,
+    /// * `cpu_usage` — normalized `[0,1]` utilization of active workers.
+    pub fn decide(
+        &mut self,
+        current: usize,
+        batch_queue_len: usize,
+        q_max: usize,
+        cpu_usage: f64,
+    ) -> usize {
+        self.queue_avg.record(batch_queue_len as f64);
+        let d = self.delta(self.queue_avg.value(), q_max as f64, cpu_usage);
+        let next = current as i64 + d;
+        (next.max(self.cfg.min_workers as i64) as usize).min(self.cfg.max_workers)
+    }
+}
+
+/// Gate controlling how many pool threads may run.
+///
+/// All `max_workers` threads are spawned up front; a thread with id `i`
+/// runs only while `i < active_limit`. Scaling down parks the highest ids,
+/// scaling up unparks them — workers never migrate state.
+#[derive(Debug)]
+pub struct WorkerGate {
+    active_limit: AtomicUsize,
+    lock: Mutex<()>,
+    changed: Condvar,
+    shutdown: AtomicUsize, // 0 = running, 1 = shutdown.
+}
+
+impl WorkerGate {
+    /// Creates a gate with `initial` threads allowed to run.
+    pub fn new(initial: usize) -> WorkerGate {
+        WorkerGate {
+            active_limit: AtomicUsize::new(initial),
+            lock: Mutex::new(()),
+            changed: Condvar::new(),
+            shutdown: AtomicUsize::new(0),
+        }
+    }
+
+    /// Current active-thread limit.
+    pub fn active_limit(&self) -> usize {
+        self.active_limit.load(Ordering::Acquire)
+    }
+
+    /// Sets the active-thread limit and wakes parked workers.
+    pub fn set_active_limit(&self, n: usize) {
+        self.active_limit.store(n, Ordering::Release);
+        let _g = self.lock.lock();
+        self.changed.notify_all();
+    }
+
+    /// Signals shutdown: every waiter wakes and [`WorkerGate::wait_active`]
+    /// returns `false` from now on.
+    pub fn shutdown(&self) {
+        self.shutdown.store(1, Ordering::Release);
+        let _g = self.lock.lock();
+        self.changed.notify_all();
+    }
+
+    /// Whether shutdown was signalled.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire) == 1
+    }
+
+    /// Blocks worker `id` until it is allowed to run (`id < active_limit`)
+    /// or shutdown. Returns `true` to run, `false` on shutdown.
+    pub fn wait_active(&self, id: usize) -> bool {
+        if self.is_shutdown() {
+            return false;
+        }
+        if id < self.active_limit() {
+            return true;
+        }
+        let mut g = self.lock.lock();
+        loop {
+            if self.is_shutdown() {
+                return false;
+            }
+            if id < self.active_limit() {
+                return true;
+            }
+            // Re-check with a bounded wait: a store between the atomic load
+            // and this wait would otherwise be missed without the timeout.
+            self.changed
+                .wait_for(&mut g, Duration::from_millis(50));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn sched(alpha: f64, beta: f64) -> WorkerScheduler {
+        WorkerScheduler::new(SchedulerConfig {
+            alpha,
+            beta,
+            ..SchedulerConfig::paper_default(64)
+        })
+    }
+
+    #[test]
+    #[should_panic(expected = "min_workers")]
+    fn rejects_zero_min_workers() {
+        let _ = WorkerScheduler::new(SchedulerConfig {
+            min_workers: 0,
+            ..SchedulerConfig::paper_default(4)
+        });
+    }
+
+    #[test]
+    fn empty_queue_and_hot_cpu_scales_up() {
+        let s = sched(2.0, 2.0);
+        // Empty queue (term=1) + CPU at 100% (0.3 above θ): Δ = 2 + 0.6 → 3 → clip 2.
+        assert_eq!(s.delta(0.0, 100.0, 1.0), 2);
+    }
+
+    #[test]
+    fn full_queue_and_idle_cpu_scales_down() {
+        let s = sched(2.0, 2.0);
+        // Full queue (term=0) + idle CPU: Δ = 0 + 2·(0 − 0.7) = −1.4 → −1.
+        assert_eq!(s.delta(100.0, 100.0, 0.0), -1);
+    }
+
+    #[test]
+    fn balanced_pipeline_holds_steady() {
+        let s = sched(2.0, 2.0);
+        // Half-full queue, CPU near threshold: Δ ≈ 1·2·0.5 + 0 = 1.0 → 1.
+        // With a fuller queue it settles to 0.
+        assert_eq!(s.delta(75.0, 100.0, 0.7), 1);
+        assert_eq!(s.delta(95.0, 100.0, 0.68), 0);
+    }
+
+    #[test]
+    fn delta_is_clipped() {
+        let s = WorkerScheduler::new(SchedulerConfig {
+            alpha: 100.0,
+            beta: 100.0,
+            ..SchedulerConfig::paper_default(64)
+        });
+        assert_eq!(s.delta(0.0, 100.0, 1.0), 2);
+        assert_eq!(s.delta(100.0, 100.0, 0.0), -2);
+    }
+
+    #[test]
+    fn decide_respects_bounds() {
+        let mut s = WorkerScheduler::new(SchedulerConfig {
+            min_workers: 2,
+            max_workers: 4,
+            ..SchedulerConfig::paper_default(4)
+        });
+        // Repeated scale-down requests never drop below min.
+        let mut w = 4;
+        for _ in 0..10 {
+            w = s.decide(w, 100, 100, 0.0);
+        }
+        assert_eq!(w, 2);
+        // Repeated scale-up requests never exceed max.
+        for _ in 0..10 {
+            w = s.decide(w, 0, 100, 1.0);
+        }
+        assert_eq!(w, 4);
+    }
+
+    #[test]
+    fn decide_uses_moving_average_not_instant() {
+        let mut s = WorkerScheduler::new(SchedulerConfig {
+            queue_avg_window: 4,
+            ..SchedulerConfig::paper_default(64)
+        });
+        // Prime the average with a full queue.
+        for _ in 0..4 {
+            let _ = s.decide(10, 100, 100, 0.7);
+        }
+        // One empty observation barely moves the 4-sample average, so the
+        // decision stays closer to hold than an instant reading would.
+        let w = s.decide(10, 0, 100, 0.7);
+        assert!(w <= 12, "moving average should damp the spike");
+    }
+
+    #[test]
+    fn zero_qmax_ignores_queue_term() {
+        let s = sched(2.0, 0.0);
+        assert_eq!(s.delta(5.0, 0.0, 0.7), 0);
+    }
+
+    #[test]
+    fn gate_parks_and_releases_workers() {
+        let gate = Arc::new(WorkerGate::new(1));
+        let g2 = Arc::clone(&gate);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r2 = Arc::clone(&ran);
+        // Worker id 3 is beyond the limit: it must park until the limit
+        // rises.
+        let h = std::thread::spawn(move || {
+            if g2.wait_active(3) {
+                r2.store(1, Ordering::SeqCst);
+            }
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(ran.load(Ordering::SeqCst), 0, "worker must be parked");
+        gate.set_active_limit(8);
+        h.join().unwrap();
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn gate_shutdown_releases_with_false() {
+        let gate = Arc::new(WorkerGate::new(0));
+        let g2 = Arc::clone(&gate);
+        let h = std::thread::spawn(move || g2.wait_active(5));
+        std::thread::sleep(Duration::from_millis(20));
+        gate.shutdown();
+        assert!(!h.join().unwrap());
+    }
+}

@@ -1,0 +1,82 @@
+//! Loader statistics snapshots and monitor traces.
+
+use minato_metrics::{Summary, TimeSeries};
+use std::time::Duration;
+
+/// Point-in-time view of loader state, cheap to take from any thread.
+#[derive(Debug, Clone)]
+pub struct LoaderStats {
+    /// Samples fully preprocessed so far (fast + slow paths).
+    pub samples_done: u64,
+    /// Samples that exceeded the timeout and took the slow path.
+    pub slow_flagged: u64,
+    /// `slow_flagged / samples_done` (0 when nothing done).
+    pub slow_fraction: f64,
+    /// Batches delivered to batch queues.
+    pub batches_done: u64,
+    /// Raw bytes represented by delivered samples.
+    pub bytes_done: u64,
+    /// Dataset/transform errors skipped (with `ErrorPolicy::Skip`).
+    pub errors: u64,
+    /// Current fast-queue occupancy.
+    pub fast_queue_len: usize,
+    /// Current slow-queue occupancy.
+    pub slow_queue_len: usize,
+    /// Current temp-queue occupancy (samples being completed in
+    /// background).
+    pub temp_queue_len: usize,
+    /// Summed occupancy of all per-GPU batch queues.
+    pub batch_queue_len: usize,
+    /// Workers currently allowed to run by the scheduler gate.
+    pub active_workers: usize,
+    /// The balancer's current fast/slow cutoff (`None` = optimistic phase).
+    pub timeout: Option<Duration>,
+    /// Distribution of observed preprocessing times (ms).
+    pub preprocess_ms: Summary,
+}
+
+/// Time series recorded by the monitor thread while the loader runs —
+/// the loader-side equivalent of the paper's `dstat`/`nvidia-smi` traces.
+#[derive(Debug, Clone)]
+pub struct MonitorTrace {
+    /// Preprocessing CPU utilization (% of active workers), per interval.
+    pub cpu_pct: TimeSeries,
+    /// Active worker count, per interval.
+    pub workers: TimeSeries,
+    /// Batch-queue occupancy (fraction of capacity), per interval.
+    pub batch_occupancy: TimeSeries,
+    /// Delivered throughput in MB/s of raw sample bytes, per interval.
+    pub throughput_mbps: TimeSeries,
+}
+
+impl MonitorTrace {
+    /// Creates an empty trace.
+    pub fn new() -> MonitorTrace {
+        MonitorTrace {
+            cpu_pct: TimeSeries::new("cpu_pct"),
+            workers: TimeSeries::new("workers"),
+            batch_occupancy: TimeSeries::new("batch_occupancy"),
+            throughput_mbps: TimeSeries::new("throughput_mbps"),
+        }
+    }
+}
+
+impl Default for MonitorTrace {
+    fn default() -> Self {
+        MonitorTrace::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_starts_empty() {
+        let t = MonitorTrace::new();
+        assert!(t.cpu_pct.is_empty());
+        assert!(t.workers.is_empty());
+        assert!(t.batch_occupancy.is_empty());
+        assert!(t.throughput_mbps.is_empty());
+    }
+}

@@ -1,0 +1,489 @@
+//! Preprocessing transforms and resumable pipelines.
+//!
+//! The paper's Algorithm 1 applies transformations sequentially while
+//! watching a per-sample timeout. When the timeout fires, the sample is
+//! parked together with **the index of the transformation in progress** so
+//! a background worker can resume from that index instead of restarting the
+//! whole pipeline (§4.2). [`Pipeline::run_from`] implements exactly that
+//! contract.
+//!
+//! Two timeout behaviours compose:
+//!
+//! * *between* transforms, the pipeline checks the deadline after each step
+//!   (a completed step is never redone — resume continues at `i + 1`);
+//! * *within* a transform, implementations may poll
+//!   [`TransformCtx::expired`] and bail out early by returning
+//!   [`Outcome::Interrupted`]; the pipeline then records index `i` so the
+//!   interrupted transform re-executes, matching the paper's "the last
+//!   transformation was only partially applied, it must be re-executed".
+
+use crate::error::Result;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Pecan-style classification of a transform's effect on sample volume
+/// (§2.1: AutoOrder moves deflationary steps earlier, inflationary later).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostClass {
+    /// Increases data volume (e.g., padding, one-hot encoding).
+    Inflationary,
+    /// Decreases data volume (e.g., sampling, filtering, cropping).
+    Deflationary,
+    /// Volume-neutral (e.g., flip, permute).
+    Neutral,
+    /// Effect unknown; AutoOrder leaves it in place.
+    Unknown,
+}
+
+/// Execution context handed to every transform invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct TransformCtx {
+    deadline: Option<Instant>,
+    /// Speed multiplier applied by accelerator-offloaded execution
+    /// (the DALI baseline divides synthetic compute cost by this; CPU
+    /// execution uses 1.0).
+    pub speedup: f64,
+}
+
+impl TransformCtx {
+    /// Context with no deadline and CPU-speed execution.
+    pub fn unbounded() -> TransformCtx {
+        TransformCtx {
+            deadline: None,
+            speedup: 1.0,
+        }
+    }
+
+    /// Context that expires at `deadline`.
+    pub fn with_deadline(deadline: Instant) -> TransformCtx {
+        TransformCtx {
+            deadline: Some(deadline),
+            speedup: 1.0,
+        }
+    }
+
+    /// Returns a copy with the accelerator speedup set.
+    pub fn with_speedup(mut self, speedup: f64) -> TransformCtx {
+        self.speedup = speedup.max(f64::MIN_POSITIVE);
+        self
+    }
+
+    /// The deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Time remaining until the deadline (`None` = unbounded).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+}
+
+/// Result of applying one transform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome<T> {
+    /// The transform completed; `T` is the transformed value.
+    Done(T),
+    /// The transform noticed the deadline and bailed out; `T` is the
+    /// *input* value, unchanged, so the transform can be re-executed by a
+    /// background worker.
+    Interrupted(T),
+}
+
+/// A single preprocessing step.
+///
+/// Transforms are shared across worker threads, so implementations must be
+/// `Send + Sync` and must not cache per-sample state internally.
+pub trait Transform<T>: Send + Sync + 'static {
+    /// Stable name used in profiling output and error messages.
+    fn name(&self) -> &str;
+
+    /// Applies the transform to `input`.
+    ///
+    /// Long-running implementations should periodically check
+    /// [`TransformCtx::expired`] and return [`Outcome::Interrupted`] with
+    /// the original input to honor the load balancer's timeout; short
+    /// transforms may ignore the context entirely.
+    fn apply(&self, input: T, ctx: &TransformCtx) -> Result<Outcome<T>>;
+
+    /// Volume classification used by Pecan's AutoOrder policy.
+    fn cost_class(&self) -> CostClass {
+        CostClass::Unknown
+    }
+
+    /// Whether this transform is a reordering barrier (AutoOrder never
+    /// moves transforms across a barrier, §2.1).
+    fn is_barrier(&self) -> bool {
+        false
+    }
+}
+
+/// Outcome of running a pipeline against a deadline.
+#[derive(Debug)]
+pub enum PipelineRun<T> {
+    /// Every transform completed within the deadline.
+    Completed {
+        /// The fully preprocessed sample.
+        value: T,
+        /// Wall time spent inside this call.
+        elapsed: Duration,
+    },
+    /// The deadline fired at transform `resume_at`; `partial` holds the
+    /// value produced by transforms `0..resume_at`.
+    TimedOut {
+        /// Partially preprocessed sample.
+        partial: T,
+        /// Index of the first transform still to run.
+        resume_at: usize,
+        /// Wall time spent inside this call.
+        elapsed: Duration,
+    },
+}
+
+/// An ordered sequence of transforms applied to every sample.
+///
+/// # Examples
+///
+/// ```
+/// use minato_core::transform::{fn_transform, Pipeline, PipelineRun};
+///
+/// let p: Pipeline<i32> = Pipeline::new(vec![
+///     fn_transform("double", |x: i32| Ok(x * 2)),
+///     fn_transform("inc", |x: i32| Ok(x + 1)),
+/// ]);
+/// match p.run(5, None).unwrap() {
+///     PipelineRun::Completed { value, .. } => assert_eq!(value, 11),
+///     _ => unreachable!("no deadline was set"),
+/// }
+/// ```
+pub struct Pipeline<T> {
+    steps: Vec<Arc<dyn Transform<T>>>,
+}
+
+impl<T> Clone for Pipeline<T> {
+    fn clone(&self) -> Self {
+        Pipeline {
+            steps: self.steps.clone(),
+        }
+    }
+}
+
+impl<T: Send + 'static> Pipeline<T> {
+    /// Creates a pipeline from an ordered list of transforms.
+    pub fn new(steps: Vec<Arc<dyn Transform<T>>>) -> Pipeline<T> {
+        Pipeline { steps }
+    }
+
+    /// An empty (identity) pipeline.
+    pub fn identity() -> Pipeline<T> {
+        Pipeline { steps: Vec::new() }
+    }
+
+    /// Number of transforms.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the pipeline has no transforms.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The transforms, in execution order.
+    pub fn steps(&self) -> &[Arc<dyn Transform<T>>] {
+        &self.steps
+    }
+
+    /// Returns a pipeline with the same transforms in a new order given by
+    /// `order` (a permutation of `0..len`). Used by Pecan's AutoOrder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of `0..len`.
+    pub fn reordered(&self, order: &[usize]) -> Pipeline<T> {
+        assert_eq!(order.len(), self.steps.len(), "order length mismatch");
+        let mut seen = vec![false; order.len()];
+        for &i in order {
+            assert!(i < self.steps.len() && !seen[i], "order is not a permutation");
+            seen[i] = true;
+        }
+        Pipeline {
+            steps: order.iter().map(|&i| Arc::clone(&self.steps[i])).collect(),
+        }
+    }
+
+    /// Runs the full pipeline from the first transform. See
+    /// [`Pipeline::run_from`].
+    pub fn run(&self, input: T, timeout: Option<Duration>) -> Result<PipelineRun<T>> {
+        self.run_from(0, input, timeout)
+    }
+
+    /// Runs transforms `start_at..` on `input`, checking `timeout` between
+    /// steps (Algorithm 1 lines 8–12).
+    ///
+    /// With `timeout = None` the pipeline always runs to completion — this
+    /// is the background slow-worker path (Algorithm 1 lines 14–18).
+    pub fn run_from(
+        &self,
+        start_at: usize,
+        input: T,
+        timeout: Option<Duration>,
+    ) -> Result<PipelineRun<T>> {
+        let start = Instant::now();
+        let ctx = match timeout {
+            Some(t) => TransformCtx::with_deadline(start + t),
+            None => TransformCtx::unbounded(),
+        };
+        let mut value = input;
+        let mut i = start_at;
+        while i < self.steps.len() {
+            match self.steps[i].apply(value, &ctx)? {
+                Outcome::Done(v) => {
+                    value = v;
+                    i += 1;
+                    // Deadline check *after* the completed transform: resume
+                    // continues at the next step (nothing is redone).
+                    if i < self.steps.len() && ctx.expired() {
+                        return Ok(PipelineRun::TimedOut {
+                            partial: value,
+                            resume_at: i,
+                            elapsed: start.elapsed(),
+                        });
+                    }
+                }
+                Outcome::Interrupted(v) => {
+                    // The transform bailed out mid-flight; it must be
+                    // re-executed from scratch by the background worker.
+                    return Ok(PipelineRun::TimedOut {
+                        partial: v,
+                        resume_at: i,
+                        elapsed: start.elapsed(),
+                    });
+                }
+            }
+        }
+        Ok(PipelineRun::Completed {
+            value,
+            elapsed: start.elapsed(),
+        })
+    }
+}
+
+struct FnTransform<F> {
+    name: String,
+    f: F,
+    class: CostClass,
+    barrier: bool,
+}
+
+impl<T, F> Transform<T> for FnTransform<F>
+where
+    T: Send + 'static,
+    F: Fn(T) -> Result<T> + Send + Sync + 'static,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn apply(&self, input: T, _ctx: &TransformCtx) -> Result<Outcome<T>> {
+        (self.f)(input).map(Outcome::Done)
+    }
+
+    fn cost_class(&self) -> CostClass {
+        self.class
+    }
+
+    fn is_barrier(&self) -> bool {
+        self.barrier
+    }
+}
+
+/// Wraps a plain closure as a (non-interruptible) transform.
+pub fn fn_transform<T, F>(name: &str, f: F) -> Arc<dyn Transform<T>>
+where
+    T: Send + 'static,
+    F: Fn(T) -> Result<T> + Send + Sync + 'static,
+{
+    Arc::new(FnTransform {
+        name: name.to_string(),
+        f,
+        class: CostClass::Unknown,
+        barrier: false,
+    })
+}
+
+/// Like [`fn_transform`] but with an explicit [`CostClass`] (for AutoOrder).
+pub fn fn_transform_classed<T, F>(name: &str, class: CostClass, f: F) -> Arc<dyn Transform<T>>
+where
+    T: Send + 'static,
+    F: Fn(T) -> Result<T> + Send + Sync + 'static,
+{
+    Arc::new(FnTransform {
+        name: name.to_string(),
+        f,
+        class,
+        barrier: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::LoaderError;
+
+    /// Transform that burns CPU for a fixed duration, polling the deadline.
+    struct Burn {
+        name: String,
+        cost: Duration,
+        cooperative: bool,
+    }
+
+    impl Transform<u64> for Burn {
+        fn name(&self) -> &str {
+            &self.name
+        }
+
+        fn apply(&self, input: u64, ctx: &TransformCtx) -> Result<Outcome<u64>> {
+            let start = Instant::now();
+            while start.elapsed() < self.cost {
+                if self.cooperative && ctx.expired() {
+                    return Ok(Outcome::Interrupted(input));
+                }
+                std::hint::spin_loop();
+            }
+            Ok(Outcome::Done(input + 1))
+        }
+    }
+
+    fn burn(name: &str, ms: u64, cooperative: bool) -> Arc<dyn Transform<u64>> {
+        Arc::new(Burn {
+            name: name.into(),
+            cost: Duration::from_millis(ms),
+            cooperative,
+        })
+    }
+
+    #[test]
+    fn completes_without_deadline() {
+        let p = Pipeline::new(vec![burn("a", 1, false), burn("b", 1, false)]);
+        match p.run(0, None).unwrap() {
+            PipelineRun::Completed { value, .. } => assert_eq!(value, 2),
+            PipelineRun::TimedOut { .. } => panic!("should complete"),
+        }
+    }
+
+    #[test]
+    fn times_out_between_transforms() {
+        // First transform (non-cooperative) exceeds the deadline; the check
+        // after it fires and the second transform never runs.
+        let p = Pipeline::new(vec![burn("slow", 30, false), burn("next", 1, false)]);
+        match p.run(0, Some(Duration::from_millis(5))).unwrap() {
+            PipelineRun::TimedOut {
+                partial, resume_at, ..
+            } => {
+                assert_eq!(partial, 1); // First transform DID complete.
+                assert_eq!(resume_at, 1); // Resume at the second.
+            }
+            PipelineRun::Completed { .. } => panic!("should time out"),
+        }
+    }
+
+    #[test]
+    fn cooperative_transform_is_interrupted_and_reexecuted() {
+        let p = Pipeline::new(vec![burn("fast", 1, true), burn("slow", 50, true)]);
+        match p.run(0, Some(Duration::from_millis(10))).unwrap() {
+            PipelineRun::TimedOut {
+                partial, resume_at, ..
+            } => {
+                assert_eq!(resume_at, 1); // The slow transform re-executes.
+                assert_eq!(partial, 1); // Output of the fast transform.
+                // Background path: resume without timeout completes.
+                match p.run_from(resume_at, partial, None).unwrap() {
+                    PipelineRun::Completed { value, .. } => assert_eq!(value, 2),
+                    _ => panic!("background run must complete"),
+                }
+            }
+            PipelineRun::Completed { .. } => panic!("should time out"),
+        }
+    }
+
+    #[test]
+    fn last_transform_timeout_still_completes() {
+        // Timeout noticed after the final transform is moot: the sample is
+        // done and must be treated as completed.
+        let p = Pipeline::new(vec![burn("only", 20, false)]);
+        match p.run(0, Some(Duration::from_millis(1))).unwrap() {
+            PipelineRun::Completed { value, .. } => assert_eq!(value, 1),
+            PipelineRun::TimedOut { .. } => panic!("finished samples are fast samples"),
+        }
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let t = fn_transform("bad", |_x: u64| {
+            Err(LoaderError::Transform {
+                name: "bad".into(),
+                msg: "boom".into(),
+            })
+        });
+        let p = Pipeline::new(vec![t]);
+        assert!(p.run(0, None).is_err());
+    }
+
+    #[test]
+    fn identity_pipeline_passes_through() {
+        let p: Pipeline<u64> = Pipeline::identity();
+        match p.run(9, Some(Duration::ZERO)).unwrap() {
+            PipelineRun::Completed { value, .. } => assert_eq!(value, 9),
+            _ => panic!("identity cannot time out"),
+        }
+    }
+
+    #[test]
+    fn reordered_permutes_steps() {
+        let p = Pipeline::new(vec![
+            fn_transform("add1", |x: u64| Ok(x + 1)),
+            fn_transform("mul2", |x: u64| Ok(x * 2)),
+        ]);
+        let r = p.reordered(&[1, 0]);
+        match r.run(3, None).unwrap() {
+            PipelineRun::Completed { value, .. } => assert_eq!(value, 7), // (3*2)+1
+            _ => panic!(),
+        }
+        assert_eq!(r.steps()[0].name(), "mul2");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn reordered_rejects_bad_permutation() {
+        let p = Pipeline::new(vec![
+            fn_transform("a", |x: u64| Ok(x)),
+            fn_transform("b", |x: u64| Ok(x)),
+        ]);
+        let _ = p.reordered(&[0, 0]);
+    }
+
+    #[test]
+    fn ctx_speedup_clamped_positive() {
+        let ctx = TransformCtx::unbounded().with_speedup(0.0);
+        assert!(ctx.speedup > 0.0);
+    }
+
+    #[test]
+    fn run_from_skips_completed_prefix() {
+        let p = Pipeline::new(vec![
+            fn_transform("a", |x: u64| Ok(x + 1)),
+            fn_transform("b", |x: u64| Ok(x + 10)),
+        ]);
+        match p.run_from(1, 100, None).unwrap() {
+            PipelineRun::Completed { value, .. } => assert_eq!(value, 110),
+            _ => panic!(),
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Failure-injection tests: the loader must degrade gracefully, never
+//! hang, when user code misbehaves.
+
+use minato_core::balancer::TimeoutPolicy;
+use minato_core::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Transform that panics on specific inputs.
+struct PanicOn {
+    modulus: u32,
+}
+
+impl Transform<u32> for PanicOn {
+    fn name(&self) -> &str {
+        "panic-on"
+    }
+
+    fn apply(&self, x: u32, _ctx: &TransformCtx) -> minato_core::error::Result<Outcome<u32>> {
+        assert!(x % self.modulus != 0, "injected panic on {x}");
+        Ok(Outcome::Done(x))
+    }
+}
+
+#[test]
+fn panicking_transform_skips_sample_and_completes() {
+    let ds = VecDataset::new((1..=50u32).collect::<Vec<_>>());
+    let p: Pipeline<u32> =
+        Pipeline::new(vec![Arc::new(PanicOn { modulus: 10 }) as Arc<dyn Transform<u32>>]);
+    let loader = MinatoLoader::builder(ds, p)
+        .batch_size(8)
+        .initial_workers(2)
+        .max_workers(3)
+        .build()
+        .expect("valid configuration");
+    let delivered: usize = loader.iter().map(|b| b.len()).sum();
+    // 5 of 50 samples (10, 20, 30, 40, 50) panic and are skipped.
+    assert_eq!(delivered, 45, "panicking samples skipped, rest delivered");
+    assert_eq!(loader.stats().errors, 5);
+    let err = loader.first_error().expect("panic recorded as error");
+    assert!(err.to_string().contains("panic"), "got: {err}");
+}
+
+#[test]
+fn panic_in_every_sample_still_terminates() {
+    let ds = VecDataset::new((0..20u32).collect::<Vec<_>>());
+    let p: Pipeline<u32> =
+        Pipeline::new(vec![Arc::new(PanicOn { modulus: 1 }) as Arc<dyn Transform<u32>>]);
+    let loader = MinatoLoader::builder(ds, p)
+        .batch_size(4)
+        .initial_workers(2)
+        .max_workers(2)
+        .build()
+        .expect("valid configuration");
+    let t0 = Instant::now();
+    let delivered: usize = loader.iter().map(|b| b.len()).sum();
+    assert_eq!(delivered, 0);
+    assert_eq!(loader.stats().errors, 20);
+    assert!(
+        t0.elapsed() < Duration::from_secs(20),
+        "must terminate promptly, took {:?}",
+        t0.elapsed()
+    );
+}
+
+/// Transform that panics only on its background (resumed) execution,
+/// exercising the slow-worker containment path.
+struct PanicInBackground {
+    calls: AtomicUsize,
+}
+
+impl Transform<u32> for PanicInBackground {
+    fn name(&self) -> &str {
+        "panic-in-background"
+    }
+
+    fn apply(&self, x: u32, ctx: &TransformCtx) -> minato_core::error::Result<Outcome<u32>> {
+        // First (foreground, deadline-bearing) call: block until expired
+        // so the sample defers; the resumed call has no deadline and
+        // panics.
+        if ctx.deadline().is_some() {
+            while !ctx.expired() {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            return Ok(Outcome::Interrupted(x));
+        }
+        panic!("injected background panic");
+    }
+}
+
+#[test]
+fn background_panic_does_not_wedge_shutdown() {
+    let ds = VecDataset::new((0..12u32).collect::<Vec<_>>());
+    let p: Pipeline<u32> = Pipeline::new(vec![Arc::new(PanicInBackground {
+        calls: AtomicUsize::new(0),
+    }) as Arc<dyn Transform<u32>>]);
+    let loader = MinatoLoader::builder(ds, p)
+        .batch_size(4)
+        .initial_workers(2)
+        .max_workers(2)
+        .slow_workers(1)
+        .timeout_policy(TimeoutPolicy::Fixed(Duration::from_millis(1)))
+        .build()
+        .expect("valid configuration");
+    let t0 = Instant::now();
+    let delivered: usize = loader.iter().map(|b| b.len()).sum();
+    // Every sample defers, every background run panics: nothing delivered,
+    // but the pipeline drains and the iterator ends.
+    assert_eq!(delivered, 0);
+    assert_eq!(loader.stats().errors, 12);
+    assert!(t0.elapsed() < Duration::from_secs(20));
+}
+
+#[test]
+fn dataset_errors_with_fail_policy_stop_quickly() {
+    let ds = FnDataset::new(10_000, |i| {
+        if i >= 50 {
+            Err(LoaderError::Dataset {
+                index: i,
+                msg: "storage gone".into(),
+            })
+        } else {
+            Ok(i as u32)
+        }
+    });
+    let p: Pipeline<u32> = Pipeline::identity();
+    let loader = MinatoLoader::builder(ds, p)
+        .batch_size(10)
+        .shuffle(false)
+        .initial_workers(2)
+        .max_workers(2)
+        .error_policy(ErrorPolicy::Fail)
+        .build()
+        .expect("valid configuration");
+    let delivered: usize = loader.iter().map(|b| b.len()).sum();
+    assert!(delivered <= 60, "must stop near the failure point");
+    assert!(loader.first_error().is_some());
+}
+
+#[test]
+fn shutdown_under_backpressure_is_clean() {
+    // Tiny queues + an iterator that abandons mid-stream: blocked
+    // producers must unblock on drop.
+    let ds = VecDataset::new((0..500u32).collect::<Vec<_>>());
+    let p = Pipeline::new(vec![fn_transform("slow-ish", |x: u32| {
+        std::thread::sleep(Duration::from_micros(500));
+        Ok(x)
+    })]);
+    let loader = MinatoLoader::builder(ds, p)
+        .batch_size(2)
+        .queue_capacity(2)
+        .prefetch_factor(1)
+        .initial_workers(3)
+        .max_workers(3)
+        .build()
+        .expect("valid configuration");
+    let mut it = loader.iter();
+    let _ = it.next();
+    drop(it);
+    let t0 = Instant::now();
+    drop(loader);
+    assert!(
+        t0.elapsed() < Duration::from_secs(10),
+        "drop must not hang: {:?}",
+        t0.elapsed()
+    );
+}

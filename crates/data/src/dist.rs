@@ -1,0 +1,236 @@
+//! Seeded sampling distributions.
+//!
+//! The approved offline crate set does not include `rand_distr`, so the
+//! handful of distributions the workload models need (Table 2 calibration:
+//! normal bodies, lognormal tails, uniform mixtures) are implemented here.
+//! Normal variates use the Box–Muller transform.
+
+use rand::{Rng, RngExt};
+
+/// A samplable scalar distribution.
+///
+/// # Examples
+///
+/// ```
+/// use minato_data::dist::Dist;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let d = Dist::uniform(10.0, 20.0);
+/// let x = d.sample(&mut rng);
+/// assert!((10.0..20.0).contains(&x));
+/// ```
+#[derive(Debug, Clone)]
+pub enum Dist {
+    /// Always `value`.
+    Constant(f64),
+    /// Uniform over `[lo, hi)`.
+    Uniform {
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Exclusive upper bound.
+        hi: f64,
+    },
+    /// Gaussian with mean `mu` and standard deviation `sigma`.
+    Normal {
+        /// Mean.
+        mu: f64,
+        /// Standard deviation (must be ≥ 0).
+        sigma: f64,
+    },
+    /// `exp(N(mu, sigma))`.
+    LogNormal {
+        /// Mean of the underlying normal.
+        mu: f64,
+        /// Standard deviation of the underlying normal.
+        sigma: f64,
+    },
+    /// Weighted mixture of component distributions.
+    Mixture(Vec<(f64, Dist)>),
+    /// Inner distribution clamped to `[lo, hi]`.
+    Clamped {
+        /// Distribution being clamped.
+        inner: Box<Dist>,
+        /// Lower clamp.
+        lo: f64,
+        /// Upper clamp.
+        hi: f64,
+    },
+}
+
+impl Dist {
+    /// Uniform over `[lo, hi)`.
+    pub fn uniform(lo: f64, hi: f64) -> Dist {
+        assert!(hi > lo, "uniform needs hi > lo");
+        Dist::Uniform { lo, hi }
+    }
+
+    /// Gaussian `N(mu, sigma)`.
+    pub fn normal(mu: f64, sigma: f64) -> Dist {
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        Dist::Normal { mu, sigma }
+    }
+
+    /// Lognormal `exp(N(mu, sigma))`.
+    pub fn lognormal(mu: f64, sigma: f64) -> Dist {
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        Dist::LogNormal { mu, sigma }
+    }
+
+    /// Weighted mixture; weights need not sum to 1 (they are normalized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or total weight is not positive.
+    pub fn mixture(parts: Vec<(f64, Dist)>) -> Dist {
+        assert!(!parts.is_empty(), "mixture needs at least one component");
+        let total: f64 = parts.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0.0, "mixture weights must sum to a positive value");
+        Dist::Mixture(parts)
+    }
+
+    /// Clamps this distribution to `[lo, hi]`.
+    pub fn clamped(self, lo: f64, hi: f64) -> Dist {
+        assert!(hi >= lo, "clamp needs hi >= lo");
+        Dist::Clamped {
+            inner: Box::new(self),
+            lo,
+            hi,
+        }
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        match self {
+            Dist::Constant(v) => *v,
+            Dist::Uniform { lo, hi } => rng.random_range(*lo..*hi),
+            Dist::Normal { mu, sigma } => mu + sigma * standard_normal(rng),
+            Dist::LogNormal { mu, sigma } => (mu + sigma * standard_normal(rng)).exp(),
+            Dist::Mixture(parts) => {
+                let total: f64 = parts.iter().map(|(w, _)| *w).sum();
+                let mut pick = rng.random_range(0.0..total);
+                for (w, d) in parts {
+                    if pick < *w {
+                        return d.sample(rng);
+                    }
+                    pick -= w;
+                }
+                // Floating-point slack: fall through to the last component.
+                parts
+                    .last()
+                    .expect("mixture is non-empty")
+                    .1
+                    .sample(rng)
+            }
+            Dist::Clamped { inner, lo, hi } => inner.sample(rng).clamp(*lo, *hi),
+        }
+    }
+
+    /// Draws `n` samples into a vector.
+    pub fn sample_n<R: Rng>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// One standard-normal variate via Box–Muller.
+pub fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    // Avoid ln(0): draw u1 from (0, 1].
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minato_metrics::Summary;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let mut r = rng();
+        assert_eq!(Dist::Constant(5.5).sample(&mut r), 5.5);
+    }
+
+    #[test]
+    fn uniform_within_bounds_and_mean() {
+        let mut r = rng();
+        let xs = Dist::uniform(2.0, 4.0).sample_n(&mut r, 20_000);
+        assert!(xs.iter().all(|&x| (2.0..4.0).contains(&x)));
+        let s = Summary::of(&xs);
+        assert!((s.avg - 3.0).abs() < 0.03);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let xs = Dist::normal(10.0, 2.0).sample_n(&mut r, 50_000);
+        let s = Summary::of(&xs);
+        assert!((s.avg - 10.0).abs() < 0.05, "avg {}", s.avg);
+        assert!((s.std - 2.0).abs() < 0.05, "std {}", s.std);
+    }
+
+    #[test]
+    fn lognormal_is_positive_and_skewed() {
+        let mut r = rng();
+        let xs = Dist::lognormal(0.0, 0.5).sample_n(&mut r, 20_000);
+        assert!(xs.iter().all(|&x| x > 0.0));
+        let s = Summary::of(&xs);
+        // E[lognormal(0, 0.5)] = exp(0.125) ≈ 1.133; median = 1.
+        assert!((s.avg - 1.133).abs() < 0.03, "avg {}", s.avg);
+        assert!((s.median - 1.0).abs() < 0.03, "median {}", s.median);
+        assert!(s.avg > s.median, "right-skew expected");
+    }
+
+    #[test]
+    fn mixture_respects_weights() {
+        let mut r = rng();
+        let d = Dist::mixture(vec![
+            (0.8, Dist::Constant(0.0)),
+            (0.2, Dist::Constant(1.0)),
+        ]);
+        let xs = d.sample_n(&mut r, 50_000);
+        let ones = xs.iter().filter(|&&x| x == 1.0).count() as f64 / xs.len() as f64;
+        assert!((ones - 0.2).abs() < 0.01, "got {ones}");
+    }
+
+    #[test]
+    fn clamp_bounds_samples() {
+        let mut r = rng();
+        let d = Dist::normal(0.0, 100.0).clamped(-1.0, 1.0);
+        let xs = d.sample_n(&mut r, 1000);
+        assert!(xs.iter().all(|&x| (-1.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Dist::normal(0.0, 1.0).sample_n(&mut StdRng::seed_from_u64(1), 10);
+        let b = Dist::normal(0.0, 1.0).sample_n(&mut StdRng::seed_from_u64(1), 10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "hi > lo")]
+    fn uniform_rejects_inverted_bounds() {
+        let _ = Dist::uniform(2.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one component")]
+    fn mixture_rejects_empty() {
+        let _ = Dist::mixture(vec![]);
+    }
+
+    #[test]
+    fn standard_normal_is_standard() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..50_000).map(|_| standard_normal(&mut r)).collect();
+        let s = Summary::of(&xs);
+        assert!(s.avg.abs() < 0.02);
+        assert!((s.std - 1.0).abs() < 0.02);
+    }
+}

@@ -1,0 +1,462 @@
+//! 2D image samples and the object-detection pipeline (Table 1).
+//!
+//! Models COCO-style images: HWC `f32` pixel buffers with bounding-box
+//! annotations. The pipeline — Resize → RandomHorizontalFlip → ToTensor →
+//! Normalize — matches Table 1; `Resize` is inflationary or deflationary
+//! depending on the input size, which is exactly the case Pecan's
+//! AutoOrder must reason about (§5.1).
+
+use minato_core::error::{LoaderError, Result};
+use minato_core::transform::{CostClass, Outcome, Pipeline, Transform, TransformCtx};
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+use std::sync::Arc;
+
+/// Pixel memory layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    /// Height × width × channel (storage order).
+    Hwc,
+    /// Channel × height × width (training order).
+    Chw,
+}
+
+/// An axis-aligned bounding box with a class id.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundingBox {
+    /// Left edge (pixels).
+    pub x: f32,
+    /// Top edge (pixels).
+    pub y: f32,
+    /// Width (pixels).
+    pub w: f32,
+    /// Height (pixels).
+    pub h: f32,
+    /// Object class.
+    pub class_id: u32,
+}
+
+/// A 2D image with detection annotations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Image2D {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Channels (3 for RGB).
+    pub channels: usize,
+    /// Pixels in `layout` order.
+    pub pixels: Vec<f32>,
+    /// Current memory layout.
+    pub layout: Layout,
+    /// Ground-truth boxes.
+    pub boxes: Vec<BoundingBox>,
+    /// Per-sample seed for random transforms.
+    pub seed: u64,
+}
+
+impl Image2D {
+    /// Generates a synthetic image with `n_boxes` random bright rectangles
+    /// annotated as objects.
+    pub fn generate(width: usize, height: usize, n_boxes: usize, seed: u64) -> Image2D {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let channels = 3;
+        let mut pixels = vec![0.0f32; width * height * channels];
+        for p in pixels.iter_mut() {
+            *p = rng.random_range(0.0..0.3);
+        }
+        let mut boxes = Vec::with_capacity(n_boxes);
+        for _ in 0..n_boxes {
+            let bw = rng.random_range(4..=(width / 2).max(5)) as f32;
+            let bh = rng.random_range(4..=(height / 2).max(5)) as f32;
+            let bx = rng.random_range(0.0..(width as f32 - bw).max(1.0));
+            let by = rng.random_range(0.0..(height as f32 - bh).max(1.0));
+            let class_id = rng.random_range(0..80u32);
+            // Paint the object brighter.
+            for y in by as usize..((by + bh) as usize).min(height) {
+                for x in bx as usize..((bx + bw) as usize).min(width) {
+                    for c in 0..channels {
+                        pixels[(y * width + x) * channels + c] = 0.8;
+                    }
+                }
+            }
+            boxes.push(BoundingBox {
+                x: bx,
+                y: by,
+                w: bw,
+                h: bh,
+                class_id,
+            });
+        }
+        Image2D {
+            width,
+            height,
+            channels,
+            pixels,
+            layout: Layout::Hwc,
+            boxes,
+            seed,
+        }
+    }
+
+    /// Bytes occupied by the pixel buffer.
+    pub fn nbytes(&self) -> u64 {
+        (self.pixels.len() * 4) as u64
+    }
+
+    fn hwc(&self, y: usize, x: usize, c: usize) -> f32 {
+        self.pixels[(y * self.width + x) * self.channels + c]
+    }
+}
+
+/// Bilinear resize to a fixed `target` (shorter-side style resize is the
+/// paper's; a fixed target keeps batches stackable). Inflationary for
+/// small inputs, deflationary for large ones.
+pub struct Resize {
+    /// Target width.
+    pub width: usize,
+    /// Target height.
+    pub height: usize,
+}
+
+impl Transform<Image2D> for Resize {
+    fn name(&self) -> &str {
+        "Resize"
+    }
+
+    fn apply(&self, img: Image2D, _ctx: &TransformCtx) -> Result<Outcome<Image2D>> {
+        if img.layout != Layout::Hwc {
+            return Err(LoaderError::Transform {
+                name: "Resize".into(),
+                msg: "expects HWC layout".into(),
+            });
+        }
+        if self.width == 0 || self.height == 0 {
+            return Err(LoaderError::Transform {
+                name: "Resize".into(),
+                msg: "target dims must be positive".into(),
+            });
+        }
+        let (tw, th, c) = (self.width, self.height, img.channels);
+        let sx = img.width as f32 / tw as f32;
+        let sy = img.height as f32 / th as f32;
+        let mut out = vec![0.0f32; tw * th * c];
+        for y in 0..th {
+            let fy = (y as f32 + 0.5) * sy - 0.5;
+            let y0 = fy.floor().max(0.0) as usize;
+            let y1 = (y0 + 1).min(img.height - 1);
+            let wy = (fy - y0 as f32).clamp(0.0, 1.0);
+            for x in 0..tw {
+                let fx = (x as f32 + 0.5) * sx - 0.5;
+                let x0 = fx.floor().max(0.0) as usize;
+                let x1 = (x0 + 1).min(img.width - 1);
+                let wx = (fx - x0 as f32).clamp(0.0, 1.0);
+                for ch in 0..c {
+                    let v = img.hwc(y0, x0, ch) * (1.0 - wy) * (1.0 - wx)
+                        + img.hwc(y0, x1, ch) * (1.0 - wy) * wx
+                        + img.hwc(y1, x0, ch) * wy * (1.0 - wx)
+                        + img.hwc(y1, x1, ch) * wy * wx;
+                    out[(y * tw + x) * c + ch] = v;
+                }
+            }
+        }
+        // Boxes scale with the resize.
+        let boxes = img
+            .boxes
+            .iter()
+            .map(|b| BoundingBox {
+                x: b.x / sx,
+                y: b.y / sy,
+                w: b.w / sx,
+                h: b.h / sy,
+                class_id: b.class_id,
+            })
+            .collect();
+        Ok(Outcome::Done(Image2D {
+            width: tw,
+            height: th,
+            channels: c,
+            pixels: out,
+            layout: Layout::Hwc,
+            boxes,
+            seed: img.seed,
+        }))
+    }
+
+    fn cost_class(&self) -> CostClass {
+        // Inflationary or deflationary depending on the input (§5.1);
+        // AutoOrder resolves it per-sample via `Unknown`.
+        CostClass::Unknown
+    }
+}
+
+/// Mirrors the image (and boxes) horizontally with probability 1/2.
+pub struct RandomHorizontalFlip;
+
+impl Transform<Image2D> for RandomHorizontalFlip {
+    fn name(&self) -> &str {
+        "RandomHorizontalFlip"
+    }
+
+    fn apply(&self, mut img: Image2D, _ctx: &TransformCtx) -> Result<Outcome<Image2D>> {
+        let mut rng = StdRng::seed_from_u64(img.seed ^ 0xF11B);
+        if rng.random_bool(0.5) {
+            let (w, c) = (img.width, img.channels);
+            for y in 0..img.height {
+                for x in 0..w / 2 {
+                    for ch in 0..c {
+                        let a = (y * w + x) * c + ch;
+                        let b = (y * w + (w - 1 - x)) * c + ch;
+                        img.pixels.swap(a, b);
+                    }
+                }
+            }
+            for b in img.boxes.iter_mut() {
+                b.x = img.width as f32 - b.x - b.w;
+            }
+        }
+        Ok(Outcome::Done(img))
+    }
+
+    fn cost_class(&self) -> CostClass {
+        CostClass::Neutral
+    }
+}
+
+/// Converts HWC storage order to CHW training order.
+pub struct ToTensor;
+
+impl Transform<Image2D> for ToTensor {
+    fn name(&self) -> &str {
+        "ToTensor"
+    }
+
+    fn apply(&self, img: Image2D, _ctx: &TransformCtx) -> Result<Outcome<Image2D>> {
+        if img.layout == Layout::Chw {
+            return Ok(Outcome::Done(img));
+        }
+        let (w, h, c) = (img.width, img.height, img.channels);
+        let mut out = vec![0.0f32; w * h * c];
+        for y in 0..h {
+            for x in 0..w {
+                for ch in 0..c {
+                    out[ch * h * w + y * w + x] = img.pixels[(y * w + x) * c + ch];
+                }
+            }
+        }
+        Ok(Outcome::Done(Image2D {
+            pixels: out,
+            layout: Layout::Chw,
+            ..img
+        }))
+    }
+
+    fn cost_class(&self) -> CostClass {
+        CostClass::Neutral
+    }
+}
+
+/// Per-channel standardization `(x - mean) / std` (expects CHW).
+pub struct Normalize {
+    /// Per-channel means.
+    pub mean: [f32; 3],
+    /// Per-channel standard deviations.
+    pub std: [f32; 3],
+}
+
+impl Normalize {
+    /// ImageNet-style constants.
+    pub fn imagenet() -> Normalize {
+        Normalize {
+            mean: [0.485, 0.456, 0.406],
+            std: [0.229, 0.224, 0.225],
+        }
+    }
+}
+
+impl Transform<Image2D> for Normalize {
+    fn name(&self) -> &str {
+        "Normalize"
+    }
+
+    fn apply(&self, mut img: Image2D, _ctx: &TransformCtx) -> Result<Outcome<Image2D>> {
+        if img.layout != Layout::Chw {
+            return Err(LoaderError::Transform {
+                name: "Normalize".into(),
+                msg: "expects CHW layout (run ToTensor first)".into(),
+            });
+        }
+        let plane = img.width * img.height;
+        for ch in 0..img.channels.min(3) {
+            let (m, s) = (self.mean[ch], self.std[ch].max(1e-6));
+            for p in img.pixels[ch * plane..(ch + 1) * plane].iter_mut() {
+                *p = (*p - m) / s;
+            }
+        }
+        Ok(Outcome::Done(img))
+    }
+
+    fn cost_class(&self) -> CostClass {
+        CostClass::Neutral
+    }
+}
+
+/// The full Table 1 object-detection pipeline resizing to
+/// `target × target`.
+pub fn detection_pipeline(target: usize) -> Pipeline<Image2D> {
+    Pipeline::new(vec![
+        Arc::new(Resize {
+            width: target,
+            height: target,
+        }),
+        Arc::new(RandomHorizontalFlip),
+        Arc::new(ToTensor),
+        Arc::new(Normalize::imagenet()),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minato_core::transform::PipelineRun;
+
+    fn img(w: usize, h: usize) -> Image2D {
+        Image2D::generate(w, h, 2, 99)
+    }
+
+    #[test]
+    fn generate_paints_boxes() {
+        let im = img(32, 24);
+        assert_eq!(im.boxes.len(), 2);
+        assert_eq!(im.pixels.len(), 32 * 24 * 3);
+        let b = im.boxes[0];
+        let cx = (b.x + b.w / 2.0) as usize;
+        let cy = (b.y + b.h / 2.0) as usize;
+        assert!(im.hwc(cy.min(23), cx.min(31), 0) > 0.5, "box painted bright");
+    }
+
+    #[test]
+    fn resize_changes_dims_and_scales_boxes() {
+        let im = img(40, 20);
+        let bx = im.boxes[0].x;
+        let r = Resize {
+            width: 20,
+            height: 10,
+        };
+        match r.apply(im, &TransformCtx::unbounded()).unwrap() {
+            Outcome::Done(out) => {
+                assert_eq!((out.width, out.height), (20, 10));
+                assert_eq!(out.pixels.len(), 20 * 10 * 3);
+                assert!((out.boxes[0].x - bx / 2.0).abs() < 1e-4);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn resize_upscales_too() {
+        let im = img(8, 8);
+        let r = Resize {
+            width: 16,
+            height: 16,
+        };
+        match r.apply(im, &TransformCtx::unbounded()).unwrap() {
+            Outcome::Done(out) => assert_eq!(out.pixels.len(), 16 * 16 * 3),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn resize_rejects_chw() {
+        let mut im = img(8, 8);
+        im.layout = Layout::Chw;
+        let r = Resize {
+            width: 4,
+            height: 4,
+        };
+        assert!(r.apply(im, &TransformCtx::unbounded()).is_err());
+    }
+
+    #[test]
+    fn flip_mirrors_boxes() {
+        // Find a seed whose flip coin lands true.
+        for seed in 0..64 {
+            let mut im = img(32, 16);
+            im.seed = seed;
+            let bx = im.boxes[0].x;
+            let bw = im.boxes[0].w;
+            if let Outcome::Done(out) = RandomHorizontalFlip
+                .apply(im.clone(), &TransformCtx::unbounded())
+                .unwrap()
+            {
+                if out.boxes[0].x != bx {
+                    assert!((out.boxes[0].x - (32.0 - bx - bw)).abs() < 1e-4);
+                    return;
+                }
+            }
+        }
+        panic!("no seed produced a flip in 64 tries");
+    }
+
+    #[test]
+    fn to_tensor_transposes() {
+        let im = img(4, 2);
+        let v = im.hwc(1, 2, 1);
+        match ToTensor.apply(im, &TransformCtx::unbounded()).unwrap() {
+            Outcome::Done(out) => {
+                assert_eq!(out.layout, Layout::Chw);
+                // CHW index: c*H*W + y*W + x = 1*8 + 1*4 + 2.
+                assert_eq!(out.pixels[8 + 4 + 2], v);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn to_tensor_idempotent() {
+        let im = img(4, 4);
+        let once = match ToTensor.apply(im, &TransformCtx::unbounded()).unwrap() {
+            Outcome::Done(x) => x,
+            _ => panic!(),
+        };
+        let twice = match ToTensor.apply(once.clone(), &TransformCtx::unbounded()).unwrap() {
+            Outcome::Done(x) => x,
+            _ => panic!(),
+        };
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn normalize_requires_chw() {
+        let im = img(4, 4);
+        assert!(Normalize::imagenet()
+            .apply(im, &TransformCtx::unbounded())
+            .is_err());
+    }
+
+    #[test]
+    fn normalize_standardizes() {
+        let mut im = img(2, 2);
+        im.layout = Layout::Chw;
+        im.pixels.fill(0.485); // Channel 0 mean.
+        match Normalize::imagenet()
+            .apply(im, &TransformCtx::unbounded())
+            .unwrap()
+        {
+            Outcome::Done(out) => assert!(out.pixels[0].abs() < 1e-5),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn full_pipeline_runs() {
+        let p = detection_pipeline(16);
+        let im = img(37, 23);
+        match p.run(im, None).unwrap() {
+            PipelineRun::Completed { value, .. } => {
+                assert_eq!((value.width, value.height), (16, 16));
+                assert_eq!(value.layout, Layout::Chw);
+            }
+            _ => panic!("no deadline"),
+        }
+    }
+}

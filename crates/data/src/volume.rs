@@ -1,0 +1,427 @@
+//! 3D volumetric samples and the image-segmentation pipeline (Table 1).
+//!
+//! Models KiTS19-style CT volumes: variable-sized `f32` voxel grids with a
+//! paired label mask. The five transforms — RandomCrop → RandomFlip →
+//! RandomBrightness → GaussianNoise → Cast — are real kernels doing O(n)
+//! work over the voxels, so preprocessing cost genuinely scales with
+//! volume size, reproducing the size/time correlation of §3.2.
+
+use crate::dist::standard_normal;
+use minato_core::error::{LoaderError, Result};
+use minato_core::transform::{CostClass, Outcome, Pipeline, Transform, TransformCtx};
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+use std::sync::Arc;
+
+/// A 3D scalar volume with a segmentation mask.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Volume3D {
+    /// Depth, height, width.
+    pub dims: [usize; 3],
+    /// Voxels in `d`-major order, length `d*h*w`.
+    pub voxels: Vec<f32>,
+    /// Per-voxel labels, same layout.
+    pub labels: Vec<u8>,
+    /// Seed carried so random transforms are per-sample deterministic.
+    pub seed: u64,
+}
+
+impl Volume3D {
+    /// Generates a synthetic volume with a bright ellipsoidal "tumor"
+    /// region (so segmentation labels are non-trivial).
+    pub fn generate(dims: [usize; 3], seed: u64) -> Volume3D {
+        let [d, h, w] = dims;
+        let n = d * h * w;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut voxels = vec![0.0f32; n];
+        let mut labels = vec![0u8; n];
+        // Background noise.
+        for v in voxels.iter_mut() {
+            *v = rng.random_range(-1.0..1.0);
+        }
+        // Ellipsoid of interest.
+        let c = [d as f64 / 2.0, h as f64 / 2.0, w as f64 / 2.0];
+        let r = [d as f64 / 4.0, h as f64 / 4.0, w as f64 / 4.0];
+        for z in 0..d {
+            for y in 0..h {
+                for x in 0..w {
+                    let dz = (z as f64 - c[0]) / r[0].max(1.0);
+                    let dy = (y as f64 - c[1]) / r[1].max(1.0);
+                    let dx = (x as f64 - c[2]) / r[2].max(1.0);
+                    if dz * dz + dy * dy + dx * dx <= 1.0 {
+                        let i = (z * h + y) * w + x;
+                        voxels[i] += 3.0;
+                        labels[i] = 1;
+                    }
+                }
+            }
+        }
+        Volume3D {
+            dims,
+            voxels,
+            labels,
+            seed,
+        }
+    }
+
+    /// Number of voxels.
+    pub fn len(&self) -> usize {
+        self.voxels.len()
+    }
+
+    /// Whether the volume has no voxels.
+    pub fn is_empty(&self) -> bool {
+        self.voxels.is_empty()
+    }
+
+    /// Bytes occupied by voxels + labels.
+    pub fn nbytes(&self) -> u64 {
+        (self.voxels.len() * 4 + self.labels.len()) as u64
+    }
+
+    fn index(&self, z: usize, y: usize, x: usize) -> usize {
+        (z * self.dims[1] + y) * self.dims[2] + x
+    }
+}
+
+/// Crops a random `target`-sized region (Deflationary; the dominant cost
+/// in the paper's pipeline at 338 ms average, §3.1).
+pub struct RandomCrop {
+    /// Target dims `[d, h, w]`; volumes smaller than this are zero-padded.
+    pub target: [usize; 3],
+}
+
+impl Transform<Volume3D> for RandomCrop {
+    fn name(&self) -> &str {
+        "RandomCrop"
+    }
+
+    fn apply(&self, v: Volume3D, _ctx: &TransformCtx) -> Result<Outcome<Volume3D>> {
+        let [td, th, tw] = self.target;
+        if td == 0 || th == 0 || tw == 0 {
+            return Err(LoaderError::Transform {
+                name: "RandomCrop".into(),
+                msg: "target dims must be positive".into(),
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(v.seed ^ 0xC0FF_EE00);
+        let [d, h, w] = v.dims;
+        // Full-volume intensity statistics (KiTS19 preprocessing
+        // standardizes intensities before cropping) — this O(input) pass
+        // is why preprocessing cost scales with raw volume size (§3.2).
+        let n = v.voxels.len().max(1) as f64;
+        let mean = v.voxels.iter().map(|&x| x as f64).sum::<f64>() / n;
+        let var = v
+            .voxels
+            .iter()
+            .map(|&x| (x as f64 - mean) * (x as f64 - mean))
+            .sum::<f64>()
+            / n;
+        let (mean, inv_std) = (mean as f32, (1.0 / var.sqrt().max(1e-6)) as f32);
+        let oz = if d > td { rng.random_range(0..=d - td) } else { 0 };
+        let oy = if h > th { rng.random_range(0..=h - th) } else { 0 };
+        let ox = if w > tw { rng.random_range(0..=w - tw) } else { 0 };
+        let mut out = Volume3D {
+            dims: self.target,
+            voxels: vec![0.0; td * th * tw],
+            labels: vec![0; td * th * tw],
+            seed: v.seed,
+        };
+        for z in 0..td.min(d) {
+            for y in 0..th.min(h) {
+                for x in 0..tw.min(w) {
+                    let src = v.index(z + oz, y + oy, x + ox);
+                    let dst = (z * th + y) * tw + x;
+                    out.voxels[dst] = (v.voxels[src] - mean) * inv_std;
+                    out.labels[dst] = v.labels[src];
+                }
+            }
+        }
+        Ok(Outcome::Done(out))
+    }
+
+    fn cost_class(&self) -> CostClass {
+        CostClass::Deflationary
+    }
+}
+
+/// Randomly flips along each axis with probability 1/2 (Neutral).
+pub struct RandomFlip;
+
+impl Transform<Volume3D> for RandomFlip {
+    fn name(&self) -> &str {
+        "RandomFlip"
+    }
+
+    fn apply(&self, mut v: Volume3D, _ctx: &TransformCtx) -> Result<Outcome<Volume3D>> {
+        let mut rng = StdRng::seed_from_u64(v.seed ^ 0xF11B);
+        let [d, h, w] = v.dims;
+        if rng.random_bool(0.5) {
+            // Flip along x: reverse each row.
+            for z in 0..d {
+                for y in 0..h {
+                    let base = (z * h + y) * w;
+                    v.voxels[base..base + w].reverse();
+                    v.labels[base..base + w].reverse();
+                }
+            }
+        }
+        if rng.random_bool(0.5) {
+            // Flip along z: swap slabs.
+            let slab = h * w;
+            for z in 0..d / 2 {
+                let (a, b) = (z * slab, (d - 1 - z) * slab);
+                for i in 0..slab {
+                    v.voxels.swap(a + i, b + i);
+                    v.labels.swap(a + i, b + i);
+                }
+            }
+        }
+        Ok(Outcome::Done(v))
+    }
+
+    fn cost_class(&self) -> CostClass {
+        CostClass::Neutral
+    }
+}
+
+/// Scales intensity by a random factor in `[0.7, 1.3]` (Neutral).
+pub struct RandomBrightness;
+
+impl Transform<Volume3D> for RandomBrightness {
+    fn name(&self) -> &str {
+        "RandomBrightness"
+    }
+
+    fn apply(&self, mut v: Volume3D, _ctx: &TransformCtx) -> Result<Outcome<Volume3D>> {
+        let mut rng = StdRng::seed_from_u64(v.seed ^ 0xB216);
+        let factor = rng.random_range(0.7..1.3) as f32;
+        for x in v.voxels.iter_mut() {
+            *x *= factor;
+        }
+        Ok(Outcome::Done(v))
+    }
+
+    fn cost_class(&self) -> CostClass {
+        CostClass::Neutral
+    }
+}
+
+/// Adds zero-mean Gaussian noise with the given standard deviation
+/// (Neutral).
+pub struct GaussianNoise {
+    /// Noise standard deviation.
+    pub sigma: f32,
+}
+
+impl Transform<Volume3D> for GaussianNoise {
+    fn name(&self) -> &str {
+        "GaussianNoise"
+    }
+
+    fn apply(&self, mut v: Volume3D, _ctx: &TransformCtx) -> Result<Outcome<Volume3D>> {
+        let mut rng = StdRng::seed_from_u64(v.seed ^ 0x9015E);
+        for x in v.voxels.iter_mut() {
+            *x += self.sigma * standard_normal(&mut rng) as f32;
+        }
+        Ok(Outcome::Done(v))
+    }
+
+    fn cost_class(&self) -> CostClass {
+        CostClass::Neutral
+    }
+}
+
+/// Quantizes voxels to half-precision-representable values (the paper's
+/// `Cast` step; Neutral).
+pub struct Cast;
+
+impl Transform<Volume3D> for Cast {
+    fn name(&self) -> &str {
+        "Cast"
+    }
+
+    fn apply(&self, mut v: Volume3D, _ctx: &TransformCtx) -> Result<Outcome<Volume3D>> {
+        for x in v.voxels.iter_mut() {
+            // Round-trip through f16-equivalent precision (10-bit
+            // mantissa) without a half-float dependency.
+            let bits = x.to_bits() & 0xFFFF_E000;
+            *x = f32::from_bits(bits);
+        }
+        Ok(Outcome::Done(v))
+    }
+
+    fn cost_class(&self) -> CostClass {
+        CostClass::Neutral
+    }
+}
+
+/// The full Table 1 image-segmentation pipeline cropping to `target` dims.
+pub fn segmentation_pipeline(target: [usize; 3]) -> Pipeline<Volume3D> {
+    Pipeline::new(vec![
+        Arc::new(RandomCrop { target }),
+        Arc::new(RandomFlip),
+        Arc::new(RandomBrightness),
+        Arc::new(GaussianNoise { sigma: 0.05 }),
+        Arc::new(Cast),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minato_core::transform::PipelineRun;
+
+    fn vol(dims: [usize; 3]) -> Volume3D {
+        Volume3D::generate(dims, 7)
+    }
+
+    #[test]
+    fn generate_has_tumor_labels() {
+        let v = vol([16, 16, 16]);
+        let pos = v.labels.iter().filter(|&&l| l == 1).count();
+        assert!(pos > 0, "must contain labelled voxels");
+        assert!(pos < v.len(), "must not be all-label");
+        assert_eq!(v.nbytes(), (16 * 16 * 16 * 5) as u64);
+    }
+
+    #[test]
+    fn crop_to_target_dims() {
+        let v = vol([20, 18, 16]);
+        let t = RandomCrop {
+            target: [8, 8, 8],
+        };
+        match t.apply(v, &TransformCtx::unbounded()).unwrap() {
+            Outcome::Done(c) => {
+                assert_eq!(c.dims, [8, 8, 8]);
+                assert_eq!(c.voxels.len(), 512);
+                assert_eq!(c.labels.len(), 512);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn crop_pads_small_volumes() {
+        let v = vol([4, 4, 4]);
+        let t = RandomCrop {
+            target: [8, 8, 8],
+        };
+        match t.apply(v, &TransformCtx::unbounded()).unwrap() {
+            Outcome::Done(c) => {
+                assert_eq!(c.dims, [8, 8, 8]);
+                // Padded region is zeroed.
+                assert_eq!(c.voxels[511], 0.0);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn crop_rejects_zero_target() {
+        let t = RandomCrop { target: [0, 8, 8] };
+        assert!(t.apply(vol([8, 8, 8]), &TransformCtx::unbounded()).is_err());
+    }
+
+    #[test]
+    fn flip_preserves_content_multiset() {
+        let v = vol([6, 6, 6]);
+        let mut before = v.voxels.clone();
+        match RandomFlip.apply(v, &TransformCtx::unbounded()).unwrap() {
+            Outcome::Done(f) => {
+                let mut after = f.voxels;
+                before.sort_by(f32::total_cmp);
+                after.sort_by(f32::total_cmp);
+                assert_eq!(before, after);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn brightness_scales_values() {
+        let mut v = vol([4, 4, 4]);
+        v.voxels.fill(2.0);
+        match RandomBrightness
+            .apply(v, &TransformCtx::unbounded())
+            .unwrap()
+        {
+            Outcome::Done(b) => {
+                let x = b.voxels[0];
+                assert!((1.4..=2.6).contains(&x), "scaled into [0.7,1.3]×2: {x}");
+                assert!(b.voxels.iter().all(|&y| y == x), "uniform scaling");
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn noise_changes_values_deterministically() {
+        let v = vol([4, 4, 4]);
+        let a = match (GaussianNoise { sigma: 0.1 })
+            .apply(v.clone(), &TransformCtx::unbounded())
+            .unwrap()
+        {
+            Outcome::Done(x) => x,
+            _ => panic!(),
+        };
+        let b = match (GaussianNoise { sigma: 0.1 })
+            .apply(v.clone(), &TransformCtx::unbounded())
+            .unwrap()
+        {
+            Outcome::Done(x) => x,
+            _ => panic!(),
+        };
+        assert_eq!(a.voxels, b.voxels, "same seed, same noise");
+        assert_ne!(a.voxels, v.voxels, "noise applied");
+    }
+
+    #[test]
+    fn cast_reduces_precision() {
+        let mut v = vol([2, 2, 2]);
+        v.voxels[0] = 1.000_123;
+        match Cast.apply(v, &TransformCtx::unbounded()).unwrap() {
+            Outcome::Done(c) => {
+                assert_ne!(c.voxels[0], 1.000_123);
+                assert!((c.voxels[0] - 1.0).abs() < 0.01);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn full_pipeline_runs() {
+        let p = segmentation_pipeline([8, 8, 8]);
+        let v = vol([16, 16, 16]);
+        match p.run(v, None).unwrap() {
+            PipelineRun::Completed { value, .. } => {
+                assert_eq!(value.dims, [8, 8, 8]);
+            }
+            _ => panic!("no deadline"),
+        }
+        assert_eq!(p.len(), 5);
+    }
+
+    #[test]
+    fn bigger_volumes_cost_more() {
+        // The size/time correlation of §3.2, verified on real kernels.
+        let p = segmentation_pipeline([8, 8, 8]);
+        let small = vol([12, 12, 12]);
+        let big = vol([48, 48, 48]);
+        // Min-of-5 to be robust against scheduler noise on busy CI
+        // machines.
+        let time = |v: &Volume3D| {
+            (0..5)
+                .map(|_| {
+                    let t0 = std::time::Instant::now();
+                    let _ = p.run(v.clone(), None).unwrap();
+                    t0.elapsed()
+                })
+                .min()
+                .expect("five trials")
+        };
+        let _ = time(&small); // Warm up.
+        let ts = time(&small);
+        let tb = time(&big);
+        assert!(tb > ts, "64× more voxels must take longer ({ts:?} vs {tb:?})");
+    }
+}

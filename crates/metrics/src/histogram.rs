@@ -1,0 +1,175 @@
+//! Fixed-bucket histograms.
+//!
+//! Figure 11b of the paper plots "distribution of batches by the number of
+//! slow samples they contain" — a small integer histogram normalized to
+//! probabilities. [`Histogram`] covers that and the coarser latency
+//! distributions used in tests.
+
+/// Histogram over `[lo, hi)` with uniformly sized buckets plus overflow /
+/// underflow buckets.
+///
+/// # Examples
+///
+/// ```
+/// use minato_metrics::Histogram;
+///
+/// // Integer-count histogram for 0..=4 slow samples per batch.
+/// let mut h = Histogram::new(0.0, 5.0, 5);
+/// h.record(0.0);
+/// h.record(0.0);
+/// h.record(2.0);
+/// assert_eq!(h.count(), 3);
+/// let probs = h.probabilities();
+/// assert!((probs[0] - 2.0 / 3.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `buckets` uniform buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets == 0` or `hi <= lo` or either bound is non-finite.
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Histogram {
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        assert!(lo.is_finite() && hi.is_finite(), "bounds must be finite");
+        assert!(hi > lo, "hi must exceed lo");
+        Histogram {
+            lo,
+            hi,
+            buckets: vec![0; buckets],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Records one observation.
+    ///
+    /// Non-finite values are counted as overflow (they are anomalies worth
+    /// surfacing, not silently dropping).
+    pub fn record(&mut self, value: f64) {
+        if !value.is_finite() {
+            self.overflow += 1;
+            return;
+        }
+        if value < self.lo {
+            self.underflow += 1;
+        } else if value >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.buckets.len() as f64;
+            let idx = ((value - self.lo) / width) as usize;
+            let idx = idx.min(self.buckets.len() - 1);
+            self.buckets[idx] += 1;
+        }
+    }
+
+    /// Total observations including under/overflow.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Raw in-range bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Observations below `lo`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above `hi` (plus non-finite ones).
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// In-range bucket probabilities (fractions of *all* observations).
+    ///
+    /// Returns all-zero buckets when nothing was recorded.
+    pub fn probabilities(&self) -> Vec<f64> {
+        let total = self.count();
+        if total == 0 {
+            return vec![0.0; self.buckets.len()];
+        }
+        self.buckets
+            .iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect()
+    }
+
+    /// Lower bound of bucket `i`.
+    pub fn bucket_lo(&self, i: usize) -> f64 {
+        let width = (self.hi - self.lo) / self.buckets.len() as f64;
+        self.lo + width * i as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn zero_buckets_panics() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "hi must exceed lo")]
+    fn inverted_bounds_panic() {
+        let _ = Histogram::new(1.0, 0.0, 4);
+    }
+
+    #[test]
+    fn records_into_correct_buckets() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(0.5);
+        h.record(9.99);
+        h.record(5.0);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.counts()[5], 1);
+    }
+
+    #[test]
+    fn out_of_range_counted_separately() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.record(-1.0);
+        h.record(1.0); // hi is exclusive.
+        h.record(f64::NAN);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn probabilities_sum_to_in_range_fraction() {
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        for v in [0.0, 1.0, 2.0, 100.0] {
+            h.record(v);
+        }
+        let p: f64 = h.probabilities().iter().sum();
+        assert!((p - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bucket_lo_positions() {
+        let h = Histogram::new(0.0, 10.0, 5);
+        assert_eq!(h.bucket_lo(0), 0.0);
+        assert_eq!(h.bucket_lo(4), 8.0);
+    }
+
+    #[test]
+    fn empty_probabilities_are_zero() {
+        let h = Histogram::new(0.0, 1.0, 3);
+        assert_eq!(h.probabilities(), vec![0.0; 3]);
+    }
+}

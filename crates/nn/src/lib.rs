@@ -1,0 +1,20 @@
+//! Minimal neural-network substrate for the accuracy experiments.
+//!
+//! Figure 11a of the paper shows that MinatoLoader's batch reordering does
+//! not change the accuracy trajectory, only the wall-clock time to reach
+//! it. Reproducing that claim needs a *real* model whose training consumes
+//! batches in exactly the order a loader emits them. This crate provides
+//! just enough machinery for that: a dense matrix type, a two-layer MLP
+//! with softmax cross-entropy, SGD, and synthetic classification /
+//! segmentation-like tasks with accuracy and Dice metrics.
+//!
+//! Everything is deterministic given a seed, so two loaders can be
+//! compared run-for-run.
+
+pub mod matrix;
+pub mod mlp;
+pub mod task;
+
+pub use matrix::Matrix;
+pub use mlp::{Mlp, MlpConfig};
+pub use task::{dice_score, SyntheticTask};

@@ -1,0 +1,260 @@
+//! Two-layer MLP with softmax cross-entropy and SGD.
+
+use crate::matrix::Matrix;
+
+/// MLP hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MlpConfig {
+    /// Input feature dimension.
+    pub input_dim: usize,
+    /// Hidden layer width.
+    pub hidden_dim: usize,
+    /// Number of classes.
+    pub classes: usize,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// Weight-initialization seed.
+    pub seed: u64,
+}
+
+/// A two-layer perceptron: `softmax(relu(x·W1 + b1)·W2 + b2)`.
+///
+/// # Examples
+///
+/// ```
+/// use minato_nn::{Mlp, MlpConfig};
+///
+/// let mut m = Mlp::new(MlpConfig {
+///     input_dim: 4,
+///     hidden_dim: 8,
+///     classes: 3,
+///     lr: 0.1,
+///     seed: 1,
+/// });
+/// let x = vec![vec![0.1, 0.2, 0.3, 0.4]];
+/// let loss = m.train_batch(&x, &[1]);
+/// assert!(loss > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    cfg: MlpConfig,
+    w1: Matrix,
+    b1: Vec<f32>,
+    w2: Matrix,
+    b2: Vec<f32>,
+}
+
+impl Mlp {
+    /// Creates an MLP with Xavier-initialized weights.
+    pub fn new(cfg: MlpConfig) -> Mlp {
+        Mlp {
+            w1: Matrix::xavier(cfg.input_dim, cfg.hidden_dim, cfg.seed),
+            b1: vec![0.0; cfg.hidden_dim],
+            w2: Matrix::xavier(cfg.hidden_dim, cfg.classes, cfg.seed ^ 0xABCD),
+            b2: vec![0.0; cfg.classes],
+            cfg,
+        }
+    }
+
+    fn forward(&self, xs: &[Vec<f32>]) -> (Matrix, Matrix) {
+        let n = xs.len();
+        let mut x = Matrix::zeros(n, self.cfg.input_dim);
+        for (i, row) in xs.iter().enumerate() {
+            for (j, &v) in row.iter().take(self.cfg.input_dim).enumerate() {
+                x.set(i, j, v);
+            }
+        }
+        let mut h = x.matmul(&self.w1);
+        for i in 0..n {
+            for j in 0..self.cfg.hidden_dim {
+                let v = h.get(i, j) + self.b1[j];
+                h.set(i, j, v.max(0.0)); // ReLU.
+            }
+        }
+        let mut logits = h.matmul(&self.w2);
+        for i in 0..n {
+            for j in 0..self.cfg.classes {
+                let v = logits.get(i, j) + self.b2[j];
+                logits.set(i, j, v);
+            }
+        }
+        (h, logits)
+    }
+
+    fn softmax_rows(logits: &Matrix) -> Matrix {
+        let mut p = logits.clone();
+        for i in 0..p.rows {
+            let row = &mut p.data[i * p.cols..(i + 1) * p.cols];
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            for v in row.iter_mut() {
+                *v /= sum.max(1e-12);
+            }
+        }
+        p
+    }
+
+    /// One SGD step on a batch; returns the mean cross-entropy loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` and `ys` lengths differ or the batch is empty.
+    pub fn train_batch(&mut self, xs: &[Vec<f32>], ys: &[usize]) -> f32 {
+        assert_eq!(xs.len(), ys.len(), "features/labels length mismatch");
+        assert!(!xs.is_empty(), "empty batch");
+        let n = xs.len();
+        let (h, logits) = self.forward(xs);
+        let probs = Self::softmax_rows(&logits);
+        // Loss + dLogits.
+        let mut loss = 0.0f32;
+        let mut dlogits = probs.clone();
+        for i in 0..n {
+            let y = ys[i].min(self.cfg.classes - 1);
+            loss -= probs.get(i, y).max(1e-12).ln();
+            dlogits.set(i, y, dlogits.get(i, y) - 1.0);
+        }
+        dlogits.map_inplace(|v| v / n as f32);
+        // Backprop.
+        let dw2 = h.transpose().matmul(&dlogits);
+        let mut db2 = vec![0.0f32; self.cfg.classes];
+        for i in 0..n {
+            for j in 0..self.cfg.classes {
+                db2[j] += dlogits.get(i, j);
+            }
+        }
+        let mut dh = dlogits.matmul(&self.w2.transpose());
+        for i in 0..n {
+            for j in 0..self.cfg.hidden_dim {
+                if h.get(i, j) <= 0.0 {
+                    dh.set(i, j, 0.0); // ReLU gate.
+                }
+            }
+        }
+        // Rebuild x for dW1.
+        let mut x = Matrix::zeros(n, self.cfg.input_dim);
+        for (i, row) in xs.iter().enumerate() {
+            for (j, &v) in row.iter().take(self.cfg.input_dim).enumerate() {
+                x.set(i, j, v);
+            }
+        }
+        let dw1 = x.transpose().matmul(&dh);
+        let mut db1 = vec![0.0f32; self.cfg.hidden_dim];
+        for i in 0..n {
+            for j in 0..self.cfg.hidden_dim {
+                db1[j] += dh.get(i, j);
+            }
+        }
+        // SGD update.
+        let lr = self.cfg.lr;
+        self.w1.add_scaled(&dw1, -lr);
+        self.w2.add_scaled(&dw2, -lr);
+        for (b, d) in self.b1.iter_mut().zip(&db1) {
+            *b -= lr * d;
+        }
+        for (b, d) in self.b2.iter_mut().zip(&db2) {
+            *b -= lr * d;
+        }
+        loss / n as f32
+    }
+
+    /// Predicted class per input row.
+    pub fn predict(&self, xs: &[Vec<f32>]) -> Vec<usize> {
+        if xs.is_empty() {
+            return Vec::new();
+        }
+        let (_, logits) = self.forward(xs);
+        (0..logits.rows)
+            .map(|i| {
+                logits
+                    .row(i)
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+                    .map(|(j, _)| j)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Fraction of correct predictions on a labelled set.
+    pub fn accuracy(&self, xs: &[Vec<f32>], ys: &[usize]) -> f64 {
+        if xs.is_empty() {
+            return 0.0;
+        }
+        let preds = self.predict(xs);
+        let correct = preds.iter().zip(ys).filter(|(p, y)| p == y).count();
+        correct as f64 / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::SyntheticTask;
+
+    fn cfg() -> MlpConfig {
+        MlpConfig {
+            input_dim: 8,
+            hidden_dim: 16,
+            classes: 3,
+            lr: 0.05,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn loss_decreases_on_repeated_batch() {
+        let task = SyntheticTask::blobs(8, 3, 60, 42);
+        let mut m = Mlp::new(cfg());
+        let first = m.train_batch(&task.features, &task.labels);
+        let mut last = first;
+        for _ in 0..60 {
+            last = m.train_batch(&task.features, &task.labels);
+        }
+        assert!(last < first * 0.7, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn learns_separable_blobs() {
+        let task = SyntheticTask::blobs(8, 3, 300, 7);
+        let mut m = Mlp::new(cfg());
+        for _ in 0..80 {
+            for (xs, ys) in task.batches(32) {
+                m.train_batch(xs, ys);
+            }
+        }
+        let acc = m.accuracy(&task.features, &task.labels);
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let task = SyntheticTask::blobs(8, 3, 64, 5);
+        let run = || {
+            let mut m = Mlp::new(cfg());
+            for _ in 0..10 {
+                m.train_batch(&task.features, &task.labels);
+            }
+            m.accuracy(&task.features, &task.labels)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_batch_panics() {
+        let mut m = Mlp::new(cfg());
+        let _ = m.train_batch(&[vec![0.0; 8]], &[0, 1]);
+    }
+
+    #[test]
+    fn predict_empty_is_empty() {
+        let m = Mlp::new(cfg());
+        assert!(m.predict(&[]).is_empty());
+        assert_eq!(m.accuracy(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Synthetic learning tasks with accuracy/Dice metrics.
+
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+/// A labelled synthetic dataset.
+#[derive(Debug, Clone)]
+pub struct SyntheticTask {
+    /// Feature vectors.
+    pub features: Vec<Vec<f32>>,
+    /// Class labels aligned with `features`.
+    pub labels: Vec<usize>,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl SyntheticTask {
+    /// Gaussian blobs: `classes` clusters in `dim` dimensions,
+    /// `n` samples total, linearly separable with margin.
+    pub fn blobs(dim: usize, classes: usize, n: usize, seed: u64) -> SyntheticTask {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Random unit-ish centers, far apart on a scaled simplex.
+        let centers: Vec<Vec<f32>> = (0..classes)
+            .map(|c| {
+                (0..dim)
+                    .map(|d| if d % classes == c { 3.0 } else { 0.0 })
+                    .collect()
+            })
+            .collect();
+        let mut features = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let c = i % classes;
+            let center = &centers[c];
+            let x: Vec<f32> = center
+                .iter()
+                .map(|&m| m + (rng.random::<f32>() - 0.5))
+                .collect();
+            features.push(x);
+            labels.push(c);
+        }
+        SyntheticTask {
+            features,
+            labels,
+            classes,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Whether the task has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Iterator over `(features, labels)` chunks of `batch` samples.
+    pub fn batches(&self, batch: usize) -> impl Iterator<Item = (&[Vec<f32>], &[usize])> {
+        let batch = batch.max(1);
+        self.features
+            .chunks(batch)
+            .zip(self.labels.chunks(batch))
+    }
+}
+
+/// Sørensen–Dice overlap of two binary masks (the 3D-UNet metric of
+/// Figure 11a).
+///
+/// Returns 1.0 for two empty masks (perfect vacuous agreement).
+///
+/// # Panics
+///
+/// Panics if the masks have different lengths.
+pub fn dice_score(pred: &[bool], truth: &[bool]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "mask length mismatch");
+    let inter = pred
+        .iter()
+        .zip(truth)
+        .filter(|(p, t)| **p && **t)
+        .count() as f64;
+    let p = pred.iter().filter(|&&x| x).count() as f64;
+    let t = truth.iter().filter(|&&x| x).count() as f64;
+    if p + t == 0.0 {
+        1.0
+    } else {
+        2.0 * inter / (p + t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blobs_shapes_and_labels() {
+        let t = SyntheticTask::blobs(6, 3, 30, 1);
+        assert_eq!(t.len(), 30);
+        assert_eq!(t.features[0].len(), 6);
+        assert!(t.labels.iter().all(|&l| l < 3));
+        // Balanced classes by construction.
+        let c0 = t.labels.iter().filter(|&&l| l == 0).count();
+        assert_eq!(c0, 10);
+    }
+
+    #[test]
+    fn blobs_deterministic() {
+        let a = SyntheticTask::blobs(4, 2, 16, 9);
+        let b = SyntheticTask::blobs(4, 2, 16, 9);
+        assert_eq!(a.features, b.features);
+    }
+
+    #[test]
+    fn batches_cover_everything() {
+        let t = SyntheticTask::blobs(4, 2, 10, 2);
+        let total: usize = t.batches(3).map(|(x, _)| x.len()).sum();
+        assert_eq!(total, 10);
+        let sizes: Vec<usize> = t.batches(3).map(|(x, _)| x.len()).collect();
+        assert_eq!(sizes, vec![3, 3, 3, 1]);
+    }
+
+    #[test]
+    fn dice_extremes() {
+        assert_eq!(dice_score(&[true, true], &[true, true]), 1.0);
+        assert_eq!(dice_score(&[true, false], &[false, true]), 0.0);
+        assert_eq!(dice_score(&[], &[]), 1.0);
+        let half = dice_score(&[true, true], &[true, false]);
+        assert!((half - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dice_rejects_mismatch() {
+        let _ = dice_score(&[true], &[true, false]);
+    }
+}

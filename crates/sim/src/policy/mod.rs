@@ -1,0 +1,7 @@
+//! Loader policies as simulation processes.
+
+pub mod inorder;
+pub mod minato;
+
+pub use inorder::simulate_inorder;
+pub use minato::{simulate_minato, ClassifyMode};

@@ -1,0 +1,7 @@
+//! Umbrella crate re-exporting the MinatoLoader workspace.
+pub use minato_baselines as baselines;
+pub use minato_core as core;
+pub use minato_data as data;
+pub use minato_metrics as metrics;
+pub use minato_nn as nn;
+pub use minato_sim as sim;

@@ -1,0 +1,193 @@
+//! Cross-crate integration tests: the real loaders over the calibrated
+//! synthetic workloads, compared against each other and the simulator.
+
+use minato::baselines::torch::{TorchConfig, TorchLoader};
+use minato::core::prelude::*;
+use minato::data::{synthetic_dataset, work_pipeline_with_mode, WorkMode, WorkloadSpec};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// A scaled-down speech workload: the work pipeline burns real CPU
+/// proportional to the paper-calibrated per-sample costs.
+fn speech_small() -> (WorkloadSpec, f64) {
+    let mut wl = WorkloadSpec::speech(3.0);
+    wl.n_samples = 40;
+    (wl, 0.002) // 1/500 scale: heavy ≈ 6 ms, light ≈ 1 ms.
+}
+
+#[test]
+fn minato_delivers_calibrated_workload_exactly_once() {
+    let (wl, scale) = speech_small();
+    let ds = synthetic_dataset(&wl, scale);
+    let pipeline = work_pipeline_with_mode(&wl, WorkMode::Sleep);
+    let loader = MinatoLoader::builder(ds, pipeline)
+        .batch_size(8)
+        .initial_workers(3)
+        .max_workers(4)
+        .warmup_samples(10)
+        .build()
+        .expect("valid configuration");
+    let mut seen: HashMap<usize, usize> = HashMap::new();
+    for batch in loader.iter() {
+        for s in &batch.samples {
+            *seen.entry(s.index).or_default() += 1;
+            // Every transform ran.
+            assert_eq!(s.steps_done, wl.steps.len());
+        }
+    }
+    assert_eq!(seen.len(), 40);
+    assert!(seen.values().all(|&c| c == 1));
+}
+
+#[test]
+fn minato_flags_heavy_samples_slow() {
+    // Larger scale for a wide light/heavy margin: light ≈ 2 ms, heavy
+    // ≈ 12 ms, cutoff 6 ms.
+    let mut wl = WorkloadSpec::speech(3.0);
+    wl.n_samples = 40;
+    let scale = 0.004;
+    let ds = synthetic_dataset(&wl, scale);
+    let loader = MinatoLoader::builder(ds, work_pipeline_with_mode(&wl, WorkMode::Sleep))
+        .batch_size(8)
+        .epochs(3)
+        .initial_workers(3)
+        .max_workers(4)
+        .slow_workers(2)
+        .timeout_policy(TimeoutPolicy::Fixed(Duration::from_millis(6)))
+        .build()
+        .expect("valid configuration");
+    let mut slow_indices = Vec::new();
+    for batch in loader.iter() {
+        for m in &batch.meta {
+            if m.slow {
+                slow_indices.push(m.index);
+            }
+        }
+    }
+    assert!(!slow_indices.is_empty(), "heavy samples must be flagged");
+    // Heavy samples are index % 5 == 0. OS scheduling jitter can push an
+    // occasional light sample over the cutoff (the real system tolerates
+    // the same), so assert statistically: ≥80% of flags are genuinely
+    // heavy, and a clear majority of heavy executions were caught.
+    let heavy_flags = slow_indices.iter().filter(|&&i| i % 5 == 0).count();
+    assert!(
+        heavy_flags as f64 >= 0.8 * slow_indices.len() as f64,
+        "too many mis-flags: {slow_indices:?}"
+    );
+    // 8 heavy samples × 3 epochs = 24 heavy executions.
+    assert!(
+        heavy_flags >= 12,
+        "too few heavy samples caught: {heavy_flags}"
+    );
+}
+
+#[test]
+fn torch_baseline_and_minato_agree_on_content() {
+    let (wl, scale) = speech_small();
+    let minato = {
+        let loader = MinatoLoader::builder(synthetic_dataset(&wl, scale), work_pipeline_with_mode(&wl, WorkMode::Sleep))
+            .batch_size(8)
+            .seed(11)
+            .initial_workers(2)
+            .max_workers(3)
+            .build()
+            .expect("valid configuration");
+        let mut idx: Vec<usize> = loader.iter().flat_map(|b| b.samples).map(|s| s.index).collect();
+        idx.sort_unstable();
+        idx
+    };
+    let torch = {
+        let loader = TorchLoader::new(
+            synthetic_dataset(&wl, scale),
+            work_pipeline_with_mode(&wl, WorkMode::Sleep),
+            TorchConfig {
+                batch_size: 8,
+                num_workers: 2,
+                seed: 11,
+                ..Default::default()
+            },
+        )
+        .expect("valid configuration");
+        let mut idx: Vec<usize> = loader.iter().flat_map(|b| b.samples).map(|s| s.index).collect();
+        idx.sort_unstable();
+        idx
+    };
+    assert_eq!(minato, torch, "both loaders cover the same sample set");
+}
+
+#[test]
+fn adaptive_scheduler_reacts_to_load() {
+    // Underprovision the initial workers; the monitor must scale up.
+    let (wl, scale) = speech_small();
+    let loader = MinatoLoader::builder(synthetic_dataset(&wl, scale), work_pipeline_with_mode(&wl, WorkMode::Sleep))
+        .batch_size(4)
+        .epochs(4)
+        .initial_workers(1)
+        .max_workers(4)
+        .scheduler({
+            let mut s = SchedulerConfig::paper_default(4);
+            s.interval = Duration::from_millis(20);
+            s
+        })
+        .build()
+        .expect("valid configuration");
+    let n: usize = loader.iter().map(|b| b.len()).sum();
+    assert_eq!(n, 160);
+    let trace = loader.trace();
+    let max_workers_seen = trace.workers.max();
+    assert!(
+        max_workers_seen > 1.0,
+        "scheduler never scaled up: {max_workers_seen}"
+    );
+}
+
+#[test]
+fn order_preserving_mode_round_trip() {
+    let (wl, scale) = speech_small();
+    let loader = MinatoLoader::builder(synthetic_dataset(&wl, scale), work_pipeline_with_mode(&wl, WorkMode::Sleep))
+        .batch_size(8)
+        .shuffle(false)
+        .order_preserving(true)
+        .initial_workers(3)
+        .max_workers(3)
+        .build()
+        .expect("valid configuration");
+    let idx: Vec<usize> = loader.iter().flat_map(|b| b.samples).map(|s| s.index).collect();
+    assert_eq!(idx, (0..40).collect::<Vec<_>>(), "strict order required");
+}
+
+#[test]
+fn simulator_and_real_loader_agree_on_slow_fraction() {
+    // The sim and the threaded loader share the calibrated workload; the
+    // fraction of slow-classified samples should be in the same ballpark
+    // (≈ 20% heavy for the speech microbenchmark).
+    let mut cfg = minato::sim::SimConfig::config_a(WorkloadSpec::speech(3.0));
+    cfg.max_batches = 60;
+    let sim = minato::sim::simulate_minato(
+        "minato",
+        &cfg,
+        minato::sim::ClassifyMode::Timeout,
+    );
+    let sim_frac = sim.slow_flagged as f64 / sim.samples as f64;
+
+    let (wl, scale) = speech_small();
+    let loader = MinatoLoader::builder(synthetic_dataset(&wl, scale), work_pipeline_with_mode(&wl, WorkMode::Sleep))
+        .batch_size(8)
+        .epochs(4)
+        .initial_workers(3)
+        .max_workers(4)
+        .timeout_policy(TimeoutPolicy::Fixed(Duration::from_millis(3)))
+        .build()
+        .expect("valid configuration");
+    let mut slow = 0usize;
+    let mut total = 0usize;
+    for b in loader.iter() {
+        slow += b.slow_count();
+        total += b.len();
+    }
+    let real_frac = slow as f64 / total as f64;
+    assert!(
+        (sim_frac - real_frac).abs() < 0.12,
+        "sim {sim_frac:.3} vs real {real_frac:.3}"
+    );
+}
