@@ -259,11 +259,7 @@ mod tests {
             "scaled-sleep"
         }
 
-        fn apply(
-            &self,
-            x: u32,
-            ctx: &TransformCtx,
-        ) -> minato_core::error::Result<Outcome<u32>> {
+        fn apply(&self, x: u32, ctx: &TransformCtx) -> minato_core::error::Result<Outcome<u32>> {
             std::thread::sleep(self.base.div_f64(ctx.speedup));
             Ok(Outcome::Done(x))
         }

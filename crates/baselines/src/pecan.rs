@@ -131,11 +131,7 @@ mod tests {
             "barrier"
         }
 
-        fn apply(
-            &self,
-            x: u32,
-            _ctx: &TransformCtx,
-        ) -> minato_core::error::Result<Outcome<u32>> {
+        fn apply(&self, x: u32, _ctx: &TransformCtx) -> minato_core::error::Result<Outcome<u32>> {
             Ok(Outcome::Done(x))
         }
 

@@ -276,10 +276,7 @@ impl<D: Dataset> Iterator for TorchIter<'_, D> {
     }
 }
 
-fn spawn(
-    name: &str,
-    f: impl FnOnce() + Send + 'static,
-) -> Result<JoinHandle<()>> {
+fn spawn(name: &str, f: impl FnOnce() + Send + 'static) -> Result<JoinHandle<()>> {
     std::thread::Builder::new()
         .name(name.to_string())
         .spawn(f)
@@ -571,6 +568,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::drop_non_drop)] // The drops ARE the behavior under test.
     fn drop_mid_iteration_is_clean() {
         let ds = VecDataset::new((0..500u32).collect::<Vec<_>>());
         let loader = TorchLoader::new(

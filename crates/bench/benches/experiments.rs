@@ -7,9 +7,11 @@
 use minato_bench::*;
 use std::time::Instant;
 
+type Experiment = (&'static str, Box<dyn Fn() -> String>);
+
 fn main() {
     let scale = Scale::from_env();
-    let experiments: Vec<(&str, Box<dyn Fn() -> String>)> = vec![
+    let experiments: Vec<Experiment> = vec![
         ("Table 2", Box::new(tab02_preprocessing_stats)),
         ("Figure 2", Box::new(fig02_variability)),
         ("Figure 1b", Box::new(move || fig01_pytorch_usage(scale))),
@@ -29,7 +31,10 @@ fn main() {
         ),
         ("Figure 12", Box::new(move || fig12_slow_fraction(scale))),
         ("Artifact E1/E2", Box::new(move || artifact_e1_e2(scale))),
-        ("Ablations", Box::new(move || ablations::all_ablations(scale))),
+        (
+            "Ablations",
+            Box::new(move || ablations::all_ablations(scale)),
+        ),
     ];
     for (name, run) in experiments {
         let t0 = Instant::now();

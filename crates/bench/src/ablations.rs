@@ -15,9 +15,7 @@ use std::time::{Duration, Instant};
 
 /// Timeout-percentile sweep on the speech workload (simulator).
 pub fn ablation_timeout_percentile(scale: Scale) -> String {
-    let mut t = Table::new(&[
-        "percentile", "time (s)", "slow flagged %", "GPU %",
-    ]);
+    let mut t = Table::new(&["percentile", "time (s)", "slow flagged %", "GPU %"]);
     for pct in [0.50, 0.75, 0.90, 0.99] {
         let mut cfg = SimConfig::config_a(WorkloadSpec::speech(3.0));
         cfg.max_batches = scale.cap(120);

@@ -1,5 +1,8 @@
 //! Runs the design-choice ablations (timeout percentile, adaptive
 //! scheduler, queue depth, wakeup policy).
 fn main() {
-    println!("{}", minato_bench::ablations::all_ablations(minato_bench::Scale::from_env()));
+    println!(
+        "{}",
+        minato_bench::ablations::all_ablations(minato_bench::Scale::from_env())
+    );
 }

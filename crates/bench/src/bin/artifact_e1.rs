@@ -1,4 +1,7 @@
 //! Regenerates the artifact's E1/E2 experiments (8×V100, 10 epochs).
 fn main() {
-    println!("{}", minato_bench::artifact_e1_e2(minato_bench::Scale::from_env()));
+    println!(
+        "{}",
+        minato_bench::artifact_e1_e2(minato_bench::Scale::from_env())
+    );
 }

@@ -1,4 +1,7 @@
 //! Regenerates Figure 1b (PyTorch CPU/GPU usage on 3D-UNet).
 fn main() {
-    println!("{}", minato_bench::fig01_pytorch_usage(minato_bench::Scale::from_env()));
+    println!(
+        "{}",
+        minato_bench::fig01_pytorch_usage(minato_bench::Scale::from_env())
+    );
 }

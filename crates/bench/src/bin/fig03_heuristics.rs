@@ -1,4 +1,7 @@
 //! Regenerates Figure 3 (image-size and reordering heuristics).
 fn main() {
-    println!("{}", minato_bench::fig03_heuristics(minato_bench::Scale::from_env()));
+    println!(
+        "{}",
+        minato_bench::fig03_heuristics(minato_bench::Scale::from_env())
+    );
 }

@@ -1,4 +1,7 @@
 //! Regenerates Figure 4 (prefetch parameter sweeps).
 fn main() {
-    println!("{}", minato_bench::fig04_prefetch(minato_bench::Scale::from_env()));
+    println!(
+        "{}",
+        minato_bench::fig04_prefetch(minato_bench::Scale::from_env())
+    );
 }

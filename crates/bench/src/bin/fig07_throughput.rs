@@ -1,4 +1,7 @@
 //! Regenerates Figure 7 (+ §5.2 speedups): throughput over time.
 fn main() {
-    println!("{}", minato_bench::fig07_throughput(minato_bench::Scale::from_env()));
+    println!(
+        "{}",
+        minato_bench::fig07_throughput(minato_bench::Scale::from_env())
+    );
 }

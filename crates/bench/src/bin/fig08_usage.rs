@@ -1,4 +1,7 @@
 //! Regenerates Figure 8 (CPU/GPU usage, all systems × workloads).
 fn main() {
-    println!("{}", minato_bench::fig08_usage(minato_bench::Scale::from_env()));
+    println!(
+        "{}",
+        minato_bench::fig08_usage(minato_bench::Scale::from_env())
+    );
 }

@@ -1,4 +1,7 @@
 //! Regenerates Figure 9 (training time vs number of GPUs, A100 + V100).
 fn main() {
-    println!("{}", minato_bench::fig09_scalability(minato_bench::Scale::from_env()));
+    println!(
+        "{}",
+        minato_bench::fig09_scalability(minato_bench::Scale::from_env())
+    );
 }

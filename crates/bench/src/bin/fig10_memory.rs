@@ -1,4 +1,7 @@
 //! Regenerates Figure 10 (§5.5 memory-constrained training).
 fn main() {
-    println!("{}", minato_bench::fig10_memory(minato_bench::Scale::from_env()));
+    println!(
+        "{}",
+        minato_bench::fig10_memory(minato_bench::Scale::from_env())
+    );
 }

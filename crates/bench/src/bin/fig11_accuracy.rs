@@ -1,6 +1,6 @@
 //! Regenerates Figure 11a (accuracy preserved, faster convergence) using
 //! the real threaded loaders and the MLP substrate.
 fn main() {
-    let quick = !std::env::var_os("MINATO_FULL").is_some();
+    let quick = std::env::var_os("MINATO_FULL").is_none();
     println!("{}", minato_bench::fig11_accuracy::fig11_accuracy(quick));
 }

@@ -1,4 +1,7 @@
 //! Regenerates Figure 11b/c (batch composition analysis).
 fn main() {
-    println!("{}", minato_bench::fig11_batch_composition(minato_bench::Scale::from_env()));
+    println!(
+        "{}",
+        minato_bench::fig11_batch_composition(minato_bench::Scale::from_env())
+    );
 }

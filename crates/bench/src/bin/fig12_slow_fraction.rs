@@ -1,4 +1,7 @@
 //! Regenerates Figure 12 (training time vs proportion of slow samples).
 fn main() {
-    println!("{}", minato_bench::fig12_slow_fraction(minato_bench::Scale::from_env()));
+    println!(
+        "{}",
+        minato_bench::fig12_slow_fraction(minato_bench::Scale::from_env())
+    );
 }

@@ -48,7 +48,13 @@ fn spark(ts: &minato_metrics::TimeSeries) -> String {
 /// Table 2: preprocessing time statistics per workload.
 pub fn tab02_preprocessing_stats() -> String {
     let mut t = Table::new(&[
-        "Workload", "Avg", "Med.", "P75", "P90", "Min-Max-Std", "paper Avg/Med/P90",
+        "Workload",
+        "Avg",
+        "Med.",
+        "P75",
+        "P90",
+        "Min-Max-Std",
+        "paper Avg/Med/P90",
     ]);
     let paper = [
         ("Obj. Det.", "31/28/35"),
@@ -63,7 +69,7 @@ pub fn tab02_preprocessing_stats() -> String {
         WorkloadSpec::speech(10.0),
     ];
     for (wl, (label, paper_row)) in workloads.iter().zip(paper) {
-        let n = 10_000.min(wl.n_samples.max(10_000));
+        let n = wl.n_samples.min(10_000);
         let totals: Vec<f64> = (0..n).map(|i| wl.sample_profile(i).total_ms).collect();
         let s = Summary::of(&totals);
         t.row_owned(vec![
@@ -76,7 +82,10 @@ pub fn tab02_preprocessing_stats() -> String {
             paper_row.to_string(),
         ]);
     }
-    format!("Table 2 — preprocessing time (ms) per workload\n{}", t.render())
+    format!(
+        "Table 2 — preprocessing time (ms) per workload\n{}",
+        t.render()
+    )
 }
 
 /// Figure 2: per-sample preprocessing time variability (25 samples).
@@ -131,7 +140,13 @@ pub fn fig03_heuristics(scale: Scale) -> String {
     pc.pecan_gain = pecan_gain_for(&cfg.workload);
     let reorder = simulate_inorder("Reordering", &pc, None);
     let pytorch = simulate_inorder("PyTorch", &cfg, None);
-    let mut t = Table::new(&["heuristic", "GPU avg %", "CPU avg %", "time (s)", "paper note"]);
+    let mut t = Table::new(&[
+        "heuristic",
+        "GPU avg %",
+        "CPU avg %",
+        "time (s)",
+        "paper note",
+    ]);
     t.row_owned(vec![
         "image size".into(),
         fnum(size_h.gpu_util_pct, 1),
@@ -240,7 +255,11 @@ pub fn fig07_throughput(scale: Scale) -> String {
         let (py, pc, da, mi) = run_all_loaders(&cfg);
         let _ = writeln!(out, "Figure 7 — {} (4×A100)", wl.name);
         let mut t = Table::new(&[
-            "loader", "avg MB/s", "end (s)", "speedup vs PyTorch", "trace",
+            "loader",
+            "avg MB/s",
+            "end (s)",
+            "speedup vs PyTorch",
+            "trace",
         ]);
         for r in [&py, &pc, &da, &mi] {
             t.row_owned(vec![
@@ -398,7 +417,12 @@ pub fn fig10_memory(scale: Scale) -> String {
     let cfg = mk();
     let (py, _pc, da, mi) = run_all_loaders(&cfg);
     let mut t = Table::new(&[
-        "loader", "time (s)", "GPU %", "disk GB read", "cache GB", "disk trace",
+        "loader",
+        "time (s)",
+        "GPU %",
+        "disk GB read",
+        "cache GB",
+        "disk trace",
     ]);
     for r in [&py, &da, &mi] {
         t.row_owned(vec![
@@ -484,10 +508,7 @@ pub fn fig12_slow_fraction(scale: Scale) -> String {
             fnum(pc.train_time_s, 0),
             fnum(da.train_time_s, 0),
             fnum(mi.train_time_s, 0),
-            format!(
-                "{:.0} vs {:.0}",
-                with_cls.train_time_s, no_cls.train_time_s
-            ),
+            format!("{:.0} vs {:.0}", with_cls.train_time_s, no_cls.train_time_s),
             format!("{:.2}x", py.train_time_s / mi.train_time_s.max(1e-9)),
         ]);
     }

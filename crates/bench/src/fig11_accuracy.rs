@@ -41,13 +41,13 @@ impl Transform<Sample> for Delay {
         "augment-delay"
     }
 
-    fn apply(
-        &self,
-        s: Sample,
-        ctx: &TransformCtx,
-    ) -> minato_core::error::Result<Outcome<Sample>> {
+    fn apply(&self, s: Sample, ctx: &TransformCtx) -> minato_core::error::Result<Outcome<Sample>> {
         // Every 5th sample is slow (the speech microbenchmark pattern).
-        let total = if s.0 % 5 == 0 { self.heavy } else { self.light };
+        let total = if s.0.is_multiple_of(5) {
+            self.heavy
+        } else {
+            self.light
+        };
         // Sleep in slices so the balancer's deadline can interrupt.
         let start = Instant::now();
         while start.elapsed() < total {
@@ -89,7 +89,7 @@ where
         }
         model.train_batch(&xs, &ys);
         it += 1;
-        if it % eval_every == 0 {
+        if it.is_multiple_of(eval_every) {
             curve.push((it, model.accuracy(&eval.features, &eval.labels)));
         }
     }
@@ -142,19 +142,16 @@ pub fn run(n: usize, epochs: usize, batch_size: usize) -> (AccuracyRun, Accuracy
     };
 
     let minato_run = {
-        let loader = MinatoLoader::builder(
-            VecDataset::new(samples),
-            Pipeline::new(vec![delay()]),
-        )
-        .batch_size(batch_size)
-        .epochs(epochs)
-        .seed(5)
-        .initial_workers(4)
-        .max_workers(8)
-        .slow_workers(4)
-        .timeout_policy(TimeoutPolicy::Fixed(Duration::from_millis(2)))
-        .build()
-        .expect("minato loader builds");
+        let loader = MinatoLoader::builder(VecDataset::new(samples), Pipeline::new(vec![delay()]))
+            .batch_size(batch_size)
+            .epochs(epochs)
+            .seed(5)
+            .initial_workers(4)
+            .max_workers(8)
+            .slow_workers(4)
+            .timeout_policy(TimeoutPolicy::Fixed(Duration::from_millis(2)))
+            .build()
+            .expect("minato loader builds");
         train_with("MinatoLoader", loader.iter(), &eval, dim, classes, 20)
     };
     (torch_run, minato_run)

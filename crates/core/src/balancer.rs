@@ -199,7 +199,7 @@ impl LoadBalancer {
             return;
         }
         // Refresh on warm-up completion, then every `refresh_every`.
-        if n != self.cfg.warmup_samples && n % self.cfg.refresh_every.max(1) != 0 {
+        if n != self.cfg.warmup_samples && !n.is_multiple_of(self.cfg.refresh_every.max(1)) {
             return;
         }
         self.refresh_now();

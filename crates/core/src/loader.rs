@@ -558,8 +558,8 @@ fn monitor_loop<D: Dataset>(rt: Arc<Runtime<D>>, trace: Arc<Mutex<MonitorTrace>>
         let busy = rt.cpu_meter.busy_ns();
         let busy_delta = busy.saturating_sub(prev_busy);
         prev_busy = busy;
-        let cpu_norm = (busy_delta as f64 / (interval.as_nanos() as f64 * active as f64))
-            .clamp(0.0, 1.0);
+        let cpu_norm =
+            (busy_delta as f64 / (interval.as_nanos() as f64 * active as f64)).clamp(0.0, 1.0);
 
         // Batch-queue occupancy as a fraction of total capacity.
         let q_len: usize = rt.batch_qs.iter().map(|q| q.len()).sum();
@@ -600,10 +600,7 @@ mod tests {
     use crate::transform::{fn_transform, Outcome, Transform, TransformCtx};
     use std::collections::HashMap;
 
-    fn quick_loader(
-        n: usize,
-        batch: usize,
-    ) -> MinatoLoader<VecDataset<u32>> {
+    fn quick_loader(n: usize, batch: usize) -> MinatoLoader<VecDataset<u32>> {
         let ds = VecDataset::new((0..n as u32).collect::<Vec<_>>());
         let p = Pipeline::new(vec![fn_transform("id", |x: u32| Ok(x))]);
         MinatoLoader::builder(ds, p)
@@ -724,7 +721,7 @@ mod tests {
         }
 
         fn apply(&self, input: u32, ctx: &TransformCtx) -> crate::error::Result<Outcome<u32>> {
-            let cost = if input % self.slow_every == 0 {
+            let cost = if input.is_multiple_of(self.slow_every) {
                 Duration::from_millis(self.slow_ms)
             } else {
                 Duration::from_millis(self.fast_ms)
@@ -867,6 +864,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::drop_non_drop)] // The drops ARE the behavior under test.
     fn drop_mid_iteration_is_clean() {
         let loader = quick_loader(500, 5);
         let mut it = loader.iter();

@@ -19,18 +19,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// How blocked producers/consumers wait for queue state changes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum WakeupPolicy {
     /// Block on a condition variable; woken exactly when state changes.
+    #[default]
     Condvar,
     /// Poll with a fixed sleep between checks (paper-faithful mode).
     SleepPoll(Duration),
-}
-
-impl Default for WakeupPolicy {
-    fn default() -> Self {
-        WakeupPolicy::Condvar
-    }
 }
 
 /// Error returned when putting into a closed queue.
@@ -246,9 +241,9 @@ impl<T> MinatoQueue<T> {
                             if std::time::Instant::now() >= deadline {
                                 return Ok(None);
                             }
-                            std::thread::sleep(nap.min(deadline.saturating_duration_since(
-                                std::time::Instant::now(),
-                            )));
+                            std::thread::sleep(nap.min(
+                                deadline.saturating_duration_since(std::time::Instant::now()),
+                            ));
                         }
                     }
                 }

@@ -103,7 +103,8 @@ impl WorkerScheduler {
         } else {
             1.0 - (q_avg / q_max).clamp(0.0, 1.0)
         };
-        let raw = self.cfg.alpha * q_term + self.cfg.beta * (cpu_usage.clamp(0.0, 1.0) - self.cfg.theta_c);
+        let raw = self.cfg.alpha * q_term
+            + self.cfg.beta * (cpu_usage.clamp(0.0, 1.0) - self.cfg.theta_c);
         let clip = self.cfg.delta_clip.max(0);
         (raw.round() as i64).clamp(-clip, clip)
     }
@@ -197,8 +198,7 @@ impl WorkerGate {
             }
             // Re-check with a bounded wait: a store between the atomic load
             // and this wait would otherwise be missed without the timeout.
-            self.changed
-                .wait_for(&mut g, Duration::from_millis(50));
+            self.changed.wait_for(&mut g, Duration::from_millis(50));
         }
     }
 }

@@ -210,7 +210,10 @@ impl<T: Send + 'static> Pipeline<T> {
         assert_eq!(order.len(), self.steps.len(), "order length mismatch");
         let mut seen = vec![false; order.len()];
         for &i in order {
-            assert!(i < self.steps.len() && !seen[i], "order is not a permutation");
+            assert!(
+                i < self.steps.len() && !seen[i],
+                "order is not a permutation"
+            );
             seen[i] = true;
         }
         Pipeline {
@@ -403,7 +406,7 @@ mod tests {
             } => {
                 assert_eq!(resume_at, 1); // The slow transform re-executes.
                 assert_eq!(partial, 1); // Output of the fast transform.
-                // Background path: resume without timeout completes.
+                                        // Background path: resume without timeout completes.
                 match p.run_from(resume_at, partial, None).unwrap() {
                     PipelineRun::Completed { value, .. } => assert_eq!(value, 2),
                     _ => panic!("background run must complete"),

@@ -104,8 +104,7 @@ impl<D: Dataset> Runtime<D> {
     /// Closes the producer-side queues once no new samples can ever reach
     /// them: the sampler is drained and nothing is in flight.
     fn maybe_close_sources(&self) {
-        if self.source_drained.load(Ordering::SeqCst)
-            && self.in_flight.load(Ordering::SeqCst) == 0
+        if self.source_drained.load(Ordering::SeqCst) && self.in_flight.load(Ordering::SeqCst) == 0
         {
             self.fast_q.close();
             self.temp_q.close();
@@ -170,7 +169,12 @@ pub(crate) fn loader_worker<D: Dataset>(rt: Arc<Runtime<D>>, id: usize) {
                     bytes: Some(bytes),
                     transforms_applied: rt.pipeline.len(),
                 });
-                rt.fast_q.put(Prepared { sample: value, meta }).is_ok()
+                rt.fast_q
+                    .put(Prepared {
+                        sample: value,
+                        meta,
+                    })
+                    .is_ok()
             }
             Ok(PipelineRun::TimedOut {
                 partial,
@@ -248,7 +252,14 @@ pub(crate) fn slow_worker<D: Dataset>(rt: Arc<Runtime<D>>) {
                     bytes: Some(meta.bytes),
                     transforms_applied: rt.pipeline.len(),
                 });
-                if rt.slow_q.put(Prepared { sample: value, meta }).is_err() {
+                if rt
+                    .slow_q
+                    .put(Prepared {
+                        sample: value,
+                        meta,
+                    })
+                    .is_err()
+                {
                     break;
                 }
             }
@@ -364,9 +375,7 @@ fn batch_worker_minato<D: Dataset>(rt: &Runtime<D>) {
 fn batch_worker_ordered<D: Dataset>(rt: &Runtime<D>) {
     let mut reorder: ReorderBuffer<Prepared<D::Sample>> = ReorderBuffer::new(0);
     let mut batch: Batch<D::Sample> = Batch::with_capacity(rt.cfg.batch_size);
-    let push_ready = |ready: Vec<Prepared<D::Sample>>,
-                          batch: &mut Batch<D::Sample>|
-     -> bool {
+    let push_ready = |ready: Vec<Prepared<D::Sample>>, batch: &mut Batch<D::Sample>| -> bool {
         for p in ready {
             batch.push(p);
             if batch.len() >= rt.cfg.batch_size && !emit_batch(rt, batch) {

@@ -18,7 +18,7 @@ impl Transform<u32> for PanicOn {
     }
 
     fn apply(&self, x: u32, _ctx: &TransformCtx) -> minato_core::error::Result<Outcome<u32>> {
-        assert!(x % self.modulus != 0, "injected panic on {x}");
+        assert!(!x.is_multiple_of(self.modulus), "injected panic on {x}");
         Ok(Outcome::Done(x))
     }
 }
@@ -26,8 +26,9 @@ impl Transform<u32> for PanicOn {
 #[test]
 fn panicking_transform_skips_sample_and_completes() {
     let ds = VecDataset::new((1..=50u32).collect::<Vec<_>>());
-    let p: Pipeline<u32> =
-        Pipeline::new(vec![Arc::new(PanicOn { modulus: 10 }) as Arc<dyn Transform<u32>>]);
+    let p: Pipeline<u32> = Pipeline::new(vec![
+        Arc::new(PanicOn { modulus: 10 }) as Arc<dyn Transform<u32>>
+    ]);
     let loader = MinatoLoader::builder(ds, p)
         .batch_size(8)
         .initial_workers(2)
@@ -45,8 +46,9 @@ fn panicking_transform_skips_sample_and_completes() {
 #[test]
 fn panic_in_every_sample_still_terminates() {
     let ds = VecDataset::new((0..20u32).collect::<Vec<_>>());
-    let p: Pipeline<u32> =
-        Pipeline::new(vec![Arc::new(PanicOn { modulus: 1 }) as Arc<dyn Transform<u32>>]);
+    let p: Pipeline<u32> = Pipeline::new(vec![
+        Arc::new(PanicOn { modulus: 1 }) as Arc<dyn Transform<u32>>
+    ]);
     let loader = MinatoLoader::builder(ds, p)
         .batch_size(4)
         .initial_workers(2)
@@ -140,6 +142,7 @@ fn dataset_errors_with_fail_policy_stop_quickly() {
 }
 
 #[test]
+#[allow(clippy::drop_non_drop)] // The drops ARE the behavior under test.
 fn shutdown_under_backpressure_is_clean() {
     // Tiny queues + an iterator that abandons mid-stream: blocked
     // producers must unblock on drop.

@@ -62,10 +62,12 @@ impl AudioClip {
             }
         }
         for w in wave.iter_mut() {
-            *w += rng.random_range(-0.02..0.02);
+            *w += rng.random_range(-0.02..0.02f32);
         }
         let n_tokens = rng.random_range(5..40usize);
-        let transcript = (0..n_tokens).map(|_| rng.random_range(0..1000u32)).collect();
+        let transcript = (0..n_tokens)
+            .map(|_| rng.random_range(0..1000u32))
+            .collect();
         AudioClip {
             data: AudioData::Waveform(wave),
             sample_rate: rate,

@@ -5,7 +5,7 @@
 //! normal bodies, lognormal tails, uniform mixtures) are implemented here.
 //! Normal variates use the Box–Muller transform.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// A samplable scalar distribution.
 ///
@@ -116,11 +116,7 @@ impl Dist {
                     pick -= w;
                 }
                 // Floating-point slack: fall through to the last component.
-                parts
-                    .last()
-                    .expect("mixture is non-empty")
-                    .1
-                    .sample(rng)
+                parts.last().expect("mixture is non-empty").1.sample(rng)
             }
             Dist::Clamped { inner, lo, hi } => inner.sample(rng).clamp(*lo, *hi),
         }
@@ -189,10 +185,7 @@ mod tests {
     #[test]
     fn mixture_respects_weights() {
         let mut r = rng();
-        let d = Dist::mixture(vec![
-            (0.8, Dist::Constant(0.0)),
-            (0.2, Dist::Constant(1.0)),
-        ]);
+        let d = Dist::mixture(vec![(0.8, Dist::Constant(0.0)), (0.2, Dist::Constant(1.0))]);
         let xs = d.sample_n(&mut r, 50_000);
         let ones = xs.iter().filter(|&&x| x == 1.0).count() as f64 / xs.len() as f64;
         assert!((ones - 0.2).abs() < 0.01, "got {ones}");

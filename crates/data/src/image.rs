@@ -331,7 +331,10 @@ mod tests {
         let b = im.boxes[0];
         let cx = (b.x + b.w / 2.0) as usize;
         let cy = (b.y + b.h / 2.0) as usize;
-        assert!(im.hwc(cy.min(23), cx.min(31), 0) > 0.5, "box painted bright");
+        assert!(
+            im.hwc(cy.min(23), cx.min(31), 0) > 0.5,
+            "box painted bright"
+        );
     }
 
     #[test]
@@ -418,7 +421,10 @@ mod tests {
             Outcome::Done(x) => x,
             _ => panic!(),
         };
-        let twice = match ToTensor.apply(once.clone(), &TransformCtx::unbounded()).unwrap() {
+        let twice = match ToTensor
+            .apply(once.clone(), &TransformCtx::unbounded())
+            .unwrap()
+        {
             Outcome::Done(x) => x,
             _ => panic!(),
         };

@@ -23,4 +23,6 @@ pub mod synth;
 pub mod volume;
 
 pub use spec::{GpuArch, SampleProfile, StepClass, StepSpec, TrainLength, WorkloadSpec};
-pub use synth::{synthetic_dataset, work_pipeline, work_pipeline_with_mode, SyntheticSample, WorkMode};
+pub use synth::{
+    synthetic_dataset, work_pipeline, work_pipeline_with_mode, SyntheticSample, WorkMode,
+};

@@ -266,9 +266,8 @@ impl WorkloadSpec {
     /// Deterministic profile of sample `index`.
     pub fn sample_profile(&self, index: usize) -> SampleProfile {
         // Per-sample RNG: reproducible across crates and runs.
-        let mut rng = StdRng::seed_from_u64(
-            self.seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-        );
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         match self.kind {
             Kind::ImageSegmentation => image_segmentation_profile(&self.steps, &mut rng),
             Kind::ObjectDetection => object_detection_profile(&self.steps, &mut rng),
@@ -399,7 +398,7 @@ fn speech_profile(
     let pre_mb = rng.random_range(0.4..9.0);
     let variable_ms = rng.random_range(2.0..9.0);
     let heavy = if every_fifth {
-        index % 5 == 0
+        index.is_multiple_of(5)
     } else {
         // Hash-mix the index so heavy samples are spread uniformly at any
         // fraction (Figure 12 sweeps 0..=100%).

@@ -116,7 +116,7 @@ fn burn(payload: &mut [f32], target: Duration, ctx: &TransformCtx) -> bool {
             *v = v.mul_add(1.000_001, 1e-7);
         }
         i += 1;
-        if i % 8 == 0 {
+        if i.is_multiple_of(8) {
             if start.elapsed() >= target {
                 return true;
             }

@@ -117,9 +117,21 @@ impl Transform<Volume3D> for RandomCrop {
             .sum::<f64>()
             / n;
         let (mean, inv_std) = (mean as f32, (1.0 / var.sqrt().max(1e-6)) as f32);
-        let oz = if d > td { rng.random_range(0..=d - td) } else { 0 };
-        let oy = if h > th { rng.random_range(0..=h - th) } else { 0 };
-        let ox = if w > tw { rng.random_range(0..=w - tw) } else { 0 };
+        let oz = if d > td {
+            rng.random_range(0..=d - td)
+        } else {
+            0
+        };
+        let oy = if h > th {
+            rng.random_range(0..=h - th)
+        } else {
+            0
+        };
+        let ox = if w > tw {
+            rng.random_range(0..=w - tw)
+        } else {
+            0
+        };
         let mut out = Volume3D {
             dims: self.target,
             voxels: vec![0.0; td * th * tw],
@@ -287,9 +299,7 @@ mod tests {
     #[test]
     fn crop_to_target_dims() {
         let v = vol([20, 18, 16]);
-        let t = RandomCrop {
-            target: [8, 8, 8],
-        };
+        let t = RandomCrop { target: [8, 8, 8] };
         match t.apply(v, &TransformCtx::unbounded()).unwrap() {
             Outcome::Done(c) => {
                 assert_eq!(c.dims, [8, 8, 8]);
@@ -303,9 +313,7 @@ mod tests {
     #[test]
     fn crop_pads_small_volumes() {
         let v = vol([4, 4, 4]);
-        let t = RandomCrop {
-            target: [8, 8, 8],
-        };
+        let t = RandomCrop { target: [8, 8, 8] };
         match t.apply(v, &TransformCtx::unbounded()).unwrap() {
             Outcome::Done(c) => {
                 assert_eq!(c.dims, [8, 8, 8]);
@@ -422,6 +430,9 @@ mod tests {
         let _ = time(&small); // Warm up.
         let ts = time(&small);
         let tb = time(&big);
-        assert!(tb > ts, "64× more voxels must take longer ({ts:?} vs {tb:?})");
+        assert!(
+            tb > ts,
+            "64× more voxels must take longer ({ts:?} vs {tb:?})"
+        );
     }
 }

@@ -38,7 +38,8 @@ impl Table {
     /// Appends a row. Rows shorter than the header are padded with empty
     /// cells; longer rows extend the column count.
     pub fn row(&mut self, cells: &[&str]) {
-        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
     }
 
     /// Appends a row from owned strings (convenient with `format!`).

@@ -112,8 +112,8 @@ impl Mlp {
         // Loss + dLogits.
         let mut loss = 0.0f32;
         let mut dlogits = probs.clone();
-        for i in 0..n {
-            let y = ys[i].min(self.cfg.classes - 1);
+        for (i, &label) in ys.iter().enumerate() {
+            let y = label.min(self.cfg.classes - 1);
             loss -= probs.get(i, y).max(1e-12).ln();
             dlogits.set(i, y, dlogits.get(i, y) - 1.0);
         }
@@ -122,8 +122,8 @@ impl Mlp {
         let dw2 = h.transpose().matmul(&dlogits);
         let mut db2 = vec![0.0f32; self.cfg.classes];
         for i in 0..n {
-            for j in 0..self.cfg.classes {
-                db2[j] += dlogits.get(i, j);
+            for (j, b) in db2.iter_mut().enumerate() {
+                *b += dlogits.get(i, j);
             }
         }
         let mut dh = dlogits.matmul(&self.w2.transpose());
@@ -144,8 +144,8 @@ impl Mlp {
         let dw1 = x.transpose().matmul(&dh);
         let mut db1 = vec![0.0f32; self.cfg.hidden_dim];
         for i in 0..n {
-            for j in 0..self.cfg.hidden_dim {
-                db1[j] += dh.get(i, j);
+            for (j, b) in db1.iter_mut().enumerate() {
+                *b += dh.get(i, j);
             }
         }
         // SGD update.

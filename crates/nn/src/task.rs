@@ -58,9 +58,7 @@ impl SyntheticTask {
     /// Iterator over `(features, labels)` chunks of `batch` samples.
     pub fn batches(&self, batch: usize) -> impl Iterator<Item = (&[Vec<f32>], &[usize])> {
         let batch = batch.max(1);
-        self.features
-            .chunks(batch)
-            .zip(self.labels.chunks(batch))
+        self.features.chunks(batch).zip(self.labels.chunks(batch))
     }
 }
 
@@ -74,11 +72,7 @@ impl SyntheticTask {
 /// Panics if the masks have different lengths.
 pub fn dice_score(pred: &[bool], truth: &[bool]) -> f64 {
     assert_eq!(pred.len(), truth.len(), "mask length mismatch");
-    let inter = pred
-        .iter()
-        .zip(truth)
-        .filter(|(p, t)| **p && **t)
-        .count() as f64;
+    let inter = pred.iter().zip(truth).filter(|(p, t)| **p && **t).count() as f64;
     let p = pred.iter().filter(|&&x| x).count() as f64;
     let t = truth.iter().filter(|&&x| x).count() as f64;
     if p + t == 0.0 {

@@ -52,8 +52,8 @@ impl IntervalAccumulator {
         for b in first..=last {
             let b_start = b as f64 * bw;
             let b_end = b_start + bw;
-            let overlap = (end.as_secs_f64().min(b_end) - start.as_secs_f64().max(b_start))
-                .max(0.0);
+            let overlap =
+                (end.as_secs_f64().min(b_end) - start.as_secs_f64().max(b_start)).max(0.0);
             // For weight = 1: overlap seconds of busy time. Otherwise:
             // rate × overlap units.
             self.buckets[b] += if (weight - 1.0).abs() < f64::EPSILON && span > 0.0 {

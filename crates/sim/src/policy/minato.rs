@@ -106,8 +106,9 @@ pub fn simulate_minato(name: &str, cfg: &SimConfig, mode: ClassifyMode) -> SimRe
     let _ = bg_capacity; // Tracked through `bg_pool.capacity()` below.
     let mut storage = Storage::new(cfg.storage_bandwidth_bps, cfg.memory_bytes, cfg.bucket);
     let mut gpus: Vec<Gpu> = (0..cfg.n_gpus).map(|_| Gpu::new(cfg.bucket)).collect();
-    let mut queues: Vec<SimQueue<PendingBatch>> =
-        (0..cfg.n_gpus).map(|_| SimQueue::new(cfg.prefetch)).collect();
+    let mut queues: Vec<SimQueue<PendingBatch>> = (0..cfg.n_gpus)
+        .map(|_| SimQueue::new(cfg.prefetch))
+        .collect();
     let mut overflow: VecDeque<(SimTime, PendingBatch)> = VecDeque::new();
     let mut gpu_busy_flag = vec![false; cfg.n_gpus];
     let mut trained = CounterSeries::new(cfg.bucket);
@@ -156,9 +157,7 @@ pub fn simulate_minato(name: &str, cfg: &SimConfig, mode: ClassifyMode) -> SimRe
                 let profile = wl.sample_profile(sample % wl.n_samples);
                 let read = storage.read($now, sample as u64, profile.raw_bytes);
                 let is_predicted_slow = match mode {
-                    ClassifyMode::Timeout => {
-                        tout_ms.is_some_and(|t| profile.total_ms > t)
-                    }
+                    ClassifyMode::Timeout => tout_ms.is_some_and(|t| profile.total_ms > t),
                     ClassifyMode::BySize => (profile.raw_bytes as f64) > size_threshold,
                     ClassifyMode::None => false,
                 };
@@ -239,8 +238,8 @@ pub fn simulate_minato(name: &str, cfg: &SimConfig, mode: ClassifyMode) -> SimRe
             if $slow {
                 pending.slow += 1;
             }
-            let flush = pending.len >= wl.batch_size
-                || (samples_ready == total_samples && pending.len > 0);
+            let flush =
+                pending.len >= wl.batch_size || (samples_ready == total_samples && pending.len > 0);
             if flush {
                 let batch = std::mem::take(&mut pending);
                 // Least-occupied, non-full queue; else overflow.
@@ -358,8 +357,7 @@ pub fn simulate_minato(name: &str, cfg: &SimConfig, mode: ClassifyMode) -> SimRe
                     // Foreground pool per Formulas 1–2.
                     let window = SimDuration::from_secs_f64(1.0);
                     let cap = window.as_secs_f64() * fg_capacity as f64;
-                    let busy =
-                        fg_busy.busy_seconds_between(now.saturating_sub_dur(window), now);
+                    let busy = fg_busy.busy_seconds_between(now.saturating_sub_dur(window), now);
                     let cpu_usage = (busy / cap.max(1e-9)).clamp(0.0, 1.0);
                     let q_len: usize = queues.iter().map(|q| q.len()).sum();
                     let q_cap: usize = queues.iter().map(|q| q.capacity()).sum();

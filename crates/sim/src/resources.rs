@@ -99,7 +99,11 @@ impl ServerPool {
         if cap <= 0.0 {
             return 0.0;
         }
-        (self.busy.busy_seconds_between(now.saturating_sub_dur(window), now) / cap).clamp(0.0, 1.0)
+        (self
+            .busy
+            .busy_seconds_between(now.saturating_sub_dur(window), now)
+            / cap)
+            .clamp(0.0, 1.0)
     }
 }
 

@@ -1,9 +1,7 @@
 //! Property-based tests over the simulator's invariants.
 
 use minato_data::WorkloadSpec;
-use minato_sim::{
-    simulate_inorder, simulate_minato, ClassifyMode, DaliSimCfg, SimConfig,
-};
+use minato_sim::{simulate_inorder, simulate_minato, ClassifyMode, DaliSimCfg, SimConfig};
 use proptest::prelude::*;
 
 fn workload_for(idx: u8) -> WorkloadSpec {

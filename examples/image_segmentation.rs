@@ -69,5 +69,8 @@ fn main() {
     for batch in torch.iter() {
         voxels += batch.samples.iter().map(|v| v.len()).sum::<usize>();
     }
-    println!("  {voxels} voxels in {:.2?} (strict in-order delivery)", t0.elapsed());
+    println!(
+        "  {voxels} voxels in {:.2?} (strict in-order delivery)",
+        t0.elapsed()
+    );
 }

@@ -15,7 +15,7 @@ fn main() {
     let pipeline = Pipeline::new(vec![
         fn_transform("normalize", |x: u32| Ok(x % 97)),
         fn_transform("augment", |x: u32| {
-            if x % 8 == 0 {
+            if x.is_multiple_of(8) {
                 std::thread::sleep(Duration::from_millis(8));
             } else {
                 std::thread::sleep(Duration::from_micros(300));

@@ -1,0 +1,148 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides `Criterion`, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros so `cargo bench` runs without the registry.
+//! Measurement is a simple calibrated loop (median-free mean over a
+//! fixed measurement window) — adequate for spotting order-of-magnitude
+//! regressions, not a statistics suite.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark harness configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of measured samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total time budget for measurement of one benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up duration before measurement starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Run one benchmark and print its mean per-iteration time.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warm_up: self.warm_up_time,
+            budget: self.measurement_time / self.sample_size as u32,
+            samples: Vec::with_capacity(self.sample_size),
+        };
+        for _ in 0..self.sample_size {
+            f(&mut b);
+            // Only the first sample warms up.
+            b.warm_up = Duration::ZERO;
+        }
+        let mean_ns = b.samples.iter().sum::<f64>() / b.samples.len().max(1) as f64;
+        println!(
+            "{id:<40} {:>12.1} ns/iter ({} samples)",
+            mean_ns,
+            b.samples.len()
+        );
+        self
+    }
+}
+
+/// Handed to benchmark closures; runs the measured routine.
+pub struct Bencher {
+    warm_up: Duration,
+    budget: Duration,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measure `routine` repeatedly for this sample's time budget and
+    /// record the mean per-iteration nanoseconds.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let warm_end = Instant::now() + self.warm_up;
+        while Instant::now() < warm_end {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < self.budget {
+            black_box(routine());
+            iters += 1;
+        }
+        let total = start.elapsed();
+        if iters > 0 {
+            self.samples.push(total.as_nanos() as f64 / iters as f64);
+        }
+    }
+}
+
+/// Declare a group of benchmark functions. Supports both the simple
+/// `criterion_group!(name, f1, f2)` and the `name = ..; config = ..;
+/// targets = ..` forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `fn main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_samples() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1));
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            ran = true;
+            b.iter(|| 1 + 1);
+        });
+        assert!(ran);
+    }
+}

@@ -1,0 +1,456 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the slice of the proptest API this workspace's property
+//! suites use: the `proptest!` macro (including `#![proptest_config]`),
+//! range / `any` / `collection::vec` / `sample::subsequence` strategies,
+//! and `prop_assert*` macros. Unlike upstream proptest there is no
+//! shrinking and no persistence file: every test function derives its
+//! case seeds from a fixed constant, so runs are fully deterministic —
+//! two consecutive `cargo test` invocations execute byte-identical
+//! inputs.
+
+pub mod test_runner {
+    //! Runner configuration.
+
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` random cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Upstream defaults to 256; 64 keeps the suite fast while
+            // still exercising a meaningful input spread.
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use rand::rngs::StdRng;
+    use rand::{Random, Rng};
+
+    /// A recipe for generating values of `Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Draw one value.
+        fn sample_value(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    macro_rules! impl_strategy_for_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample_value(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample_value(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_strategy_for_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    /// Strategy yielding a fixed value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample_value(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy for [`any`](crate::arbitrary::any).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    impl<T> Any<T> {
+        /// Construct (used by [`crate::arbitrary::any`]).
+        pub fn new() -> Self {
+            Any(core::marker::PhantomData)
+        }
+    }
+
+    impl<T: crate::arbitrary::Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample_value(&self, rng: &mut StdRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    // Used by float strategies below; keep the helper close to the trait.
+    pub(crate) fn full_range_float<T>(rng: &mut StdRng) -> T
+    where
+        T: Random + core::ops::Mul<Output = T> + core::ops::Sub<Output = T> + From<f32> + Copy,
+    {
+        // Spread unit samples over a wide but finite band; properties in
+        // this workspace always constrain floats with explicit ranges,
+        // so `any::<f64>()` only needs to be "some finite float".
+        let unit = T::random_from(rng);
+        let scale: T = <T as From<f32>>::from(2e6f32);
+        let half: T = <T as From<f32>>::from(0.5f32);
+        (unit - half) * scale
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` support.
+
+    use rand::rngs::StdRng;
+    use rand::{Random, Rng};
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw one arbitrary value.
+        fn arbitrary_value(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_prim {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut StdRng) -> Self {
+                    <$t as Random>::random_from(rng)
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_prim!(bool, u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary_value(rng: &mut StdRng) -> Self {
+            crate::strategy::full_range_float::<f64>(rng)
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary_value(rng: &mut StdRng) -> Self {
+            crate::strategy::full_range_float::<f32>(rng)
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary_value(rng: &mut StdRng) -> Self {
+            // Printable ASCII keeps generated text debuggable.
+            rng.random_range(0x20u32..0x7f) as u8 as char
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> crate::strategy::Any<T> {
+        crate::strategy::Any::new()
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Inclusive-exclusive bounds on a generated collection's length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    impl SizeRange {
+        pub(crate) fn pick(&self, rng: &mut StdRng) -> usize {
+            assert!(self.lo < self.hi, "empty size range");
+            rng.random_range(self.lo..self.hi)
+        }
+    }
+
+    /// Strategy generating `Vec`s whose elements come from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample_value(&self, rng: &mut StdRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.sample_value(rng)).collect()
+        }
+    }
+
+    /// `Vec` strategy with element strategy `element` and length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling from fixed pools.
+
+    use crate::collection::SizeRange;
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy yielding order-preserving subsequences of a fixed pool.
+    #[derive(Debug, Clone)]
+    pub struct Subsequence<T: Clone> {
+        pool: Vec<T>,
+        size: SizeRange,
+    }
+
+    impl<T: Clone> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+        fn sample_value(&self, rng: &mut StdRng) -> Vec<T> {
+            let want = self.size.pick(rng).min(self.pool.len());
+            // Reservoir-free selection: walk the pool once, keeping each
+            // element with the exact probability needed to end at `want`.
+            let mut out = Vec::with_capacity(want);
+            let mut remaining_pool = self.pool.len();
+            let mut remaining_want = want;
+            for item in &self.pool {
+                if remaining_want == 0 {
+                    break;
+                }
+                let keep = rng.random_range(0..remaining_pool) < remaining_want;
+                if keep {
+                    out.push(item.clone());
+                    remaining_want -= 1;
+                }
+                remaining_pool -= 1;
+            }
+            out
+        }
+    }
+
+    /// Order-preserving subsequence of `pool` with length drawn from `size`.
+    pub fn subsequence<T: Clone>(pool: Vec<T>, size: impl Into<SizeRange>) -> Subsequence<T> {
+        Subsequence {
+            pool,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy yielding one element of a fixed pool.
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone>(Vec<T>);
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample_value(&self, rng: &mut StdRng) -> T {
+            let i = rng.random_range(0..self.0.len());
+            self.0[i].clone()
+        }
+    }
+
+    /// Uniform choice from `pool`.
+    pub fn select<T: Clone>(pool: Vec<T>) -> Select<T> {
+        Select(pool)
+    }
+}
+
+#[doc(hidden)]
+pub mod __rt {
+    //! Internals the macros expand to. Not a public API.
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+
+    /// Per-case seed: a fixed golden-ratio constant mixed with the case
+    /// index, so each case differs but every run is identical.
+    pub fn case_seed(fn_seed: u64, case: u64) -> u64 {
+        fn_seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(case.wrapping_mul(0x2545_F491_4F6C_DD1D))
+    }
+
+    /// Stable non-cryptographic hash of the property name (FNV-1a), used
+    /// to decorrelate the seed streams of different properties.
+    pub fn fn_seed(name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+/// Property-test entry macro. Mirrors upstream `proptest!` syntax for
+/// `fn name(pat in strategy, ..) { body }` items with an optional leading
+/// `#![proptest_config(expr)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cfg = $cfg;
+            let __fn_seed = $crate::__rt::fn_seed(stringify!($name));
+            for __case in 0..__cfg.cases as u64 {
+                let mut __rng = <$crate::__rt::StdRng as $crate::__rt::SeedableRng>::seed_from_u64(
+                    $crate::__rt::case_seed(__fn_seed, __case),
+                );
+                $(let $pat = $crate::strategy::Strategy::sample_value(&($strat), &mut __rng);)*
+                $body
+            }
+        }
+    )*};
+}
+
+/// `assert!` that names the failing property condition.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond, "property assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// `assert_eq!` for properties.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+/// `assert_ne!` for properties.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*);
+    };
+}
+
+pub mod prelude {
+    //! Glob import mirroring `proptest::prelude`.
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 0u32..10, y in -1.0f64..1.0) {
+            prop_assert!(x < 10);
+            prop_assert!((-1.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size(v in crate::collection::vec(0u8..5, 2..7)) {
+            prop_assert!((2..7).contains(&v.len()));
+            prop_assert!(v.iter().all(|&b| b < 5));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        #[test]
+        fn config_cases_accepted(b in any::<bool>()) {
+            let _ = b;
+        }
+    }
+
+    #[test]
+    fn full_length_subsequence_is_identity() {
+        let s = crate::sample::subsequence((0..40u64).collect::<Vec<_>>(), 40);
+        let mut rng = StdRng::seed_from_u64(1);
+        let v = s.sample_value(&mut rng);
+        assert_eq!(v, (0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn subsequence_preserves_order() {
+        let s = crate::sample::subsequence((0..100u64).collect::<Vec<_>>(), 10..30);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let v = s.sample_value(&mut rng);
+            assert!((10..30).contains(&v.len()));
+            assert!(v.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        // Same fn seed + case index must give the same stream.
+        let a = crate::__rt::case_seed(crate::__rt::fn_seed("p"), 3);
+        let b = crate::__rt::case_seed(crate::__rt::fn_seed("p"), 3);
+        assert_eq!(a, b);
+    }
+}

@@ -85,14 +85,21 @@ fn minato_flags_heavy_samples_slow() {
 fn torch_baseline_and_minato_agree_on_content() {
     let (wl, scale) = speech_small();
     let minato = {
-        let loader = MinatoLoader::builder(synthetic_dataset(&wl, scale), work_pipeline_with_mode(&wl, WorkMode::Sleep))
-            .batch_size(8)
-            .seed(11)
-            .initial_workers(2)
-            .max_workers(3)
-            .build()
-            .expect("valid configuration");
-        let mut idx: Vec<usize> = loader.iter().flat_map(|b| b.samples).map(|s| s.index).collect();
+        let loader = MinatoLoader::builder(
+            synthetic_dataset(&wl, scale),
+            work_pipeline_with_mode(&wl, WorkMode::Sleep),
+        )
+        .batch_size(8)
+        .seed(11)
+        .initial_workers(2)
+        .max_workers(3)
+        .build()
+        .expect("valid configuration");
+        let mut idx: Vec<usize> = loader
+            .iter()
+            .flat_map(|b| b.samples)
+            .map(|s| s.index)
+            .collect();
         idx.sort_unstable();
         idx
     };
@@ -108,7 +115,11 @@ fn torch_baseline_and_minato_agree_on_content() {
             },
         )
         .expect("valid configuration");
-        let mut idx: Vec<usize> = loader.iter().flat_map(|b| b.samples).map(|s| s.index).collect();
+        let mut idx: Vec<usize> = loader
+            .iter()
+            .flat_map(|b| b.samples)
+            .map(|s| s.index)
+            .collect();
         idx.sort_unstable();
         idx
     };
@@ -119,18 +130,21 @@ fn torch_baseline_and_minato_agree_on_content() {
 fn adaptive_scheduler_reacts_to_load() {
     // Underprovision the initial workers; the monitor must scale up.
     let (wl, scale) = speech_small();
-    let loader = MinatoLoader::builder(synthetic_dataset(&wl, scale), work_pipeline_with_mode(&wl, WorkMode::Sleep))
-        .batch_size(4)
-        .epochs(4)
-        .initial_workers(1)
-        .max_workers(4)
-        .scheduler({
-            let mut s = SchedulerConfig::paper_default(4);
-            s.interval = Duration::from_millis(20);
-            s
-        })
-        .build()
-        .expect("valid configuration");
+    let loader = MinatoLoader::builder(
+        synthetic_dataset(&wl, scale),
+        work_pipeline_with_mode(&wl, WorkMode::Sleep),
+    )
+    .batch_size(4)
+    .epochs(4)
+    .initial_workers(1)
+    .max_workers(4)
+    .scheduler({
+        let mut s = SchedulerConfig::paper_default(4);
+        s.interval = Duration::from_millis(20);
+        s
+    })
+    .build()
+    .expect("valid configuration");
     let n: usize = loader.iter().map(|b| b.len()).sum();
     assert_eq!(n, 160);
     let trace = loader.trace();
@@ -144,15 +158,22 @@ fn adaptive_scheduler_reacts_to_load() {
 #[test]
 fn order_preserving_mode_round_trip() {
     let (wl, scale) = speech_small();
-    let loader = MinatoLoader::builder(synthetic_dataset(&wl, scale), work_pipeline_with_mode(&wl, WorkMode::Sleep))
-        .batch_size(8)
-        .shuffle(false)
-        .order_preserving(true)
-        .initial_workers(3)
-        .max_workers(3)
-        .build()
-        .expect("valid configuration");
-    let idx: Vec<usize> = loader.iter().flat_map(|b| b.samples).map(|s| s.index).collect();
+    let loader = MinatoLoader::builder(
+        synthetic_dataset(&wl, scale),
+        work_pipeline_with_mode(&wl, WorkMode::Sleep),
+    )
+    .batch_size(8)
+    .shuffle(false)
+    .order_preserving(true)
+    .initial_workers(3)
+    .max_workers(3)
+    .build()
+    .expect("valid configuration");
+    let idx: Vec<usize> = loader
+        .iter()
+        .flat_map(|b| b.samples)
+        .map(|s| s.index)
+        .collect();
     assert_eq!(idx, (0..40).collect::<Vec<_>>(), "strict order required");
 }
 
@@ -163,22 +184,21 @@ fn simulator_and_real_loader_agree_on_slow_fraction() {
     // (≈ 20% heavy for the speech microbenchmark).
     let mut cfg = minato::sim::SimConfig::config_a(WorkloadSpec::speech(3.0));
     cfg.max_batches = 60;
-    let sim = minato::sim::simulate_minato(
-        "minato",
-        &cfg,
-        minato::sim::ClassifyMode::Timeout,
-    );
+    let sim = minato::sim::simulate_minato("minato", &cfg, minato::sim::ClassifyMode::Timeout);
     let sim_frac = sim.slow_flagged as f64 / sim.samples as f64;
 
     let (wl, scale) = speech_small();
-    let loader = MinatoLoader::builder(synthetic_dataset(&wl, scale), work_pipeline_with_mode(&wl, WorkMode::Sleep))
-        .batch_size(8)
-        .epochs(4)
-        .initial_workers(3)
-        .max_workers(4)
-        .timeout_policy(TimeoutPolicy::Fixed(Duration::from_millis(3)))
-        .build()
-        .expect("valid configuration");
+    let loader = MinatoLoader::builder(
+        synthetic_dataset(&wl, scale),
+        work_pipeline_with_mode(&wl, WorkMode::Sleep),
+    )
+    .batch_size(8)
+    .epochs(4)
+    .initial_workers(3)
+    .max_workers(4)
+    .timeout_policy(TimeoutPolicy::Fixed(Duration::from_millis(3)))
+    .build()
+    .expect("valid configuration");
     let mut slow = 0usize;
     let mut total = 0usize;
     for b in loader.iter() {

@@ -1,0 +1,152 @@
+//! Smoke tests mirroring each `examples/` program as a scaled-down
+//! library call, so the examples' API surface cannot silently rot even
+//! when nobody runs the binaries. (CI additionally compiles the real
+//! example binaries via `cargo build --all-targets`.)
+
+use minato::baselines::torch::{TorchConfig, TorchLoader};
+use minato::core::prelude::*;
+use minato::data::audio::{speech_pipeline, AudioClip};
+use minato::data::volume::{segmentation_pipeline, Volume3D};
+use minato::data::WorkloadSpec;
+use minato::sim::{simulate_inorder, simulate_minato, ClassifyMode, DaliSimCfg, SimConfig};
+use std::time::Duration;
+
+/// `examples/quickstart.rs`: in-memory dataset, mixed-cost pipeline.
+#[test]
+fn quickstart_flow() {
+    let dataset = VecDataset::new((0..64u32).collect::<Vec<_>>());
+    let pipeline = Pipeline::new(vec![
+        fn_transform("normalize", |x: u32| Ok(x % 97)),
+        fn_transform("augment", |x: u32| {
+            if x.is_multiple_of(8) {
+                std::thread::sleep(Duration::from_millis(4));
+            } else {
+                std::thread::sleep(Duration::from_micros(100));
+            }
+            Ok(x)
+        }),
+        fn_transform("to-tensor", Ok),
+    ]);
+    let loader = MinatoLoader::builder(dataset, pipeline)
+        .batch_size(16)
+        .initial_workers(4)
+        .max_workers(8)
+        .timeout_policy(TimeoutPolicy::Fixed(Duration::from_millis(2)))
+        .seed(42)
+        .build()
+        .expect("valid configuration");
+    let mut total = 0;
+    let mut slow = 0;
+    for batch in loader.iter() {
+        total += batch.len();
+        slow += batch.slow_count();
+    }
+    assert_eq!(total, 64);
+    assert!(slow >= 1, "every 8th sample sleeps past the fixed cutoff");
+}
+
+/// `examples/image_segmentation.rs`: variable-size volumes through the
+/// segmentation pipeline, Minato vs the in-order baseline.
+#[test]
+fn image_segmentation_flow() {
+    fn dataset() -> FnDataset<Volume3D, impl Fn(usize) -> minato::core::error::Result<Volume3D>> {
+        FnDataset::new(12, |i| {
+            let side = 8 + (i * 7) % 12;
+            Ok(Volume3D::generate([side, side, side], i as u64))
+        })
+    }
+    let pipeline = segmentation_pipeline([6, 6, 6]);
+
+    let loader = MinatoLoader::builder(dataset(), pipeline.clone())
+        .batch_size(4)
+        .initial_workers(2)
+        .max_workers(3)
+        .warmup_samples(4)
+        .seed(7)
+        .build()
+        .expect("valid configuration");
+    let minato_voxels: usize = loader.iter().flat_map(|b| b.samples).map(|v| v.len()).sum();
+    assert_eq!(loader.stats().samples_done, 12);
+
+    let torch = TorchLoader::new(
+        dataset(),
+        pipeline,
+        TorchConfig {
+            batch_size: 4,
+            num_workers: 2,
+            seed: 7,
+            ..Default::default()
+        },
+    )
+    .expect("valid configuration");
+    let torch_voxels: usize = torch.iter().flat_map(|b| b.samples).map(|v| v.len()).sum();
+    // Both loaders crop to the same target shape, so total voxels match.
+    assert_eq!(minato_voxels, torch_voxels);
+    assert!(minato_voxels > 0);
+}
+
+/// `examples/speech_pipeline.rs`: heavy-fifth audio workload; the
+/// audio–transcript pairing must survive reordering.
+#[test]
+fn speech_pipeline_flow() {
+    let dataset = FnDataset::new(20, |i| {
+        let seconds = if i % 5 == 0 { 0.8 } else { 0.2 };
+        Ok(AudioClip::generate(seconds, 8_000, i as u64))
+    });
+    let pipeline = speech_pipeline(2, 12);
+    let loader = MinatoLoader::builder(dataset, pipeline)
+        .batch_size(5)
+        .initial_workers(2)
+        .max_workers(3)
+        .slow_workers(1)
+        .warmup_samples(6)
+        .seed(3)
+        .build()
+        .expect("valid configuration");
+    let mut clips = 0usize;
+    for batch in loader.iter() {
+        clips += batch.len();
+        for (clip, meta) in batch.samples.iter().zip(&batch.meta) {
+            let reference = AudioClip::generate(
+                if meta.index % 5 == 0 { 0.8 } else { 0.2 },
+                8_000,
+                meta.index as u64,
+            );
+            assert_eq!(
+                clip.transcript, reference.transcript,
+                "audio-text pairing broken under reordering"
+            );
+        }
+    }
+    assert_eq!(clips, 20);
+}
+
+/// `examples/memory_constrained.rs`: cache-limited simulation; Minato
+/// must beat the in-order baseline end to end.
+#[test]
+fn memory_constrained_flow() {
+    let mut cfg = SimConfig::config_b(WorkloadSpec::image_segmentation());
+    cfg.dataset_replication = 2;
+    cfg.memory_bytes = 20_000_000_000;
+    cfg.max_batches = 80;
+
+    let pytorch = simulate_inorder("PyTorch", &cfg, None);
+    let dali = simulate_inorder(
+        "DALI",
+        &cfg,
+        Some(DaliSimCfg {
+            speedup: 10.0,
+            queue_depth: 2,
+        }),
+    );
+    let minato = simulate_minato("Minato", &cfg, ClassifyMode::Timeout);
+
+    assert!(pytorch.train_time_s > 0.0);
+    assert!(dali.train_time_s > 0.0);
+    assert!(
+        minato.train_time_s < pytorch.train_time_s,
+        "Minato {:.0}s must beat in-order {:.0}s",
+        minato.train_time_s,
+        pytorch.train_time_s
+    );
+}
