@@ -30,6 +30,30 @@ fn bench_queue(c: &mut Criterion) {
     });
 }
 
+/// Single vs batched queue operations: the cost of moving 64 items
+/// item-at-a-time (one lock acquisition + condvar signal each) against
+/// one `put_many`/`pop_many` pair.
+fn bench_queue_batched(c: &mut Criterion) {
+    c.bench_function("queue/put_pop_single_x64", |b| {
+        let q: MinatoQueue<u64> = MinatoQueue::new("bench", 1024);
+        b.iter(|| {
+            for i in 0..64u64 {
+                q.put(black_box(i)).expect("open");
+            }
+            for _ in 0..64 {
+                black_box(q.pop());
+            }
+        });
+    });
+    c.bench_function("queue/put_many_pop_many_x64", |b| {
+        let q: MinatoQueue<u64> = MinatoQueue::new("bench", 1024);
+        b.iter(|| {
+            q.put_many(black_box((0..64u64).collect())).expect("open");
+            black_box(q.pop_many(64));
+        });
+    });
+}
+
 fn bench_balancer(c: &mut Criterion) {
     c.bench_function("balancer/on_fast_complete", |b| {
         let lb = LoadBalancer::paper_default();
@@ -102,6 +126,6 @@ fn bench_profiles(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
-    targets = bench_queue, bench_balancer, bench_pipeline, bench_reorder, bench_sim, bench_profiles
+    targets = bench_queue, bench_queue_batched, bench_balancer, bench_pipeline, bench_reorder, bench_sim, bench_profiles
 }
 criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Ablation: batched (`put_many`/`pop_many`) vs item-at-a-time queue
+//! operations on the real threaded loader, reported as queue lock
+//! acquisitions per delivered sample.
+fn main() {
+    println!("{}", minato_bench::ablations::ablation_queue_batching());
+}

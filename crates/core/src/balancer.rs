@@ -110,6 +110,14 @@ pub struct LoadBalancer {
     timeout_ns: AtomicU64,
     completions: Counter,
     flagged_slow: Counter,
+    /// Highest refresh boundary (warm-up end, then `refresh_every`
+    /// multiples past it) a refresh has been claimed for, advanced by
+    /// CAS. Makes the refresh trigger monotonic: with racing workers the
+    /// completion counter can skip past a boundary between one worker's
+    /// `incr` and its `get`, and a trigger comparing `n` against exact
+    /// boundary values would then never fire, leaving the timeout stale
+    /// until the monitor's backstop.
+    refreshed_through: AtomicU64,
 }
 
 impl LoadBalancer {
@@ -126,6 +134,7 @@ impl LoadBalancer {
             timeout_ns: AtomicU64::new(timeout_ns),
             completions: Counter::new(),
             flagged_slow: Counter::new(),
+            refreshed_through: AtomicU64::new(0),
         }
     }
 
@@ -198,11 +207,28 @@ impl LoadBalancer {
         if n < self.cfg.warmup_samples {
             return;
         }
-        // Refresh on warm-up completion, then every `refresh_every`.
-        if n != self.cfg.warmup_samples && !n.is_multiple_of(self.cfg.refresh_every.max(1)) {
-            return;
+        // The refresh boundary `n` has most recently crossed: warm-up
+        // completion, then `refresh_every` multiples. Claim it by CAS so
+        // exactly one of the racing workers refreshes per boundary, and
+        // a boundary is never skipped just because no worker read the
+        // counter at its exact value.
+        let every = self.cfg.refresh_every.max(1);
+        let due = (n / every * every).max(self.cfg.warmup_samples);
+        let mut last = self.refreshed_through.load(Ordering::Relaxed);
+        while last < due {
+            match self.refreshed_through.compare_exchange_weak(
+                last,
+                due,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.refresh_now();
+                    return;
+                }
+                Err(current) => last = current,
+            }
         }
-        self.refresh_now();
     }
 
     /// Forces a timeout recomputation (used by tests and the monitor
@@ -330,6 +356,44 @@ mod tests {
         assert!((lb.slow_fraction() - 0.5).abs() < 1e-9);
         assert_eq!(lb.completions(), 4);
         assert_eq!(lb.flagged_slow(), 2);
+    }
+
+    /// Regression test for the refresh race: with workers completing
+    /// samples concurrently, the completion counter can skip past the
+    /// `n == warmup_samples` boundary (and `refresh_every` multiples)
+    /// between one worker's `incr` and its `get`. The CAS-claimed
+    /// boundary must publish the timeout regardless of interleaving —
+    /// without the monitor thread's `refresh_now` backstop.
+    #[test]
+    fn concurrent_warmup_publishes_timeout_without_backstop() {
+        use std::sync::Arc;
+        for round in 0..20 {
+            let lb = Arc::new(LoadBalancer::new(BalancerConfig {
+                warmup_samples: 64,
+                // Far beyond the sample count: only the warm-up boundary
+                // can publish the timeout.
+                refresh_every: 1 << 40,
+                ..Default::default()
+            }));
+            let workers: Vec<_> = (0..8)
+                .map(|w| {
+                    let lb = Arc::clone(&lb);
+                    std::thread::spawn(move || {
+                        for i in 0..32u64 {
+                            lb.on_fast_complete(&rec(10 + (w + i + round) % 7));
+                        }
+                    })
+                })
+                .collect();
+            for h in workers {
+                h.join().unwrap();
+            }
+            assert_eq!(lb.completions(), 256);
+            assert!(
+                lb.current_timeout().is_some(),
+                "warm-up boundary skipped under concurrency (round {round})"
+            );
+        }
     }
 
     #[test]

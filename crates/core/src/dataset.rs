@@ -175,6 +175,24 @@ pub trait Sampler: Send + Sync + 'static {
     /// Claims the next ticket, or `None` when exhausted.
     fn next(&self) -> Option<SampleTicket>;
 
+    /// Claims up to `max` consecutive tickets in one call, returning
+    /// fewer (possibly zero) only when the sampler runs out.
+    ///
+    /// Loader workers use this to amortize the sampler's synchronization
+    /// over a whole chunk (the builder's `ticket_chunk` knob); the
+    /// default implementation just loops [`Sampler::next`], so custom
+    /// samplers stay correct without overriding it.
+    fn next_many(&self, max: usize) -> Vec<SampleTicket> {
+        let mut out = Vec::with_capacity(max);
+        while out.len() < max {
+            match self.next() {
+                Some(t) => out.push(t),
+                None => break,
+            }
+        }
+        out
+    }
+
     /// Total number of tickets this sampler will ever emit.
     fn total(&self) -> u64;
 }
@@ -238,33 +256,42 @@ impl EpochSampler {
 
 impl Sampler for EpochSampler {
     fn next(&self) -> Option<SampleTicket> {
-        if self.len == 0 || self.epochs == 0 {
-            return None;
+        self.next_many(1).pop()
+    }
+
+    /// Claims a whole chunk under a single lock acquisition (the default
+    /// trait implementation would lock once per ticket).
+    fn next_many(&self, max: usize) -> Vec<SampleTicket> {
+        if self.len == 0 || self.epochs == 0 || max == 0 {
+            return Vec::new();
         }
         let mut st = self.state.lock();
-        if st.epoch >= self.epochs {
-            return None;
-        }
-        if st.pos == self.len {
-            st.epoch += 1;
+        let mut out = Vec::with_capacity(max);
+        while out.len() < max {
             if st.epoch >= self.epochs {
-                return None;
+                break;
             }
-            st.pos = 0;
-            if self.shuffle {
-                let mut order = std::mem::take(&mut st.order);
-                order.shuffle(&mut st.rng);
-                st.order = order;
+            if st.pos == self.len {
+                st.epoch += 1;
+                if st.epoch >= self.epochs {
+                    break;
+                }
+                st.pos = 0;
+                if self.shuffle {
+                    let mut order = std::mem::take(&mut st.order);
+                    order.shuffle(&mut st.rng);
+                    st.order = order;
+                }
             }
+            out.push(SampleTicket {
+                index: st.order[st.pos],
+                epoch: st.epoch,
+                seq: st.seq,
+            });
+            st.pos += 1;
+            st.seq += 1;
         }
-        let ticket = SampleTicket {
-            index: st.order[st.pos],
-            epoch: st.epoch,
-            seq: st.seq,
-        };
-        st.pos += 1;
-        st.seq += 1;
-        Some(ticket)
+        out
     }
 
     fn total(&self) -> u64 {
@@ -328,6 +355,24 @@ mod tests {
         };
         assert_eq!(collect(7), collect(7));
         assert_ne!(collect(7), collect(8));
+    }
+
+    #[test]
+    fn next_many_matches_single_claims_across_epochs() {
+        let chunked = EpochSampler::new(5, 3, true, 9);
+        let single = EpochSampler::new(5, 3, true, 9);
+        let mut via_chunks = Vec::new();
+        loop {
+            let chunk = chunked.next_many(4);
+            if chunk.is_empty() {
+                break;
+            }
+            assert!(chunk.len() <= 4);
+            via_chunks.extend(chunk);
+        }
+        let via_single: Vec<SampleTicket> = std::iter::from_fn(|| single.next()).collect();
+        assert_eq!(via_chunks, via_single);
+        assert!(chunked.next_many(4).is_empty(), "stays exhausted");
     }
 
     #[test]

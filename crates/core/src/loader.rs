@@ -85,6 +85,10 @@ pub struct LoaderConfig {
     pub adaptive_workers: bool,
     /// Scheduler tuning (gains, clip, monitor interval).
     pub scheduler: SchedulerConfig,
+    /// Tickets a loader worker claims from the sampler per chunk, and the
+    /// flush size for batched queue operations on the hot path (1 =
+    /// item-at-a-time, the pre-batching behaviour).
+    pub ticket_chunk: usize,
     /// How blocked queue operations wait.
     pub wakeup: WakeupPolicy,
     /// How long a starved batch worker waits before re-checking queues.
@@ -130,6 +134,7 @@ impl<D: Dataset> MinatoLoaderBuilder<D> {
                 warmup_samples: 32,
                 adaptive_workers: true,
                 scheduler: SchedulerConfig::paper_default(max_workers),
+                ticket_chunk: 8,
                 wakeup: WakeupPolicy::Condvar,
                 starvation_wait: Duration::from_millis(1),
                 order_preserving: false,
@@ -234,6 +239,14 @@ impl<D: Dataset> MinatoLoaderBuilder<D> {
         self
     }
 
+    /// Sampler tickets claimed (and fast-queue samples flushed) per
+    /// chunk. Larger chunks amortize queue/sampler lock acquisitions over
+    /// more samples; 1 restores item-at-a-time behaviour.
+    pub fn ticket_chunk(mut self, n: usize) -> Self {
+        self.cfg.ticket_chunk = n;
+        self
+    }
+
     /// Queue wakeup policy (condvar vs paper-faithful sleep-poll).
     pub fn wakeup(mut self, w: WakeupPolicy) -> Self {
         self.cfg.wakeup = w;
@@ -300,6 +313,9 @@ impl<D: Dataset> MinatoLoaderBuilder<D> {
             return Err(LoaderError::Config(
                 "queue capacities must be positive".into(),
             ));
+        }
+        if cfg.ticket_chunk == 0 {
+            return Err(LoaderError::Config("ticket_chunk must be positive".into()));
         }
         MinatoLoader::start(self.dataset, self.pipeline, self.cfg, self.transfer_hook)
     }
@@ -370,7 +386,8 @@ impl<D: Dataset> MinatoLoader<D> {
             source_drained: AtomicBool::new(false),
             slow_live: AtomicUsize::new(slow_workers.max(1)),
             batchers_live: AtomicUsize::new(cfg.batch_workers),
-            cpu_meter: UtilizationMeter::new(cfg.max_workers + slow_workers),
+            cpu_meter: UtilizationMeter::new(cfg.max_workers),
+            slow_meter: UtilizationMeter::new(slow_workers.max(1)),
             samples_out: Counter::new(),
             bytes_out: Counter::new(),
             batches_out: Counter::new(),
@@ -481,6 +498,13 @@ impl<D: Dataset> MinatoLoader<D> {
             slow_queue_len: rt.slow_q.len(),
             temp_queue_len: rt.temp_q.len(),
             batch_queue_len: rt.batch_qs.iter().map(|q| q.len()).sum(),
+            queue_lock_acquisitions: rt.fast_q.lock_acquisitions()
+                + rt.slow_q.lock_acquisitions()
+                + rt.temp_q.lock_acquisitions()
+                + rt.batch_qs
+                    .iter()
+                    .map(|q| q.lock_acquisitions())
+                    .sum::<u64>(),
             active_workers: rt.gate.active_limit(),
             timeout: rt.balancer.current_timeout(),
             preprocess_ms: rt.balancer.profiler().summary_ms(),
@@ -544,6 +568,7 @@ fn monitor_loop<D: Dataset>(rt: Arc<Runtime<D>>, trace: Arc<Mutex<MonitorTrace>>
     let mut scheduler = WorkerScheduler::new(rt.cfg.scheduler.clone());
     let interval = rt.cfg.scheduler.interval;
     let mut prev_busy = 0u64;
+    let mut prev_slow_busy = 0u64;
     let mut prev_bytes = 0u64;
     loop {
         std::thread::sleep(interval);
@@ -554,12 +579,22 @@ fn monitor_loop<D: Dataset>(rt: Arc<Runtime<D>>, trace: Arc<Mutex<MonitorTrace>>
         let now = rt.started_at.elapsed().as_secs_f64();
         let active = rt.gate.active_limit().max(1);
 
-        // CPU utilization of *active* workers over the last interval.
+        // CPU utilization of *active loader* workers over the last
+        // interval. Slow workers meter their busy time separately: they
+        // are not gated by the scheduler, so folding their time into this
+        // numerator while normalizing by the active loader count would
+        // inflate `cpu_norm` into the clamp and bias Formulas 1–2.
         let busy = rt.cpu_meter.busy_ns();
         let busy_delta = busy.saturating_sub(prev_busy);
         prev_busy = busy;
         let cpu_norm =
             (busy_delta as f64 / (interval.as_nanos() as f64 * active as f64)).clamp(0.0, 1.0);
+        let slow_busy = rt.slow_meter.busy_ns();
+        let slow_delta = slow_busy.saturating_sub(prev_slow_busy);
+        prev_slow_busy = slow_busy;
+        let slow_norm = (slow_delta as f64
+            / (interval.as_nanos() as f64 * rt.slow_meter.slots() as f64))
+            .clamp(0.0, 1.0);
 
         // Batch-queue occupancy as a fraction of total capacity.
         let q_len: usize = rt.batch_qs.iter().map(|q| q.len()).sum();
@@ -573,6 +608,7 @@ fn monitor_loop<D: Dataset>(rt: Arc<Runtime<D>>, trace: Arc<Mutex<MonitorTrace>>
         {
             let mut t = trace.lock();
             t.cpu_pct.push(now, cpu_norm * 100.0);
+            t.slow_cpu_pct.push(now, slow_norm * 100.0);
             t.workers.push(now, active as f64);
             t.batch_occupancy
                 .push(now, q_len as f64 / q_cap.max(1) as f64);
@@ -810,6 +846,70 @@ mod tests {
         got.extend(h.join().unwrap());
         got.sort_unstable();
         assert_eq!(got, (0..64).collect::<Vec<u32>>());
+    }
+
+    /// Regression test for GPU-feed starvation: GPU 0's consumer never
+    /// pops, so its batch queue fills and stays full. Delivery must fall
+    /// through to GPU 1 and the run must terminate — with the old
+    /// choose-then-block emit, a momentary occupancy tie wedged every
+    /// GPU behind the stalled one.
+    #[test]
+    fn stalled_gpu_does_not_starve_the_others() {
+        let ds = VecDataset::new((0..64u32).collect::<Vec<_>>());
+        let p: Pipeline<u32> = Pipeline::identity();
+        let loader = MinatoLoader::builder(ds, p)
+            .batch_size(4)
+            .num_gpus(2)
+            .prefetch_factor(2)
+            .initial_workers(2)
+            .max_workers(2)
+            .build()
+            .unwrap();
+        let mut gpu1_samples = 0;
+        while let Some(b) = loader.next_batch(1) {
+            gpu1_samples += b.len();
+        }
+        // GPU 0 can absorb at most prefetch_factor batches; everything
+        // else must have been delivered to the live consumer.
+        assert!(
+            gpu1_samples >= 64 - 2 * 4,
+            "live GPU starved: got {gpu1_samples} of 64 samples"
+        );
+        assert_eq!(loader.stats().batches_done, 16, "emission stalled");
+    }
+
+    #[test]
+    fn chunked_and_single_ticket_paths_deliver_identically() {
+        let run = |chunk: usize| -> Vec<u32> {
+            let ds = VecDataset::new((0..100u32).collect::<Vec<_>>());
+            let p: Pipeline<u32> = Pipeline::identity();
+            let loader = MinatoLoader::builder(ds, p)
+                .batch_size(7)
+                .epochs(2)
+                .seed(3)
+                .ticket_chunk(chunk)
+                .initial_workers(2)
+                .max_workers(4)
+                .build()
+                .unwrap();
+            let mut all: Vec<u32> = loader.iter().flat_map(|b| b.samples).collect();
+            all.sort_unstable();
+            all
+        };
+        let single = run(1);
+        let chunked = run(8);
+        assert_eq!(single, chunked, "delivery set must not depend on chunking");
+        assert_eq!(single.len(), 200);
+    }
+
+    #[test]
+    fn builder_rejects_zero_ticket_chunk() {
+        let ds = VecDataset::new(vec![1u32]);
+        let p: Pipeline<u32> = Pipeline::identity();
+        assert!(matches!(
+            MinatoLoader::builder(ds, p).ticket_chunk(0).build(),
+            Err(LoaderError::Config(_))
+        ));
     }
 
     #[test]

@@ -36,6 +36,15 @@ pub struct Closed;
 struct Inner<T> {
     items: VecDeque<T>,
     closed: bool,
+    /// Slots claimed by outstanding [`PutReservation`]s: counted against
+    /// capacity but not yet holding an item.
+    reserved: usize,
+}
+
+impl<T> Inner<T> {
+    fn space(&self, capacity: usize) -> usize {
+        capacity - self.items.len() - self.reserved
+    }
 }
 
 /// A bounded MPMC queue with occupancy instrumentation and close-to-drain
@@ -69,6 +78,12 @@ pub struct MinatoQueue<T> {
     not_empty: Condvar,
     puts: Counter,
     pops: Counter,
+    // Mutex acquisitions made by put/pop operations (including wakeups
+    // from a condvar wait, which re-acquire the lock). Monitoring-only
+    // accessors (`len`, `is_closed`, ...) are not counted: the counter
+    // measures the synchronization cost of moving items, the quantity
+    // the `queue_batching` ablation divides by delivered samples.
+    lock_ops: Counter,
     // Occupancy accumulator for the scheduler's moving average: sum of
     // queue lengths observed at each operation, in fixed-point (len << 0).
     occupancy_sum: AtomicU64,
@@ -95,11 +110,13 @@ impl<T> MinatoQueue<T> {
             inner: Mutex::new(Inner {
                 items: VecDeque::with_capacity(capacity.min(1024)),
                 closed: false,
+                reserved: 0,
             }),
             not_full: Condvar::new(),
             not_empty: Condvar::new(),
             puts: Counter::new(),
             pops: Counter::new(),
+            lock_ops: Counter::new(),
             occupancy_sum: AtomicU64::new(0),
             occupancy_obs: AtomicU64::new(0),
         }
@@ -120,17 +137,24 @@ impl<T> MinatoQueue<T> {
         self.occupancy_obs.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Acquires the state mutex for a put/pop operation, counting the
+    /// acquisition.
+    fn lock_op(&self) -> parking_lot::MutexGuard<'_, Inner<T>> {
+        self.lock_ops.incr();
+        self.inner.lock()
+    }
+
     /// Blocking put. Fails with [`Closed`] if the queue was closed (before
     /// or while waiting for space).
     pub fn put(&self, item: T) -> Result<(), Closed> {
         match self.policy {
             WakeupPolicy::Condvar => {
-                let mut g = self.inner.lock();
+                let mut g = self.lock_op();
                 loop {
                     if g.closed {
                         return Err(Closed);
                     }
-                    if g.items.len() < self.capacity {
+                    if g.space(self.capacity) > 0 {
                         g.items.push_back(item);
                         let len = g.items.len();
                         drop(g);
@@ -140,6 +164,7 @@ impl<T> MinatoQueue<T> {
                         return Ok(());
                     }
                     self.not_full.wait(&mut g);
+                    self.lock_ops.incr();
                 }
             }
             WakeupPolicy::SleepPoll(nap) => {
@@ -160,11 +185,11 @@ impl<T> MinatoQueue<T> {
 
     /// Non-blocking put.
     pub fn try_put(&self, item: T) -> Result<(), TryPutError<T>> {
-        let mut g = self.inner.lock();
+        let mut g = self.lock_op();
         if g.closed {
             return Err(TryPutError::Closed(item));
         }
-        if g.items.len() >= self.capacity {
+        if g.space(self.capacity) == 0 {
             return Err(TryPutError::Full(item));
         }
         g.items.push_back(item);
@@ -176,12 +201,189 @@ impl<T> MinatoQueue<T> {
         Ok(())
     }
 
+    /// Non-blocking reservation of one slot, for reserve-then-publish
+    /// puts.
+    ///
+    /// A reservation counts against capacity immediately but holds no
+    /// item; the caller does its pre-publication work (e.g. a device
+    /// prefetch that must target the queue that will actually deliver
+    /// the item) *outside* the queue lock, then calls
+    /// [`PutReservation::publish`]. Dropping the reservation without
+    /// publishing releases the slot. A plain `try_put` cannot express
+    /// this: the caller only learns which queue accepted the item after
+    /// it is already poppable.
+    pub fn try_reserve(&self) -> Result<PutReservation<'_, T>, TryReserveError> {
+        let mut g = self.lock_op();
+        if g.closed {
+            return Err(TryReserveError::Closed);
+        }
+        if g.space(self.capacity) == 0 {
+            return Err(TryReserveError::Full);
+        }
+        g.reserved += 1;
+        drop(g);
+        Ok(PutReservation {
+            queue: self,
+            active: true,
+        })
+    }
+
+    /// [`MinatoQueue::try_reserve`] with a bounded wait for space.
+    /// Returns `Err(Full)` on timeout.
+    pub fn reserve_timeout(
+        &self,
+        timeout: Duration,
+    ) -> Result<PutReservation<'_, T>, TryReserveError> {
+        match self.policy {
+            WakeupPolicy::Condvar => {
+                let deadline = std::time::Instant::now() + timeout;
+                let mut g = self.lock_op();
+                loop {
+                    if g.closed {
+                        return Err(TryReserveError::Closed);
+                    }
+                    if g.space(self.capacity) > 0 {
+                        g.reserved += 1;
+                        drop(g);
+                        return Ok(PutReservation {
+                            queue: self,
+                            active: true,
+                        });
+                    }
+                    if self.not_full.wait_until(&mut g, deadline).timed_out() {
+                        return Err(TryReserveError::Full);
+                    }
+                    self.lock_ops.incr();
+                }
+            }
+            WakeupPolicy::SleepPoll(nap) => {
+                let deadline = std::time::Instant::now() + timeout;
+                loop {
+                    match self.try_reserve() {
+                        Ok(r) => return Ok(r),
+                        Err(TryReserveError::Closed) => return Err(TryReserveError::Closed),
+                        Err(TryReserveError::Full) => {
+                            if std::time::Instant::now() >= deadline {
+                                return Err(TryReserveError::Full);
+                            }
+                            std::thread::sleep(nap.min(
+                                deadline.saturating_duration_since(std::time::Instant::now()),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Blocking bulk put: enqueues all of `items`, taking the lock once
+    /// per burst of available space instead of once per item and waking
+    /// consumers with a single `notify_all` per burst.
+    ///
+    /// If the chunk exceeds the free space (or the queue capacity), the
+    /// put proceeds in capacity-sized bursts, blocking between them.
+    /// Fails with [`Closed`] if the queue is closed before every item is
+    /// enqueued; items from already-completed bursts stay in the queue
+    /// and drain normally (close-to-drain semantics), the rest are
+    /// dropped — exactly the items a failing single-item `put` loop
+    /// would have dropped.
+    pub fn put_many(&self, items: Vec<T>) -> Result<(), Closed> {
+        if items.is_empty() {
+            return Ok(());
+        }
+        let total = items.len();
+        let mut it = items.into_iter();
+        let mut done = 0usize;
+        match self.policy {
+            WakeupPolicy::Condvar => {
+                let mut g = self.lock_op();
+                loop {
+                    if g.closed {
+                        return Err(Closed);
+                    }
+                    let space = g.space(self.capacity);
+                    if space > 0 {
+                        let take = space.min(total - done);
+                        g.items.extend(it.by_ref().take(take));
+                        done += take;
+                        let len = g.items.len();
+                        self.observe_len(len);
+                        self.puts.add(take as u64);
+                        if done == total {
+                            drop(g);
+                            self.not_empty.notify_all();
+                            return Ok(());
+                        }
+                        self.not_empty.notify_all();
+                    }
+                    self.not_full.wait(&mut g);
+                    self.lock_ops.incr();
+                }
+            }
+            WakeupPolicy::SleepPoll(nap) => loop {
+                {
+                    let mut g = self.lock_op();
+                    if g.closed {
+                        return Err(Closed);
+                    }
+                    let space = g.space(self.capacity);
+                    if space > 0 {
+                        let take = space.min(total - done);
+                        g.items.extend(it.by_ref().take(take));
+                        done += take;
+                        let len = g.items.len();
+                        drop(g);
+                        self.observe_len(len);
+                        self.puts.add(take as u64);
+                        self.not_empty.notify_all();
+                        if done == total {
+                            return Ok(());
+                        }
+                        continue;
+                    }
+                }
+                std::thread::sleep(nap);
+            },
+        }
+    }
+
+    /// Non-blocking bulk put: enqueues as many leading `items` as fit
+    /// under one lock acquisition. Returns `Err(Full(rest))` with the
+    /// items that did not fit (possibly all of them) and
+    /// `Err(Closed(items))` when the queue is closed — callers retry or
+    /// hand the leftover to a blocking [`MinatoQueue::put_many`].
+    pub fn try_put_many(&self, mut items: Vec<T>) -> Result<(), TryPutError<Vec<T>>> {
+        if items.is_empty() {
+            return Ok(());
+        }
+        let mut g = self.lock_op();
+        if g.closed {
+            return Err(TryPutError::Closed(items));
+        }
+        let take = g.space(self.capacity).min(items.len());
+        if take == 0 {
+            return Err(TryPutError::Full(items));
+        }
+        let rest = items.split_off(take);
+        g.items.extend(items);
+        let len = g.items.len();
+        drop(g);
+        self.observe_len(len);
+        self.puts.add(take as u64);
+        self.not_empty.notify_all();
+        if rest.is_empty() {
+            Ok(())
+        } else {
+            Err(TryPutError::Full(rest))
+        }
+    }
+
     /// Blocking pop. Returns `None` only when the queue is closed and
     /// empty.
     pub fn pop(&self) -> Option<T> {
         match self.policy {
             WakeupPolicy::Condvar => {
-                let mut g = self.inner.lock();
+                let mut g = self.lock_op();
                 loop {
                     if let Some(item) = g.items.pop_front() {
                         let len = g.items.len();
@@ -195,6 +397,7 @@ impl<T> MinatoQueue<T> {
                         return None;
                     }
                     self.not_empty.wait(&mut g);
+                    self.lock_ops.incr();
                 }
             }
             WakeupPolicy::SleepPoll(nap) => loop {
@@ -213,7 +416,7 @@ impl<T> MinatoQueue<T> {
         match self.policy {
             WakeupPolicy::Condvar => {
                 let deadline = std::time::Instant::now() + timeout;
-                let mut g = self.inner.lock();
+                let mut g = self.lock_op();
                 loop {
                     if let Some(item) = g.items.pop_front() {
                         let len = g.items.len();
@@ -229,6 +432,7 @@ impl<T> MinatoQueue<T> {
                     if self.not_empty.wait_until(&mut g, deadline).timed_out() {
                         return Ok(None);
                     }
+                    self.lock_ops.incr();
                 }
             }
             WakeupPolicy::SleepPoll(nap) => {
@@ -253,7 +457,7 @@ impl<T> MinatoQueue<T> {
 
     /// Non-blocking pop.
     pub fn try_pop(&self) -> PopResult<T> {
-        let mut g = self.inner.lock();
+        let mut g = self.lock_op();
         if let Some(item) = g.items.pop_front() {
             let len = g.items.len();
             drop(g);
@@ -265,6 +469,109 @@ impl<T> MinatoQueue<T> {
             PopResult::ClosedAndDrained
         } else {
             PopResult::Empty
+        }
+    }
+
+    /// Dequeues up to `max` already-available items under one lock
+    /// acquisition, releasing blocked producers with one `notify_all`.
+    fn drain_burst(&self, g: &mut parking_lot::MutexGuard<'_, Inner<T>>, max: usize) -> Vec<T> {
+        let take = max.min(g.items.len());
+        let out: Vec<T> = g.items.drain(..take).collect();
+        if !out.is_empty() {
+            self.observe_len(g.items.len());
+            self.pops.add(out.len() as u64);
+            self.not_full.notify_all();
+        }
+        out
+    }
+
+    /// Blocking bulk pop: waits until at least one item is available and
+    /// returns up to `max` of them, dequeued under a single lock
+    /// acquisition. Returns an empty vector only when the queue is closed
+    /// and drained (or `max == 0`).
+    pub fn pop_many(&self, max: usize) -> Vec<T> {
+        if max == 0 {
+            return Vec::new();
+        }
+        match self.policy {
+            WakeupPolicy::Condvar => {
+                let mut g = self.lock_op();
+                loop {
+                    let out = self.drain_burst(&mut g, max);
+                    if !out.is_empty() {
+                        return out;
+                    }
+                    if g.closed {
+                        return Vec::new();
+                    }
+                    self.not_empty.wait(&mut g);
+                    self.lock_ops.incr();
+                }
+            }
+            WakeupPolicy::SleepPoll(nap) => loop {
+                match self.try_pop_many(max) {
+                    Ok(out) if !out.is_empty() => return out,
+                    Ok(_) => std::thread::sleep(nap),
+                    Err(Closed) => return Vec::new(),
+                }
+            },
+        }
+    }
+
+    /// Non-blocking bulk pop of up to `max` items under one lock
+    /// acquisition. `Ok` with an empty vector means the queue is open but
+    /// currently empty; `Err(Closed)` means closed and fully drained.
+    pub fn try_pop_many(&self, max: usize) -> Result<Vec<T>, Closed> {
+        let mut g = self.lock_op();
+        let out = self.drain_burst(&mut g, max);
+        if out.is_empty() && g.closed {
+            return Err(Closed);
+        }
+        Ok(out)
+    }
+
+    /// Bulk pop with a bounded wait for the first item. `Ok` with an
+    /// empty vector means the wait timed out; `Err(Closed)` means closed
+    /// and drained.
+    pub fn pop_many_timeout(&self, max: usize, timeout: Duration) -> Result<Vec<T>, Closed> {
+        if max == 0 {
+            return Ok(Vec::new());
+        }
+        match self.policy {
+            WakeupPolicy::Condvar => {
+                let deadline = std::time::Instant::now() + timeout;
+                let mut g = self.lock_op();
+                loop {
+                    let out = self.drain_burst(&mut g, max);
+                    if !out.is_empty() {
+                        return Ok(out);
+                    }
+                    if g.closed {
+                        return Err(Closed);
+                    }
+                    if self.not_empty.wait_until(&mut g, deadline).timed_out() {
+                        return Ok(Vec::new());
+                    }
+                    self.lock_ops.incr();
+                }
+            }
+            WakeupPolicy::SleepPoll(nap) => {
+                let deadline = std::time::Instant::now() + timeout;
+                loop {
+                    match self.try_pop_many(max) {
+                        Ok(out) if !out.is_empty() => return Ok(out),
+                        Err(Closed) => return Err(Closed),
+                        Ok(_) => {
+                            if std::time::Instant::now() >= deadline {
+                                return Ok(Vec::new());
+                            }
+                            std::thread::sleep(nap.min(
+                                deadline.saturating_duration_since(std::time::Instant::now()),
+                            ));
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -303,6 +610,15 @@ impl<T> MinatoQueue<T> {
         self.pops.get()
     }
 
+    /// Mutex acquisitions made by put/pop operations so far (condvar
+    /// wakeups count: each one re-acquires the lock). Batched operations
+    /// move whole chunks per acquisition, so this divided by
+    /// [`MinatoQueue::total_pops`] is the per-item synchronization cost
+    /// the `queue_batching` ablation reports.
+    pub fn lock_acquisitions(&self) -> u64 {
+        self.lock_ops.get()
+    }
+
     /// Average occupancy observed across all put/pop operations — the
     /// `Qsize` input to the scheduler's Formula 2.
     pub fn mean_occupancy(&self) -> f64 {
@@ -322,6 +638,61 @@ pub enum TryPutError<T> {
     Full(T),
     /// The queue is closed.
     Closed(T),
+}
+
+/// Error from [`MinatoQueue::try_reserve`] / [`MinatoQueue::reserve_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryReserveError {
+    /// No free slot (for `reserve_timeout`: none appeared in time).
+    Full,
+    /// The queue is closed.
+    Closed,
+}
+
+/// A claimed slot awaiting its item (see [`MinatoQueue::try_reserve`]).
+///
+/// The slot counts against queue capacity from reservation until
+/// [`PutReservation::publish`] or drop, so concurrent producers cannot
+/// oversubscribe the queue while the holder works outside the lock.
+#[derive(Debug)]
+pub struct PutReservation<'a, T> {
+    queue: &'a MinatoQueue<T>,
+    active: bool,
+}
+
+impl<T> PutReservation<'_, T> {
+    /// Fills the reserved slot, making `item` visible to consumers.
+    ///
+    /// Fails with [`Closed`] (dropping the item, like a lost `put` race)
+    /// if the queue was closed after the reservation was taken.
+    pub fn publish(mut self, item: T) -> Result<(), Closed> {
+        self.active = false;
+        let mut g = self.queue.lock_op();
+        g.reserved -= 1;
+        if g.closed {
+            drop(g);
+            self.queue.not_full.notify_one();
+            return Err(Closed);
+        }
+        g.items.push_back(item);
+        let len = g.items.len();
+        drop(g);
+        self.queue.observe_len(len);
+        self.queue.puts.incr();
+        self.queue.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Drop for PutReservation<'_, T> {
+    fn drop(&mut self) {
+        if self.active {
+            let mut g = self.queue.lock_op();
+            g.reserved -= 1;
+            drop(g);
+            self.queue.not_full.notify_one();
+        }
+    }
 }
 
 /// Result of [`MinatoQueue::try_pop`].
@@ -462,6 +833,194 @@ mod tests {
         assert_eq!(q.total_pops(), 1);
         assert!(q.mean_occupancy() > 0.0);
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn put_many_pop_many_preserve_fifo() {
+        let q = MinatoQueue::new("q", 64);
+        q.put_many((0..10).collect()).unwrap();
+        assert_eq!(q.pop_many(4), vec![0, 1, 2, 3]);
+        assert_eq!(q.pop_many(100), (4..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn put_many_larger_than_capacity_blocks_in_bursts() {
+        let q = Arc::new(MinatoQueue::new("q", 3));
+        let q2 = Arc::clone(&q);
+        let h = thread::spawn(move || q2.put_many((0..10).collect()));
+        let mut got = Vec::new();
+        while got.len() < 10 {
+            got.extend(q.pop_many(2));
+        }
+        h.join().unwrap().unwrap();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn put_many_on_closed_fails_and_keeps_enqueued_burst() {
+        let q = Arc::new(MinatoQueue::new("q", 2));
+        let q2 = Arc::clone(&q);
+        // First burst (0, 1) fits; the producer then blocks for space.
+        let h = thread::spawn(move || q2.put_many(vec![0, 1, 2, 3]));
+        thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(h.join().unwrap(), Err(Closed));
+        // The completed burst drains; the unfinished tail is dropped.
+        assert_eq!(q.pop_many(10), vec![0, 1]);
+        assert!(q.pop_many(10).is_empty());
+    }
+
+    #[test]
+    fn pop_many_blocks_until_first_item() {
+        let q: Arc<MinatoQueue<u32>> = Arc::new(MinatoQueue::new("q", 8));
+        let q2 = Arc::clone(&q);
+        let h = thread::spawn(move || q2.pop_many(8));
+        thread::sleep(Duration::from_millis(20));
+        q.put_many(vec![7]).unwrap();
+        assert_eq!(h.join().unwrap(), vec![7]);
+    }
+
+    #[test]
+    fn pop_many_empty_only_when_closed_and_drained() {
+        let q = MinatoQueue::new("q", 8);
+        q.put_many(vec![1, 2]).unwrap();
+        q.close();
+        assert_eq!(q.pop_many(8), vec![1, 2]);
+        assert!(q.pop_many(8).is_empty());
+        assert!(q.pop_many(0).is_empty());
+    }
+
+    #[test]
+    fn try_pop_many_reports_closed() {
+        let q = MinatoQueue::new("q", 8);
+        assert_eq!(q.try_pop_many(4), Ok(Vec::new()));
+        q.put(1).unwrap();
+        assert_eq!(q.try_pop_many(4), Ok(vec![1]));
+        q.close();
+        assert_eq!(q.try_pop_many(4), Err(Closed));
+    }
+
+    #[test]
+    fn pop_many_timeout_times_out_then_closes() {
+        let q: MinatoQueue<u32> = MinatoQueue::new("q", 8);
+        assert_eq!(q.pop_many_timeout(4, Duration::from_millis(5)), Ok(vec![]));
+        q.put(9).unwrap();
+        assert_eq!(q.pop_many_timeout(4, Duration::from_millis(5)), Ok(vec![9]));
+        q.close();
+        assert_eq!(q.pop_many_timeout(4, Duration::from_millis(5)), Err(Closed));
+    }
+
+    #[test]
+    fn reservation_holds_capacity_until_published() {
+        let q = MinatoQueue::new("q", 2);
+        let r = q.try_reserve().unwrap();
+        q.put(1).unwrap();
+        // Reservation + item fill both slots.
+        assert!(matches!(q.try_put(2), Err(TryPutError::Full(2))));
+        assert_eq!(q.try_reserve().unwrap_err(), TryReserveError::Full);
+        assert_eq!(q.len(), 1, "reserved slot holds no item yet");
+        r.publish(0).unwrap();
+        // FIFO reflects publication order, not reservation order.
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(0));
+    }
+
+    #[test]
+    fn dropped_reservation_releases_the_slot() {
+        let q = MinatoQueue::new("q", 1);
+        drop(q.try_reserve().unwrap());
+        q.put(7).unwrap();
+        assert_eq!(q.pop(), Some(7));
+    }
+
+    #[test]
+    fn reserve_timeout_times_out_and_publish_fails_after_close() {
+        let q = MinatoQueue::new("q", 1);
+        q.put(1).unwrap();
+        assert_eq!(
+            q.reserve_timeout(Duration::from_millis(5)).unwrap_err(),
+            TryReserveError::Full
+        );
+        let _ = q.pop();
+        let r = q.reserve_timeout(Duration::from_millis(5)).unwrap();
+        q.close();
+        assert_eq!(r.publish(2), Err(Closed));
+        assert_eq!(q.try_reserve().unwrap_err(), TryReserveError::Closed);
+    }
+
+    #[test]
+    fn dropped_reservation_wakes_blocked_producer() {
+        let q = Arc::new(MinatoQueue::new("q", 1));
+        let r = q.try_reserve().unwrap();
+        let q2 = Arc::clone(&q);
+        let h = thread::spawn(move || q2.put(5));
+        thread::sleep(Duration::from_millis(20));
+        drop(r);
+        h.join().unwrap().unwrap();
+        assert_eq!(q.pop(), Some(5));
+    }
+
+    #[test]
+    fn try_put_many_enqueues_prefix_and_returns_rest() {
+        let q = MinatoQueue::new("q", 3);
+        q.put(0).unwrap();
+        match q.try_put_many(vec![1, 2, 3, 4]) {
+            Err(TryPutError::Full(rest)) => assert_eq!(rest, vec![3, 4]),
+            other => panic!("expected Full([3, 4]), got {other:?}"),
+        }
+        assert_eq!(q.pop_many(10), vec![0, 1, 2]);
+        q.try_put_many(vec![5]).unwrap();
+        assert_eq!(q.pop(), Some(5));
+        q.close();
+        assert!(matches!(
+            q.try_put_many(vec![6]),
+            Err(TryPutError::Closed(_))
+        ));
+    }
+
+    #[test]
+    fn batched_ops_take_fewer_locks_than_single_ops() {
+        let single = MinatoQueue::new("single", 256);
+        for i in 0..64 {
+            single.put(i).unwrap();
+        }
+        while single.try_pop() != PopResult::Empty {}
+        let batched = MinatoQueue::new("batched", 256);
+        batched.put_many((0..64).collect()).unwrap();
+        assert_eq!(batched.pop_many(64).len(), 64);
+        assert!(
+            batched.lock_acquisitions() * 8 <= single.lock_acquisitions(),
+            "batched {} vs single {}",
+            batched.lock_acquisitions(),
+            single.lock_acquisitions()
+        );
+        // Occupancy/throughput accounting still matches.
+        assert_eq!(batched.total_puts(), 64);
+        assert_eq!(batched.total_pops(), 64);
+        assert!(batched.mean_occupancy() > 0.0);
+    }
+
+    #[test]
+    fn put_many_pop_many_under_sleep_poll_policy() {
+        let q = Arc::new(MinatoQueue::with_policy(
+            "q",
+            4,
+            WakeupPolicy::SleepPoll(Duration::from_millis(1)),
+        ));
+        let q2 = Arc::clone(&q);
+        let h = thread::spawn(move || {
+            let mut got = Vec::new();
+            loop {
+                let burst = q2.pop_many(3);
+                if burst.is_empty() {
+                    return got;
+                }
+                got.extend(burst);
+            }
+        });
+        q.put_many((0..20).collect()).unwrap();
+        q.close();
+        assert_eq!(h.join().unwrap(), (0..20).collect::<Vec<_>>());
     }
 
     #[test]

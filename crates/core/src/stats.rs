@@ -27,6 +27,11 @@ pub struct LoaderStats {
     pub temp_queue_len: usize,
     /// Summed occupancy of all per-GPU batch queues.
     pub batch_queue_len: usize,
+    /// Total mutex acquisitions by put/pop operations across all runtime
+    /// queues (fast, slow, temp, batch). Divided by `samples_done` this
+    /// is the per-sample synchronization cost the `queue_batching`
+    /// ablation reports.
+    pub queue_lock_acquisitions: u64,
     /// Workers currently allowed to run by the scheduler gate.
     pub active_workers: usize,
     /// The balancer's current fast/slow cutoff (`None` = optimistic phase).
@@ -39,8 +44,13 @@ pub struct LoaderStats {
 /// the loader-side equivalent of the paper's `dstat`/`nvidia-smi` traces.
 #[derive(Debug, Clone)]
 pub struct MonitorTrace {
-    /// Preprocessing CPU utilization (% of active workers), per interval.
+    /// Foreground preprocessing CPU utilization (% of active loader
+    /// workers), per interval.
     pub cpu_pct: TimeSeries,
+    /// Background slow-worker CPU utilization (% of slow workers), per
+    /// interval — metered separately so loader `cpu_pct` feeds the
+    /// scheduler unbiased.
+    pub slow_cpu_pct: TimeSeries,
     /// Active worker count, per interval.
     pub workers: TimeSeries,
     /// Batch-queue occupancy (fraction of capacity), per interval.
@@ -54,6 +64,7 @@ impl MonitorTrace {
     pub fn new() -> MonitorTrace {
         MonitorTrace {
             cpu_pct: TimeSeries::new("cpu_pct"),
+            slow_cpu_pct: TimeSeries::new("slow_cpu_pct"),
             workers: TimeSeries::new("workers"),
             batch_occupancy: TimeSeries::new("batch_occupancy"),
             throughput_mbps: TimeSeries::new("throughput_mbps"),
@@ -75,6 +86,7 @@ mod tests {
     fn trace_starts_empty() {
         let t = MonitorTrace::new();
         assert!(t.cpu_pct.is_empty());
+        assert!(t.slow_cpu_pct.is_empty());
         assert!(t.workers.is_empty());
         assert!(t.batch_occupancy.is_empty());
         assert!(t.throughput_mbps.is_empty());

@@ -154,6 +154,7 @@ proptest! {
         batch in 1usize..9,
         workers in 1usize..4,
         epochs in 1usize..3,
+        chunk in 1usize..10,
     ) {
         use minato::core::prelude::*;
         let ds = VecDataset::new((0..n as u32).collect::<Vec<_>>());
@@ -163,6 +164,7 @@ proptest! {
             .epochs(epochs)
             .initial_workers(workers)
             .max_workers(workers)
+            .ticket_chunk(chunk)
             .build()
             .expect("valid configuration");
         let mut counts = std::collections::HashMap::new();
@@ -173,5 +175,113 @@ proptest! {
         }
         prop_assert_eq!(counts.len(), n);
         prop_assert!(counts.values().all(|&c| c == epochs));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Single-threaded equivalence: a program of batched puts/pops
+    /// observes exactly the FIFO sequence the item-at-a-time API would.
+    #[test]
+    fn batched_queue_ops_match_single_ops(
+        chunks in proptest::collection::vec(1usize..12, 1..16),
+        pop_max in 1usize..12,
+        cap in 1usize..128,
+    ) {
+        let total: usize = chunks.iter().sum();
+        // Keep every chunked put non-blocking for the single-threaded
+        // program: the queue must hold the whole input at once.
+        let cap = cap.max(total);
+        let batched: MinatoQueue<u64> = MinatoQueue::new("batched", cap);
+        let single: MinatoQueue<u64> = MinatoQueue::new("single", cap);
+        let mut next = 0u64;
+        for chunk in &chunks {
+            let items: Vec<u64> = (next..next + *chunk as u64).collect();
+            next += *chunk as u64;
+            for &i in &items {
+                single.put(i).expect("open");
+            }
+            batched.put_many(items).expect("open");
+        }
+        batched.close();
+        single.close();
+        let mut via_batched = Vec::new();
+        loop {
+            let burst = batched.pop_many(pop_max);
+            if burst.is_empty() {
+                break;
+            }
+            prop_assert!(burst.len() <= pop_max);
+            via_batched.extend(burst);
+        }
+        let mut via_single = Vec::new();
+        while let Some(v) = single.pop() {
+            via_single.push(v);
+        }
+        prop_assert_eq!(via_batched, via_single);
+        prop_assert_eq!(single.total_puts(), batched.total_puts());
+        prop_assert_eq!(single.total_pops(), batched.total_pops());
+    }
+
+    /// MPMC equivalence: under concurrent interleaving of batched
+    /// producers and batched consumers — with a capacity small enough to
+    /// force `put_many` to split chunks into bursts — nothing is lost,
+    /// duplicated, or reordered within a producer's stream.
+    #[test]
+    fn batched_queue_mpmc_no_loss_no_dup(
+        producers in 1usize..4,
+        consumers in 1usize..4,
+        per_producer in 1usize..40,
+        chunk in 1usize..9,
+        pop_max in 1usize..9,
+        cap in 1usize..12,
+    ) {
+        use std::sync::Arc;
+        let q: Arc<MinatoQueue<u64>> = Arc::new(MinatoQueue::new("mpmc", cap));
+        let push: Vec<_> = (0..producers as u64)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let items: Vec<u64> =
+                        (0..per_producer as u64).map(|i| p * 10_000 + i).collect();
+                    for c in items.chunks(chunk) {
+                        q.put_many(c.to_vec()).expect("open");
+                    }
+                })
+            })
+            .collect();
+        let pull: Vec<_> = (0..consumers)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    loop {
+                        let burst = q.pop_many(pop_max);
+                        if burst.is_empty() {
+                            return got;
+                        }
+                        got.extend(burst);
+                    }
+                })
+            })
+            .collect();
+        for h in push {
+            h.join().expect("producer");
+        }
+        q.close();
+        let streams: Vec<Vec<u64>> = pull.into_iter().map(|h| h.join().expect("consumer")).collect();
+        // Each consumer's stream is per-producer monotone: bursts never
+        // reorder one producer's items.
+        for s in &streams {
+            for p in 0..producers as u64 {
+                let mine: Vec<u64> = s.iter().copied().filter(|v| v / 10_000 == p).collect();
+                prop_assert!(mine.windows(2).all(|w| w[0] < w[1]), "reordered within producer");
+            }
+        }
+        let mut all: Vec<u64> = streams.into_iter().flatten().collect();
+        all.sort_unstable();
+        all.dedup();
+        prop_assert_eq!(all.len(), producers * per_producer, "lost or duplicated items");
     }
 }
