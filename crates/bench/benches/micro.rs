@@ -6,6 +6,7 @@
 //! mechanism), and the simulator's event throughput.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use minato_cache::{CacheConfig, EvictionPolicy, ShardedCache};
 use minato_core::balancer::LoadBalancer;
 use minato_core::batch::ReorderBuffer;
 use minato_core::profiler::SampleRecord;
@@ -50,6 +51,43 @@ fn bench_queue_batched(c: &mut Criterion) {
         b.iter(|| {
             q.put_many(black_box((0..64u64).collect())).expect("open");
             black_box(q.pop_many(64));
+        });
+    });
+}
+
+/// Cross-epoch cache hot paths: the hit lookup every cached epoch pays
+/// per sample, the miss probe epoch 1 pays, and insertion under
+/// eviction pressure (cost-aware victim selection).
+fn bench_cache(c: &mut Criterion) {
+    let warm: ShardedCache<u64, u64> = ShardedCache::new(CacheConfig {
+        budget_bytes: 1 << 20,
+        shards: 8,
+        policy: EvictionPolicy::CostAware,
+    });
+    for i in 0..1024u64 {
+        warm.insert(i, i, 64, Duration::from_millis(i % 20));
+    }
+    c.bench_function("cache/get_hit", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 1024;
+            black_box(warm.get(&black_box(i)))
+        });
+    });
+    c.bench_function("cache/get_miss", |b| {
+        b.iter(|| black_box(warm.get(&black_box(1_000_000))));
+    });
+    c.bench_function("cache/insert_under_pressure", |b| {
+        // Budget for ~64 entries: every insert evicts.
+        let tight: ShardedCache<u64, u64> = ShardedCache::new(CacheConfig {
+            budget_bytes: 64 * 64,
+            shards: 4,
+            policy: EvictionPolicy::CostAware,
+        });
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(tight.insert(i, i, 64, Duration::from_millis(i % 50)))
         });
     });
 }
@@ -126,6 +164,6 @@ fn bench_profiles(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
-    targets = bench_queue, bench_queue_batched, bench_balancer, bench_pipeline, bench_reorder, bench_sim, bench_profiles
+    targets = bench_queue, bench_queue_batched, bench_cache, bench_balancer, bench_pipeline, bench_reorder, bench_sim, bench_profiles
 }
 criterion_main!(benches);

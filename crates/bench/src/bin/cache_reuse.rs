@@ -1,0 +1,6 @@
+//! Ablation: cross-epoch sample cache on vs off on the real threaded
+//! loader — per-epoch completion times, epoch-2+ hit rate, and pipeline
+//! executions saved.
+fn main() {
+    println!("{}", minato_bench::ablations::ablation_cache_reuse());
+}

@@ -155,6 +155,12 @@ impl LoadBalancer {
     }
 
     /// Records a sample that completed preprocessing on the fast path.
+    ///
+    /// Only genuine pipeline executions may be recorded here: the
+    /// cross-epoch sample cache delivers hits without calling the
+    /// balancer at all, because feeding ~0 ms "completions" into the
+    /// profiler would drag the adaptive P75 cutoff toward zero and
+    /// misclassify every real execution as slow.
     pub fn on_fast_complete(&self, rec: &SampleRecord) {
         self.profiler.record(rec);
         self.completions.incr();

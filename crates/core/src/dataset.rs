@@ -375,6 +375,62 @@ mod tests {
         assert!(chunked.next_many(4).is_empty(), "stays exhausted");
     }
 
+    /// A chunk larger than what remains in the current epoch must roll
+    /// over cleanly: correct epoch stamps, contiguous seq, no lost or
+    /// duplicated tickets.
+    #[test]
+    fn next_many_chunk_spans_epoch_boundary() {
+        let s = EpochSampler::new(5, 2, false, 0);
+        assert_eq!(s.next_many(3).len(), 3); // Epoch 0: indices 0,1,2.
+        let spanning = s.next_many(4); // 3,4 of epoch 0 + 0,1 of epoch 1.
+        assert_eq!(spanning.len(), 4, "chunk must roll into the next epoch");
+        assert_eq!(
+            spanning
+                .iter()
+                .map(|t| (t.epoch, t.index))
+                .collect::<Vec<_>>(),
+            vec![(0, 3), (0, 4), (1, 0), (1, 1)]
+        );
+        assert_eq!(
+            spanning.iter().map(|t| t.seq).collect::<Vec<_>>(),
+            vec![3, 4, 5, 6],
+            "seq must stay contiguous across the boundary"
+        );
+        let rest = s.next_many(10);
+        assert_eq!(rest.len(), 3, "only epoch 1's tail remains");
+        assert!(rest.iter().all(|t| t.epoch == 1));
+        assert!(s.next_many(1).is_empty(), "exhausted after the last epoch");
+    }
+
+    /// One chunk spanning *multiple* epoch boundaries, with shuffling:
+    /// every epoch must still be a full permutation and every seq unique.
+    #[test]
+    fn next_many_chunk_spanning_multiple_epochs_loses_nothing() {
+        let s = EpochSampler::new(3, 3, true, 11);
+        let mut all = Vec::new();
+        loop {
+            let chunk = s.next_many(7); // 7 > epoch length 3.
+            if chunk.is_empty() {
+                break;
+            }
+            all.extend(chunk);
+        }
+        assert_eq!(all.len(), 9);
+        assert_eq!(
+            all.iter().map(|t| t.seq).collect::<Vec<_>>(),
+            (0..9).collect::<Vec<u64>>()
+        );
+        for epoch in 0..3 {
+            let mut idxs: Vec<usize> = all
+                .iter()
+                .filter(|t| t.epoch == epoch)
+                .map(|t| t.index)
+                .collect();
+            idxs.sort_unstable();
+            assert_eq!(idxs, vec![0, 1, 2], "epoch {epoch} not a permutation");
+        }
+    }
+
     #[test]
     fn empty_sampler_returns_none() {
         let s = EpochSampler::new(0, 5, true, 0);

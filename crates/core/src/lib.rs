@@ -16,6 +16,9 @@
 //!   start, warm-up profiling, P75 timeout with P90 fallback (§4.2).
 //! * [`queue`] — bounded instrumented MPMC queues (fast/slow/temp/batch).
 //! * [`scheduler`] — the adaptive worker scheduler, Formulas 1–2 (§4.3).
+//! * [`cache`] — cross-epoch sample cache: memoized preprocessed outputs
+//!   served on the fast path in later epochs (sharded, byte-budgeted,
+//!   cost-aware eviction; off by default).
 //! * [`loader`] — the public `MinatoLoader` builder/iterator API.
 //!
 //! ## Quick start
@@ -44,6 +47,7 @@
 
 pub mod balancer;
 pub mod batch;
+pub mod cache;
 pub mod dataset;
 pub mod error;
 pub mod loader;
@@ -59,6 +63,7 @@ mod worker;
 pub mod prelude {
     pub use crate::balancer::{BalancerConfig, LoadBalancer, TimeoutPolicy};
     pub use crate::batch::{Batch, Prepared, SampleMeta};
+    pub use crate::cache::{CacheStats, ClonedSampleCache, EvictionPolicy, SampleCache};
     pub use crate::dataset::{Dataset, EpochSampler, FnDataset, Sampler, VecDataset};
     pub use crate::error::{LoaderError, Result};
     pub use crate::loader::{ErrorPolicy, LoaderConfig, MinatoLoader, MinatoLoaderBuilder};

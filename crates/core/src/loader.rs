@@ -25,6 +25,7 @@
 
 use crate::balancer::{BalancerConfig, LoadBalancer, TimeoutPolicy};
 use crate::batch::{Batch, TransferHook};
+use crate::cache::{CacheConfig, ClonedSampleCache, EvictionPolicy, SampleCache, SampleWeigher};
 use crate::dataset::{Dataset, EpochSampler, Sampler};
 use crate::error::{LoaderError, Result};
 use crate::queue::{MinatoQueue, WakeupPolicy};
@@ -97,6 +98,15 @@ pub struct LoaderConfig {
     pub order_preserving: bool,
     /// Per-sample error handling.
     pub error_policy: ErrorPolicy,
+    /// Byte budget of the cross-epoch sample cache; 0 disables caching
+    /// (the default — behavior and stats are then identical to a
+    /// cache-less build).
+    pub cache_budget_bytes: u64,
+    /// Eviction policy of the sample cache.
+    pub cache_policy: EvictionPolicy,
+    /// Lock-striped shards of the sample cache; each enforces
+    /// `cache_budget_bytes / cache_shards` independently.
+    pub cache_shards: usize,
 }
 
 /// Builder for [`MinatoLoader`]. All knobs default to the paper's
@@ -106,7 +116,20 @@ pub struct MinatoLoaderBuilder<D: Dataset> {
     pipeline: Pipeline<D::Sample>,
     cfg: LoaderConfig,
     transfer_hook: Option<Arc<dyn TransferHook<D::Sample>>>,
+    cache_weigher: Option<SampleWeigher<D::Sample>>,
+    /// Deferred cache construction: installed by the bounded cache
+    /// setters, invoked at build time with the final config. This keeps
+    /// the `D::Sample: Clone + Sync` requirement scoped to callers that
+    /// actually enable the cache.
+    cache_factory: Option<CacheFactory<D>>,
 }
+
+type CacheFactory<D> = Box<
+    dyn FnOnce(
+        &LoaderConfig,
+        Option<SampleWeigher<<D as Dataset>::Sample>>,
+    ) -> Arc<dyn SampleCache<<D as Dataset>::Sample>>,
+>;
 
 impl<D: Dataset> MinatoLoaderBuilder<D> {
     fn new(dataset: D, pipeline: Pipeline<D::Sample>) -> Self {
@@ -117,6 +140,8 @@ impl<D: Dataset> MinatoLoaderBuilder<D> {
             dataset,
             pipeline,
             transfer_hook: None,
+            cache_weigher: None,
+            cache_factory: None,
             cfg: LoaderConfig {
                 batch_size: 1,
                 num_gpus: 1,
@@ -139,6 +164,9 @@ impl<D: Dataset> MinatoLoaderBuilder<D> {
                 starvation_wait: Duration::from_millis(1),
                 order_preserving: false,
                 error_policy: ErrorPolicy::Skip,
+                cache_budget_bytes: 0,
+                cache_policy: EvictionPolicy::CostAware,
+                cache_shards: 8,
             },
         }
     }
@@ -282,6 +310,78 @@ impl<D: Dataset> MinatoLoaderBuilder<D> {
         self
     }
 
+    fn ensure_cache_factory(&mut self)
+    where
+        D::Sample: Clone + Sync,
+    {
+        if self.cache_factory.is_none() {
+            self.cache_factory = Some(Box::new(|cfg, weigher| {
+                Arc::new(ClonedSampleCache::with_weigher(
+                    CacheConfig {
+                        budget_bytes: cfg.cache_budget_bytes,
+                        shards: cfg.cache_shards,
+                        policy: cfg.cache_policy,
+                    },
+                    weigher,
+                ))
+            }));
+        }
+    }
+
+    /// Enables the cross-epoch sample cache with a total byte budget
+    /// (0 = disabled, the default). Preprocessed outputs are memoized by
+    /// dataset index; on later epochs cached samples are delivered on
+    /// the fast path without re-running the pipeline. Requires
+    /// cloneable samples.
+    ///
+    /// Note: cached epochs replay the pipeline *outputs* of the first
+    /// epoch, so stochastic augmentations freeze — see
+    /// [`crate::cache`] for the trade-off.
+    pub fn cache_budget_bytes(mut self, n: u64) -> Self
+    where
+        D::Sample: Clone + Sync,
+    {
+        self.cfg.cache_budget_bytes = n;
+        self.ensure_cache_factory();
+        self
+    }
+
+    /// Sample-cache eviction policy (default:
+    /// [`EvictionPolicy::CostAware`], which evicts the cheapest-to-
+    /// reproduce entries first so slow samples are the last to go).
+    pub fn cache_policy(mut self, p: EvictionPolicy) -> Self
+    where
+        D::Sample: Clone + Sync,
+    {
+        self.cfg.cache_policy = p;
+        self.ensure_cache_factory();
+        self
+    }
+
+    /// Lock-striped shards of the sample cache (default 8). Each shard
+    /// independently enforces `cache_budget_bytes / cache_shards`.
+    pub fn cache_shards(mut self, n: usize) -> Self
+    where
+        D::Sample: Clone + Sync,
+    {
+        self.cfg.cache_shards = n;
+        self.ensure_cache_factory();
+        self
+    }
+
+    /// Per-sample memory estimate used for the cache's byte budget.
+    /// Without one, an entry weighs
+    /// `max(size_hint_bytes, size_of::<Sample>(), 1)` — samples with
+    /// heap payloads should supply a weigher that counts them.
+    pub fn cache_weigher(mut self, f: impl Fn(&D::Sample) -> u64 + Send + Sync + 'static) -> Self
+    where
+        D::Sample: Clone + Sync,
+    {
+        self.cache_weigher = Some(Arc::new(f));
+        self.ensure_cache_factory();
+        self
+    }
+
     /// Validates the configuration and starts the loader threads.
     pub fn build(self) -> Result<MinatoLoader<D>> {
         let cfg = &self.cfg;
@@ -290,6 +390,9 @@ impl<D: Dataset> MinatoLoaderBuilder<D> {
         }
         if cfg.num_gpus == 0 {
             return Err(LoaderError::Config("num_gpus must be positive".into()));
+        }
+        if cfg.epochs == 0 {
+            return Err(LoaderError::Config("epochs must be positive".into()));
         }
         if cfg.initial_workers == 0 {
             return Err(LoaderError::Config(
@@ -317,7 +420,31 @@ impl<D: Dataset> MinatoLoaderBuilder<D> {
         if cfg.ticket_chunk == 0 {
             return Err(LoaderError::Config("ticket_chunk must be positive".into()));
         }
-        MinatoLoader::start(self.dataset, self.pipeline, self.cfg, self.transfer_hook)
+        if cfg.cache_budget_bytes > 0 {
+            if cfg.cache_shards == 0 {
+                return Err(LoaderError::Config("cache_shards must be positive".into()));
+            }
+            if cfg.cache_budget_bytes < cfg.cache_shards as u64 {
+                return Err(LoaderError::Config(
+                    "cache_budget_bytes must be at least cache_shards (each shard \
+                     needs a non-zero budget slice)"
+                        .into(),
+                ));
+            }
+        }
+        let cache = if self.cfg.cache_budget_bytes > 0 {
+            self.cache_factory
+                .map(|make| make(&self.cfg, self.cache_weigher))
+        } else {
+            None
+        };
+        MinatoLoader::start(
+            self.dataset,
+            self.pipeline,
+            self.cfg,
+            self.transfer_hook,
+            cache,
+        )
     }
 }
 
@@ -345,6 +472,7 @@ impl<D: Dataset> MinatoLoader<D> {
         pipeline: Pipeline<D::Sample>,
         mut cfg: LoaderConfig,
         transfer_hook: Option<Arc<dyn TransferHook<D::Sample>>>,
+        cache: Option<Arc<dyn SampleCache<D::Sample>>>,
     ) -> Result<Self> {
         // The scheduler's pool bounds must describe the threads actually
         // spawned: the builder's `max_workers` is authoritative. (The
@@ -400,6 +528,7 @@ impl<D: Dataset> MinatoLoader<D> {
             pipeline,
             sampler,
             balancer,
+            cache,
             cfg: cfg.clone(),
         });
 
@@ -505,6 +634,7 @@ impl<D: Dataset> MinatoLoader<D> {
                     .iter()
                     .map(|q| q.lock_acquisitions())
                     .sum::<u64>(),
+            cache: rt.cache.as_ref().map(|c| c.stats()),
             active_workers: rt.gate.active_limit(),
             timeout: rt.balancer.current_timeout(),
             preprocess_ms: rt.balancer.profiler().summary_ms(),
@@ -570,6 +700,8 @@ fn monitor_loop<D: Dataset>(rt: Arc<Runtime<D>>, trace: Arc<Mutex<MonitorTrace>>
     let mut prev_busy = 0u64;
     let mut prev_slow_busy = 0u64;
     let mut prev_bytes = 0u64;
+    let mut prev_cache_hits = 0u64;
+    let mut prev_cache_lookups = 0u64;
     loop {
         std::thread::sleep(interval);
         if rt.shutdown.load(Ordering::Acquire) {
@@ -605,6 +737,22 @@ fn monitor_loop<D: Dataset>(rt: Arc<Runtime<D>>, trace: Arc<Mutex<MonitorTrace>>
         let mbps = (bytes.saturating_sub(prev_bytes)) as f64 / 1e6 / interval.as_secs_f64();
         prev_bytes = bytes;
 
+        // Cache hit rate over the interval (the cache stays `None` when
+        // disabled, leaving the series empty).
+        let cache_hit_pct = rt.cache.as_ref().map(|c| {
+            let s = c.stats();
+            let lookups = s.lookups();
+            let d_lookups = lookups.saturating_sub(prev_cache_lookups);
+            let d_hits = s.hits.saturating_sub(prev_cache_hits);
+            prev_cache_lookups = lookups;
+            prev_cache_hits = s.hits;
+            if d_lookups == 0 {
+                0.0
+            } else {
+                d_hits as f64 / d_lookups as f64 * 100.0
+            }
+        });
+
         {
             let mut t = trace.lock();
             t.cpu_pct.push(now, cpu_norm * 100.0);
@@ -613,6 +761,9 @@ fn monitor_loop<D: Dataset>(rt: Arc<Runtime<D>>, trace: Arc<Mutex<MonitorTrace>>
             t.batch_occupancy
                 .push(now, q_len as f64 / q_cap.max(1) as f64);
             t.throughput_mbps.push(now, mbps);
+            if let Some(pct) = cache_hit_pct {
+                t.cache_hit_pct.push(now, pct);
+            }
         }
 
         if rt.cfg.adaptive_workers {
@@ -672,9 +823,57 @@ mod tests {
             Err(LoaderError::Config(_))
         ));
         assert!(matches!(
-            MinatoLoader::builder(ds, p).batch_workers(0).build(),
+            MinatoLoader::builder(ds.clone(), p.clone())
+                .batch_workers(0)
+                .build(),
             Err(LoaderError::Config(_))
         ));
+        assert!(matches!(
+            MinatoLoader::builder(ds.clone(), p.clone())
+                .epochs(0)
+                .build(),
+            Err(LoaderError::Config(_))
+        ));
+        assert!(matches!(
+            MinatoLoader::builder(ds.clone(), p.clone())
+                .queue_capacity(0)
+                .build(),
+            Err(LoaderError::Config(_))
+        ));
+        assert!(matches!(
+            MinatoLoader::builder(ds, p).prefetch_factor(0).build(),
+            Err(LoaderError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_cache_config() {
+        let ds = VecDataset::new(vec![1u32]);
+        let p: Pipeline<u32> = Pipeline::identity();
+        assert!(matches!(
+            MinatoLoader::builder(ds.clone(), p.clone())
+                .cache_budget_bytes(1024)
+                .cache_shards(0)
+                .build(),
+            Err(LoaderError::Config(_))
+        ));
+        // A budget smaller than the shard count gives every shard a
+        // zero-byte slice: nothing could ever be admitted.
+        assert!(matches!(
+            MinatoLoader::builder(ds.clone(), p.clone())
+                .cache_budget_bytes(4)
+                .cache_shards(8)
+                .build(),
+            Err(LoaderError::Config(_))
+        ));
+        // Setting only non-budget cache knobs leaves the cache disabled.
+        let loader = MinatoLoader::builder(ds, p)
+            .cache_shards(0)
+            .initial_workers(1)
+            .max_workers(1)
+            .build()
+            .expect("cache disabled: shard knob alone must not reject");
+        assert!(loader.stats().cache.is_none());
     }
 
     #[test]

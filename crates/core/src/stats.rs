@@ -1,5 +1,6 @@
 //! Loader statistics snapshots and monitor traces.
 
+use crate::cache::CacheStats;
 use minato_metrics::{Summary, TimeSeries};
 use std::time::Duration;
 
@@ -32,6 +33,11 @@ pub struct LoaderStats {
     /// is the per-sample synchronization cost the `queue_batching`
     /// ablation reports.
     pub queue_lock_acquisitions: u64,
+    /// Cross-epoch sample-cache counters; `None` when the cache is
+    /// disabled (the default). With the cache enabled, `samples_done`
+    /// counts pipeline *executions* — delivered-but-cached samples show
+    /// up here as hits instead.
+    pub cache: Option<CacheStats>,
     /// Workers currently allowed to run by the scheduler gate.
     pub active_workers: usize,
     /// The balancer's current fast/slow cutoff (`None` = optimistic phase).
@@ -57,6 +63,9 @@ pub struct MonitorTrace {
     pub batch_occupancy: TimeSeries,
     /// Delivered throughput in MB/s of raw sample bytes, per interval.
     pub throughput_mbps: TimeSeries,
+    /// Sample-cache hit rate (% of lookups) over each interval; stays
+    /// empty when the cache is disabled.
+    pub cache_hit_pct: TimeSeries,
 }
 
 impl MonitorTrace {
@@ -68,6 +77,7 @@ impl MonitorTrace {
             workers: TimeSeries::new("workers"),
             batch_occupancy: TimeSeries::new("batch_occupancy"),
             throughput_mbps: TimeSeries::new("throughput_mbps"),
+            cache_hit_pct: TimeSeries::new("cache_hit_pct"),
         }
     }
 }
@@ -90,5 +100,6 @@ mod tests {
         assert!(t.workers.is_empty());
         assert!(t.batch_occupancy.is_empty());
         assert!(t.throughput_mbps.is_empty());
+        assert!(t.cache_hit_pct.is_empty());
     }
 }

@@ -15,6 +15,7 @@
 
 use crate::balancer::LoadBalancer;
 use crate::batch::{Batch, Prepared, ReorderBuffer, SampleMeta, TransferHook};
+use crate::cache::SampleCache;
 use crate::dataset::{Dataset, Sampler};
 use crate::error::LoaderError;
 use crate::loader::{ErrorPolicy, LoaderConfig};
@@ -44,6 +45,10 @@ pub(crate) struct Runtime<D: Dataset> {
     pub pipeline: Pipeline<D::Sample>,
     pub sampler: Arc<dyn Sampler>,
     pub balancer: LoadBalancer,
+    /// Cross-epoch sample cache; `None` when disabled (the default).
+    /// Hits bypass the dataset, the pipeline, and timeout
+    /// classification, and never feed the balancer's profiler.
+    pub cache: Option<Arc<dyn SampleCache<D::Sample>>>,
     pub fast_q: MinatoQueue<Prepared<D::Sample>>,
     pub slow_q: MinatoQueue<Prepared<D::Sample>>,
     pub temp_q: MinatoQueue<Deferred<D::Sample>>,
@@ -169,6 +174,26 @@ pub(crate) fn loader_worker<D: Dataset>(rt: Arc<Runtime<D>>, id: usize) {
                 break;
             }
             processed += 1;
+            // Cross-epoch cache: a hit skips load + preprocessing and
+            // rides the fast path with its ticket's epoch/seq. It must
+            // not reach the balancer — a ~0 ms "completion" would drag
+            // the adaptive P75 timeout toward zero.
+            if let Some(cache) = rt.cache.as_deref() {
+                if let Some(hit) = cache.lookup(ticket.index) {
+                    fast_buf.push(Prepared {
+                        sample: hit.sample,
+                        meta: SampleMeta {
+                            index: ticket.index,
+                            epoch: ticket.epoch,
+                            seq: ticket.seq,
+                            slow: false,
+                            preprocess: Duration::ZERO,
+                            bytes: hit.bytes,
+                        },
+                    });
+                    continue; // Stays in flight until the chunk flush.
+                }
+            }
             let t0 = Instant::now();
             // A panicking dataset or transform must not wedge the
             // pipeline: the in-flight claim has to be released either
@@ -209,6 +234,9 @@ pub(crate) fn loader_worker<D: Dataset>(rt: Arc<Runtime<D>>, id: usize) {
                         bytes: Some(bytes),
                         transforms_applied: rt.pipeline.len(),
                     });
+                    if let Some(cache) = rt.cache.as_deref() {
+                        cache.admit(ticket.index, &value, bytes, elapsed);
+                    }
                     // Stays in flight until the chunk flush below.
                     fast_buf.push(Prepared {
                         sample: value,
@@ -329,6 +357,12 @@ pub(crate) fn slow_worker<D: Dataset>(rt: Arc<Runtime<D>>) {
                         bytes: Some(meta.bytes),
                         transforms_applied: rt.pipeline.len(),
                     });
+                    // Admit with the *full* measured cost: under
+                    // cost-aware eviction this is what keeps slow
+                    // samples resident longest.
+                    if let Some(cache) = rt.cache.as_deref() {
+                        cache.admit(meta.index, &value, meta.bytes, total);
+                    }
                     done.push(Prepared {
                         sample: value,
                         meta,
@@ -584,6 +618,9 @@ mod tests {
             starvation_wait: Duration::from_millis(1),
             order_preserving: false,
             error_policy: ErrorPolicy::Skip,
+            cache_budget_bytes: 0,
+            cache_policy: crate::cache::EvictionPolicy::CostAware,
+            cache_shards: 8,
         }
     }
 
@@ -598,6 +635,7 @@ mod tests {
                 policy: cfg.timeout_policy,
                 ..BalancerConfig::default()
             }),
+            cache: None,
             fast_q: MinatoQueue::new("fast", cfg.queue_capacity),
             slow_q: MinatoQueue::new("slow", cfg.queue_capacity),
             temp_q: MinatoQueue::new("temp", cfg.queue_capacity),

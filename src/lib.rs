@@ -1,5 +1,6 @@
 //! Umbrella crate re-exporting the MinatoLoader workspace.
 pub use minato_baselines as baselines;
+pub use minato_cache as cache;
 pub use minato_core as core;
 pub use minato_data as data;
 pub use minato_metrics as metrics;

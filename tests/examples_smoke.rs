@@ -45,6 +45,49 @@ fn quickstart_flow() {
     assert!(slow >= 1, "every 8th sample sleeps past the fixed cutoff");
 }
 
+/// `examples/multi_epoch_cache.rs`: multi-epoch run with the cache on;
+/// later epochs must be served from memory, pipeline executions must
+/// stay below deliveries.
+#[test]
+fn multi_epoch_cache_flow() {
+    let n = 64usize;
+    let epochs = 3usize;
+    let dataset = VecDataset::new((0..n as u32).collect::<Vec<_>>());
+    let pipeline = Pipeline::new(vec![
+        fn_transform("normalize", |x: u32| Ok(x % 97)),
+        fn_transform("augment", |x: u32| {
+            if x.is_multiple_of(8) {
+                std::thread::sleep(Duration::from_millis(3));
+            } else {
+                std::thread::sleep(Duration::from_micros(150));
+            }
+            Ok(x)
+        }),
+    ]);
+    let loader = MinatoLoader::builder(dataset, pipeline)
+        .batch_size(16)
+        .epochs(epochs)
+        .seed(42)
+        .initial_workers(4)
+        .max_workers(4)
+        .queue_capacity(16)
+        .timeout_policy(TimeoutPolicy::Fixed(Duration::from_millis(1)))
+        .cache_budget_bytes(1 << 20)
+        .cache_policy(EvictionPolicy::CostAware)
+        .cache_shards(4)
+        .build()
+        .expect("valid configuration");
+    let delivered: usize = loader.iter().map(|b| b.len()).sum();
+    assert_eq!(delivered, n * epochs);
+    let stats = loader.stats();
+    let cache = stats.cache.expect("cache enabled");
+    assert!(cache.hits > 0, "later epochs must hit the cache");
+    assert!(
+        stats.samples_done < delivered as u64,
+        "cache must save pipeline executions"
+    );
+}
+
 /// `examples/image_segmentation.rs`: variable-size volumes through the
 /// segmentation pipeline, Minato vs the in-order baseline.
 #[test]
