@@ -382,10 +382,14 @@ fn record_error<D: Dataset>(sh: &Shared<D>, e: LoaderError) {
 }
 
 fn collector<D: Dataset>(sh: Arc<Shared<D>>) {
-    // Property 3: strict batch-index order.
+    // Property 3: strict batch-index order. One reusable drain buffer
+    // serves every pop instead of a fresh `Vec` per arriving batch.
     let mut reorder: ReorderBuffer<Batch<D::Sample>> = ReorderBuffer::new(0);
+    let mut ready: Vec<Batch<D::Sample>> = Vec::new();
     while let Some((idx, batch)) = sh.done_q.pop() {
-        for b in reorder.push(idx as u64, batch) {
+        reorder.offer(idx as u64, batch);
+        reorder.drain_ready(&mut ready);
+        for b in ready.drain(..) {
             if emit(&sh, b).is_err() {
                 return;
             }
@@ -486,7 +490,7 @@ mod tests {
             },
         )
         .unwrap();
-        let all: Vec<u32> = loader.iter().flat_map(|b| b.samples).collect();
+        let all: Vec<u32> = loader.iter().flat_map(|b| b.into_samples()).collect();
         assert_eq!(all, (0..60).collect::<Vec<u32>>());
     }
 

@@ -135,6 +135,56 @@ fn bench_reorder(c: &mut Criterion) {
             }
         });
     });
+    c.bench_function("reorder/offer_drain_reused_buffer", |b| {
+        // The allocation-free variant: one drain buffer serves all pushes.
+        let mut ready = Vec::with_capacity(64);
+        b.iter(|| {
+            let mut rb = ReorderBuffer::new(0);
+            for i in (0..64u64).rev() {
+                rb.offer(i, i);
+                ready.clear();
+                rb.drain_ready(&mut ready);
+                black_box(&ready);
+            }
+        });
+    });
+}
+
+/// The zero-allocation hot path against the by-value baseline: six
+/// volume-neutral gain stages over a 256 KiB f32 sample, with the
+/// pooled run recycling its output back so every acquire is a hit.
+fn bench_transform_in_place(c: &mut Criterion) {
+    use minato_bench::ablations::gain_pipeline;
+    use minato_core::pool::{PoolSet, Reclaim};
+    use minato_core::transform::{PipelineRun, TransformCtx};
+    use std::sync::Arc;
+
+    const LEN: usize = 64 * 1024;
+    let p = gain_pipeline(6);
+    c.bench_function("transform/by_value_6_stages", |b| {
+        b.iter(|| {
+            let input = vec![1.25f32; LEN];
+            match p.run(input, None).unwrap() {
+                PipelineRun::Completed { value, .. } => black_box(value),
+                _ => unreachable!("no deadline"),
+            }
+        });
+    });
+    c.bench_function("transform/in_place_vs_by_value", |b| {
+        let pools = Arc::new(PoolSet::new(64 << 20));
+        b.iter(|| {
+            let mut input = pools.f32s().acquire(LEN);
+            input.resize(LEN, 1.25);
+            let ctx = TransformCtx::unbounded().with_pool(Arc::clone(&pools));
+            match p.run_ctx(0, input, ctx).unwrap() {
+                PipelineRun::Completed { value, .. } => {
+                    black_box(&value);
+                    value.reclaim(&pools); // Close the recycle loop.
+                }
+                _ => unreachable!("no deadline"),
+            }
+        });
+    });
 }
 
 fn bench_sim(c: &mut Criterion) {
@@ -164,6 +214,6 @@ fn bench_profiles(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
-    targets = bench_queue, bench_queue_batched, bench_cache, bench_balancer, bench_pipeline, bench_reorder, bench_sim, bench_profiles
+    targets = bench_queue, bench_queue_batched, bench_cache, bench_balancer, bench_pipeline, bench_transform_in_place, bench_reorder, bench_sim, bench_profiles
 }
 criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! A counting global allocator for the `pool_reuse` ablation.
+//!
+//! Binaries that want real heap-allocation counts register it:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: minato_bench::alloc_counter::CountingAlloc =
+//!     minato_bench::alloc_counter::CountingAlloc;
+//! ```
+//!
+//! The counters are process-global statics, so [`allocations`] reports 0
+//! forever in binaries that do not register the allocator — callers must
+//! treat a zero delta as "not instrumented", not "allocation-free".
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static DEALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Pass-through wrapper over the system allocator that counts every
+/// allocation, reallocation, and deallocation.
+pub struct CountingAlloc;
+
+// SAFETY: delegates every operation to `System` unchanged; the counter
+// updates are lock-free atomics and never allocate.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A grow/shrink pays the allocator once; count it once.
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        DEALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+/// Total heap allocations (incl. reallocs) since process start; 0 when
+/// [`CountingAlloc`] is not the registered global allocator.
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Total heap deallocations since process start.
+pub fn deallocations() -> u64 {
+    DEALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Total bytes requested from the allocator since process start.
+pub fn allocated_bytes() -> u64 {
+    ALLOCATED_BYTES.load(Ordering::Relaxed)
+}
+
+/// Whether the counting allocator is live in this process (a heap probe
+/// moves the counter iff `CountingAlloc` is registered).
+pub fn instrumented() -> bool {
+    let before = allocations();
+    let probe = std::hint::black_box(Box::new(0u8));
+    drop(probe);
+    allocations() > before
+}

@@ -1,0 +1,11 @@
+//! Ablation: buffer pooling on vs off on the real threaded loader —
+//! heap allocations per delivered sample (via the counting global
+//! allocator) and end-to-end wall time on the cheap-transform workload.
+
+#[global_allocator]
+static ALLOC: minato_bench::alloc_counter::CountingAlloc =
+    minato_bench::alloc_counter::CountingAlloc;
+
+fn main() {
+    println!("{}", minato_bench::ablations::ablation_pool_reuse());
+}

@@ -10,6 +10,7 @@
 //! simulator is deterministic).
 
 pub mod ablations;
+pub mod alloc_counter;
 pub mod experiments;
 pub mod fig11_accuracy;
 

@@ -6,7 +6,9 @@
 //! provides the strict in-order delivery that the PyTorch baseline (and
 //! MinatoLoader's order-preserving mode, §6) require.
 
+use crate::pool::SampleRecycler;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Metadata attached to every preprocessed sample.
@@ -36,20 +38,39 @@ pub struct Prepared<S> {
 }
 
 /// A training batch: samples plus aligned metadata.
-#[derive(Debug, Clone)]
-pub struct Batch<S> {
+///
+/// With buffer pooling enabled the loader attaches a
+/// [`SampleRecycler`]: dropping the batch (the training loop finishing
+/// with it) hands every still-owned sample's buffers back to the pool —
+/// the consumer side of the zero-allocation recycle loop. Take
+/// ownership with [`Batch::into_samples`]/[`Batch::into_parts`] to opt
+/// out for samples you keep.
+pub struct Batch<S: 'static> {
     /// The samples, in batch order.
     pub samples: Vec<S>,
     /// Metadata aligned with `samples`.
     pub meta: Vec<SampleMeta>,
+    /// Recycle hook invoked per leftover sample on drop.
+    recycler: Option<Arc<dyn SampleRecycler<S>>>,
 }
 
-impl<S> Batch<S> {
-    /// Creates an empty batch with reserved capacity.
+impl<S: 'static> Batch<S> {
+    /// Creates an empty batch with reserved capacity (no recycler).
     pub fn with_capacity(n: usize) -> Batch<S> {
         Batch {
             samples: Vec::with_capacity(n),
             meta: Vec::with_capacity(n),
+            recycler: None,
+        }
+    }
+
+    /// Creates an empty batch whose leftover samples are handed to
+    /// `recycler` when the batch is dropped.
+    pub fn with_recycler(n: usize, recycler: Option<Arc<dyn SampleRecycler<S>>>) -> Batch<S> {
+        Batch {
+            samples: Vec::with_capacity(n),
+            meta: Vec::with_capacity(n),
+            recycler,
         }
     }
 
@@ -57,6 +78,19 @@ impl<S> Batch<S> {
     pub fn push(&mut self, p: Prepared<S>) {
         self.samples.push(p.sample);
         self.meta.push(p.meta);
+    }
+
+    /// Takes ownership of the samples; they will *not* be recycled.
+    pub fn into_samples(mut self) -> Vec<S> {
+        std::mem::take(&mut self.samples)
+    }
+
+    /// Takes ownership of samples and metadata; nothing is recycled.
+    pub fn into_parts(mut self) -> (Vec<S>, Vec<SampleMeta>) {
+        (
+            std::mem::take(&mut self.samples),
+            std::mem::take(&mut self.meta),
+        )
     }
 
     /// Number of samples in the batch.
@@ -88,6 +122,36 @@ impl<S> Batch<S> {
         } else {
             self.slow_count() as f64 / self.meta.len() as f64
         }
+    }
+}
+
+impl<S: 'static> Drop for Batch<S> {
+    fn drop(&mut self) {
+        if let Some(recycler) = &self.recycler {
+            for sample in self.samples.drain(..) {
+                recycler.reclaim(sample);
+            }
+        }
+    }
+}
+
+impl<S: Clone + 'static> Clone for Batch<S> {
+    fn clone(&self) -> Self {
+        Batch {
+            samples: self.samples.clone(),
+            meta: self.meta.clone(),
+            recycler: self.recycler.clone(),
+        }
+    }
+}
+
+impl<S: std::fmt::Debug + 'static> std::fmt::Debug for Batch<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Batch")
+            .field("samples", &self.samples)
+            .field("meta", &self.meta)
+            .field("recycled_on_drop", &self.recycler.is_some())
+            .finish()
     }
 }
 
@@ -147,17 +211,34 @@ impl<T> ReorderBuffer<T> {
 
     /// Inserts `(seq, item)` and returns every item that is now ready in
     /// order. Duplicate or stale sequence numbers are discarded.
+    ///
+    /// Allocates a fresh `Vec` per call; hot paths should use
+    /// [`ReorderBuffer::offer`] + [`ReorderBuffer::drain_ready`] with a
+    /// reused output buffer instead.
     pub fn push(&mut self, seq: u64, item: T) -> Vec<T> {
-        if seq < self.next {
-            return Vec::new(); // Stale duplicate.
-        }
-        self.pending.insert(seq, item);
+        self.offer(seq, item);
         let mut out = Vec::new();
+        self.drain_ready(&mut out);
+        out
+    }
+
+    /// Inserts `(seq, item)` without draining. Duplicate or stale
+    /// sequence numbers are discarded.
+    pub fn offer(&mut self, seq: u64, item: T) {
+        if seq >= self.next {
+            self.pending.insert(seq, item);
+        }
+    }
+
+    /// Appends every item that is ready (the contiguous run starting at
+    /// the awaited sequence number) to `out`, in order. `out` is the
+    /// caller's reusable drain buffer — it is *not* cleared here, so one
+    /// allocation serves every call.
+    pub fn drain_ready(&mut self, out: &mut Vec<T>) {
         while let Some(item) = self.pending.remove(&self.next) {
             out.push(item);
             self.next += 1;
         }
-        out
     }
 
     /// Number of items parked waiting for a gap to fill — a direct measure

@@ -51,6 +51,7 @@ pub mod cache;
 pub mod dataset;
 pub mod error;
 pub mod loader;
+pub mod pool;
 pub mod profiler;
 pub mod queue;
 pub mod scheduler;
@@ -67,11 +68,15 @@ pub mod prelude {
     pub use crate::dataset::{Dataset, EpochSampler, FnDataset, Sampler, VecDataset};
     pub use crate::error::{LoaderError, Result};
     pub use crate::loader::{ErrorPolicy, LoaderConfig, MinatoLoader, MinatoLoaderBuilder};
+    pub use crate::pool::{
+        BufferPool, PoolConfig, PoolRecycler, PoolSet, PoolSetStats, PoolStats, Reclaim,
+        SampleRecycler,
+    };
     pub use crate::queue::{MinatoQueue, WakeupPolicy};
     pub use crate::scheduler::{SchedulerConfig, WorkerScheduler};
     pub use crate::stats::{LoaderStats, MonitorTrace};
     pub use crate::transform::{
-        fn_transform, fn_transform_classed, CostClass, Outcome, Pipeline, PipelineRun, Transform,
-        TransformCtx,
+        fn_transform, fn_transform_classed, CostClass, InPlace, Outcome, Pipeline, PipelineRun,
+        Transform, TransformCtx,
     };
 }

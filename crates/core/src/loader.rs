@@ -28,6 +28,7 @@ use crate::batch::{Batch, TransferHook};
 use crate::cache::{CacheConfig, ClonedSampleCache, EvictionPolicy, SampleCache, SampleWeigher};
 use crate::dataset::{Dataset, EpochSampler, Sampler};
 use crate::error::{LoaderError, Result};
+use crate::pool::{PoolRecycler, PoolSet, Reclaim, SampleRecycler};
 use crate::queue::{MinatoQueue, WakeupPolicy};
 use crate::scheduler::{SchedulerConfig, WorkerGate, WorkerScheduler};
 use crate::stats::{LoaderStats, MonitorTrace};
@@ -107,6 +108,10 @@ pub struct LoaderConfig {
     /// Lock-striped shards of the sample cache; each enforces
     /// `cache_budget_bytes / cache_shards` independently.
     pub cache_shards: usize,
+    /// Byte budget of the sample buffer pool; 0 disables pooling (the
+    /// default — behavior is then byte-identical to a pool-less build:
+    /// by-value transform execution, no recycle hook on batches).
+    pub pool_budget_bytes: u64,
 }
 
 /// Builder for [`MinatoLoader`]. All knobs default to the paper's
@@ -117,6 +122,8 @@ pub struct MinatoLoaderBuilder<D: Dataset> {
     cfg: LoaderConfig,
     transfer_hook: Option<Arc<dyn TransferHook<D::Sample>>>,
     cache_weigher: Option<SampleWeigher<D::Sample>>,
+    pool_set: Option<Arc<PoolSet>>,
+    recycler: Option<Arc<dyn SampleRecycler<D::Sample>>>,
     /// Deferred cache construction: installed by the bounded cache
     /// setters, invoked at build time with the final config. This keeps
     /// the `D::Sample: Clone + Sync` requirement scoped to callers that
@@ -142,6 +149,8 @@ impl<D: Dataset> MinatoLoaderBuilder<D> {
             transfer_hook: None,
             cache_weigher: None,
             cache_factory: None,
+            pool_set: None,
+            recycler: None,
             cfg: LoaderConfig {
                 batch_size: 1,
                 num_gpus: 1,
@@ -167,6 +176,7 @@ impl<D: Dataset> MinatoLoaderBuilder<D> {
                 cache_budget_bytes: 0,
                 cache_policy: EvictionPolicy::CostAware,
                 cache_shards: 8,
+                pool_budget_bytes: 0,
             },
         }
     }
@@ -310,6 +320,54 @@ impl<D: Dataset> MinatoLoaderBuilder<D> {
         self
     }
 
+    /// Enables the sample buffer pool with a total byte budget
+    /// (0 = disabled, the default). With the pool on, the pipeline
+    /// executes in place ([`crate::transform::Transform::apply_mut`]),
+    /// shape-changing stages draw output buffers from the pool, and
+    /// delivered batches return their samples' buffers on drop — the
+    /// zero-allocation hot path of [`crate::pool`]. Requires the sample
+    /// type to implement [`Reclaim`].
+    pub fn pool_budget_bytes(mut self, n: u64) -> Self
+    where
+        D::Sample: Reclaim,
+    {
+        self.cfg.pool_budget_bytes = n;
+        if n == 0 {
+            self.pool_set = None;
+            self.recycler = None;
+        } else {
+            let pools = Arc::new(PoolSet::new(n));
+            self.recycler = Some(Arc::new(PoolRecycler::new(Arc::clone(&pools))));
+            self.pool_set = Some(pools);
+        }
+        self
+    }
+
+    /// Uses an externally constructed (possibly shared) [`PoolSet`]
+    /// instead of building one from
+    /// [`pool_budget_bytes`](MinatoLoaderBuilder::pool_budget_bytes) —
+    /// e.g. one pool serving several loaders, or custom size-class
+    /// geometry via [`PoolSet::with_configs`].
+    pub fn pool(mut self, pools: Arc<PoolSet>) -> Self
+    where
+        D::Sample: Reclaim,
+    {
+        self.cfg.pool_budget_bytes =
+            pools.f32s().config().budget_bytes + pools.u8s().config().budget_bytes;
+        self.recycler = Some(Arc::new(PoolRecycler::new(Arc::clone(&pools))));
+        self.pool_set = Some(pools);
+        self
+    }
+
+    /// Overrides the delivery-side recycle hook attached to emitted
+    /// batches (defaults to routing through the sample's [`Reclaim`]
+    /// impl). Useful for counting reclaims in tests or routing buffers
+    /// to a custom allocator.
+    pub fn sample_recycler(mut self, r: Arc<dyn SampleRecycler<D::Sample>>) -> Self {
+        self.recycler = Some(r);
+        self
+    }
+
     fn ensure_cache_factory(&mut self)
     where
         D::Sample: Clone + Sync,
@@ -444,6 +502,8 @@ impl<D: Dataset> MinatoLoaderBuilder<D> {
             self.cfg,
             self.transfer_hook,
             cache,
+            self.pool_set,
+            self.recycler,
         )
     }
 }
@@ -473,6 +533,8 @@ impl<D: Dataset> MinatoLoader<D> {
         mut cfg: LoaderConfig,
         transfer_hook: Option<Arc<dyn TransferHook<D::Sample>>>,
         cache: Option<Arc<dyn SampleCache<D::Sample>>>,
+        pools: Option<Arc<PoolSet>>,
+        recycler: Option<Arc<dyn SampleRecycler<D::Sample>>>,
     ) -> Result<Self> {
         // The scheduler's pool bounds must describe the threads actually
         // spawned: the builder's `max_workers` is authoritative. (The
@@ -529,6 +591,8 @@ impl<D: Dataset> MinatoLoader<D> {
             sampler,
             balancer,
             cache,
+            pools,
+            recycler,
             cfg: cfg.clone(),
         });
 
@@ -635,6 +699,7 @@ impl<D: Dataset> MinatoLoader<D> {
                     .map(|q| q.lock_acquisitions())
                     .sum::<u64>(),
             cache: rt.cache.as_ref().map(|c| c.stats()),
+            pool: rt.pools.as_ref().map(|p| p.stats()),
             active_workers: rt.gate.active_limit(),
             timeout: rt.balancer.current_timeout(),
             preprocess_ms: rt.balancer.profiler().summary_ms(),
@@ -702,6 +767,8 @@ fn monitor_loop<D: Dataset>(rt: Arc<Runtime<D>>, trace: Arc<Mutex<MonitorTrace>>
     let mut prev_bytes = 0u64;
     let mut prev_cache_hits = 0u64;
     let mut prev_cache_lookups = 0u64;
+    let mut prev_pool_hits = 0u64;
+    let mut prev_pool_lookups = 0u64;
     loop {
         std::thread::sleep(interval);
         if rt.shutdown.load(Ordering::Acquire) {
@@ -753,6 +820,24 @@ fn monitor_loop<D: Dataset>(rt: Arc<Runtime<D>>, trace: Arc<Mutex<MonitorTrace>>
             }
         });
 
+        // Pool hit rate over the interval plus the resident byte count —
+        // the steady-state working set the recycle loop retains (both
+        // series stay empty when pooling is disabled).
+        let pool_sample = rt.pools.as_ref().map(|p| {
+            let s = p.stats().combined();
+            let lookups = s.lookups();
+            let d_lookups = lookups.saturating_sub(prev_pool_lookups);
+            let d_hits = s.hits.saturating_sub(prev_pool_hits);
+            prev_pool_lookups = lookups;
+            prev_pool_hits = s.hits;
+            let pct = if d_lookups == 0 {
+                0.0
+            } else {
+                d_hits as f64 / d_lookups as f64 * 100.0
+            };
+            (pct, s.bytes as f64)
+        });
+
         {
             let mut t = trace.lock();
             t.cpu_pct.push(now, cpu_norm * 100.0);
@@ -763,6 +848,10 @@ fn monitor_loop<D: Dataset>(rt: Arc<Runtime<D>>, trace: Arc<Mutex<MonitorTrace>>
             t.throughput_mbps.push(now, mbps);
             if let Some(pct) = cache_hit_pct {
                 t.cache_hit_pct.push(now, pct);
+            }
+            if let Some((pct, bytes)) = pool_sample {
+                t.pool_hit_pct.push(now, pct);
+                t.pool_bytes.push(now, bytes);
             }
         }
 
@@ -904,7 +993,7 @@ mod tests {
             .shuffle(false)
             .build()
             .unwrap();
-        let mut all: Vec<u32> = loader.iter().flat_map(|b| b.samples).collect();
+        let mut all: Vec<u32> = loader.iter().flat_map(|b| b.into_samples()).collect();
         all.sort_unstable();
         assert_eq!(all, vec![10, 20, 30, 40]);
     }
@@ -1014,7 +1103,7 @@ mod tests {
             .max_workers(4)
             .build()
             .unwrap();
-        let all: Vec<u32> = loader.iter().flat_map(|b| b.samples).collect();
+        let all: Vec<u32> = loader.iter().flat_map(|b| b.into_samples()).collect();
         assert_eq!(all, (0..40).collect::<Vec<u32>>());
     }
 
@@ -1034,13 +1123,13 @@ mod tests {
         let h = std::thread::spawn(move || {
             let mut v = Vec::new();
             while let Some(b) = l2.next_batch(1) {
-                v.extend(b.samples);
+                v.extend(b.into_samples());
             }
             v
         });
         let mut got: Vec<u32> = Vec::new();
         while let Some(b) = loader.next_batch(0) {
-            got.extend(b.samples);
+            got.extend(b.into_samples());
         }
         got.extend(h.join().unwrap());
         got.sort_unstable();
@@ -1091,7 +1180,7 @@ mod tests {
                 .max_workers(4)
                 .build()
                 .unwrap();
-            let mut all: Vec<u32> = loader.iter().flat_map(|b| b.samples).collect();
+            let mut all: Vec<u32> = loader.iter().flat_map(|b| b.into_samples()).collect();
             all.sort_unstable();
             all
         };

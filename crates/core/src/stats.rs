@@ -1,6 +1,7 @@
 //! Loader statistics snapshots and monitor traces.
 
 use crate::cache::CacheStats;
+use crate::pool::PoolSetStats;
 use minato_metrics::{Summary, TimeSeries};
 use std::time::Duration;
 
@@ -38,6 +39,10 @@ pub struct LoaderStats {
     /// counts pipeline *executions* — delivered-but-cached samples show
     /// up here as hits instead.
     pub cache: Option<CacheStats>,
+    /// Sample buffer-pool counters (hits, misses, recycled, dropped,
+    /// resident bytes) per element type; `None` when pooling is
+    /// disabled (the default).
+    pub pool: Option<PoolSetStats>,
     /// Workers currently allowed to run by the scheduler gate.
     pub active_workers: usize,
     /// The balancer's current fast/slow cutoff (`None` = optimistic phase).
@@ -66,6 +71,13 @@ pub struct MonitorTrace {
     /// Sample-cache hit rate (% of lookups) over each interval; stays
     /// empty when the cache is disabled.
     pub cache_hit_pct: TimeSeries,
+    /// Buffer-pool hit rate (% of acquires served from recycled
+    /// memory) over each interval; stays empty when pooling is
+    /// disabled.
+    pub pool_hit_pct: TimeSeries,
+    /// Bytes resident in the pool's shared free-lists at each interval
+    /// — the steady-state working set the recycle loop retains.
+    pub pool_bytes: TimeSeries,
 }
 
 impl MonitorTrace {
@@ -78,6 +90,8 @@ impl MonitorTrace {
             batch_occupancy: TimeSeries::new("batch_occupancy"),
             throughput_mbps: TimeSeries::new("throughput_mbps"),
             cache_hit_pct: TimeSeries::new("cache_hit_pct"),
+            pool_hit_pct: TimeSeries::new("pool_hit_pct"),
+            pool_bytes: TimeSeries::new("pool_bytes"),
         }
     }
 }
@@ -101,5 +115,7 @@ mod tests {
         assert!(t.batch_occupancy.is_empty());
         assert!(t.throughput_mbps.is_empty());
         assert!(t.cache_hit_pct.is_empty());
+        assert!(t.pool_hit_pct.is_empty());
+        assert!(t.pool_bytes.is_empty());
     }
 }

@@ -16,8 +16,24 @@
 //!   [`Outcome::Interrupted`]; the pipeline then records index `i` so the
 //!   interrupted transform re-executes, matching the paper's "the last
 //!   transformation was only partially applied, it must be re-executed".
+//!
+//! # In-place execution
+//!
+//! By-value [`Transform::apply`] forces every shape-changing stage to
+//! materialize a fresh output buffer per sample. The in-place contract —
+//! [`Transform::apply_mut`] — lets stages mutate (or shrink) the sample
+//! where it sits, and draw any genuinely new buffers from a shared
+//! [`PoolSet`] carried by the [`TransformCtx`]. The pipeline engages the
+//! in-place path per run (see [`Pipeline::run_ctx`]); transforms without
+//! an in-place implementation fall back to by-value `apply`
+//! transparently, and resume-at-index semantics are identical in both
+//! modes: an interrupted `apply_mut` **must leave the sample in its
+//! input state** so re-executing transform `i` reproduces the
+//! uninterrupted result.
 
 use crate::error::Result;
+use minato_pool::PoolSet;
+use std::cell::Cell;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -36,30 +52,77 @@ pub enum CostClass {
 }
 
 /// Execution context handed to every transform invocation.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct TransformCtx {
     deadline: Option<Instant>,
     /// Speed multiplier applied by accelerator-offloaded execution
     /// (the DALI baseline divides synthetic compute cost by this; CPU
     /// execution uses 1.0).
     pub speedup: f64,
+    /// Buffer pools for in-place stages that still need fresh output
+    /// memory (transposes, resizes); `None` on the by-value path.
+    pools: Option<Arc<PoolSet>>,
+    /// Run transforms through [`Transform::apply_mut`] when set.
+    in_place: bool,
+    /// Upper bound on how many [`TransformCtx::expired`] calls may pass
+    /// between two clock reads; tight kernels can poll per row without
+    /// paying a syscall-ish `Instant::now()` each time. The effective
+    /// stride is *adaptive*: each clock read measures the observed
+    /// per-poll interval and schedules the next read so the
+    /// undetected-expiry window stays small in wall time, never
+    /// exceeding this many polls.
+    poll_stride: u32,
+    /// Total [`TransformCtx::expired`] calls so far.
+    polls: Cell<u64>,
+    /// Poll count at which the clock is read next.
+    next_read: Cell<u64>,
+    /// Timestamp / poll count of the previous clock read (calibration).
+    last_read: Cell<Option<Instant>>,
+    last_read_polls: Cell<u64>,
+    /// Stride granted by the previous clock read. A read may at most
+    /// double it: one noisy-short interval (e.g. the first in-stage
+    /// poll landing right after a between-step reset) must not jump
+    /// the stride straight to the cap.
+    granted_stride: Cell<u64>,
+    /// Deadlines are monotone: once observed expired, stay expired
+    /// without further clock reads.
+    expired_latch: Cell<bool>,
 }
 
 impl TransformCtx {
+    /// Default cap of the amortized deadline check: at most 64
+    /// [`TransformCtx::expired`] calls between clock reads.
+    pub const DEFAULT_POLL_STRIDE: u32 = 64;
+
+    /// Target bound on how long an expired deadline may go unnoticed
+    /// while polls are being skipped. The adaptive stride aims below
+    /// this; the configured `poll_stride` still caps the skip count.
+    pub const MAX_POLL_SKEW: Duration = Duration::from_micros(500);
+
+    fn base(deadline: Option<Instant>) -> TransformCtx {
+        TransformCtx {
+            deadline,
+            speedup: 1.0,
+            pools: None,
+            in_place: false,
+            poll_stride: Self::DEFAULT_POLL_STRIDE,
+            polls: Cell::new(0),
+            next_read: Cell::new(1),
+            last_read: Cell::new(None),
+            last_read_polls: Cell::new(0),
+            granted_stride: Cell::new(1),
+            expired_latch: Cell::new(false),
+        }
+    }
+
     /// Context with no deadline and CPU-speed execution.
     pub fn unbounded() -> TransformCtx {
-        TransformCtx {
-            deadline: None,
-            speedup: 1.0,
-        }
+        TransformCtx::base(None)
     }
 
     /// Context that expires at `deadline`.
     pub fn with_deadline(deadline: Instant) -> TransformCtx {
-        TransformCtx {
-            deadline: Some(deadline),
-            speedup: 1.0,
-        }
+        TransformCtx::base(Some(deadline))
     }
 
     /// Returns a copy with the accelerator speedup set.
@@ -68,20 +131,178 @@ impl TransformCtx {
         self
     }
 
+    /// Returns a copy carrying `pools` and with in-place execution
+    /// engaged (stages acquire scratch from and recycle buffers into
+    /// the set; a disabled set still runs stages in place).
+    pub fn with_pool(mut self, pools: Arc<PoolSet>) -> TransformCtx {
+        self.pools = Some(pools);
+        self.in_place = true;
+        self
+    }
+
+    /// Returns a copy with in-place execution explicitly switched
+    /// on/off (independent of whether a pool is attached).
+    pub fn with_in_place(mut self, yes: bool) -> TransformCtx {
+        self.in_place = yes;
+        self
+    }
+
+    /// Returns a copy polling the clock every `n`-th
+    /// [`TransformCtx::expired`] call (`n >= 1`; default
+    /// [`TransformCtx::DEFAULT_POLL_STRIDE`]).
+    pub fn with_poll_stride(mut self, n: u32) -> TransformCtx {
+        self.poll_stride = n.max(1);
+        self
+    }
+
     /// The deadline, if any.
     pub fn deadline(&self) -> Option<Instant> {
         self.deadline
     }
 
-    /// Whether the deadline has passed.
+    /// The buffer pools, when the run is pooled.
+    pub fn pool(&self) -> Option<&PoolSet> {
+        self.pools.as_deref()
+    }
+
+    /// Whether transforms should execute through
+    /// [`Transform::apply_mut`].
+    pub fn in_place(&self) -> bool {
+        self.in_place
+    }
+
+    /// Whether the deadline has passed — amortized: most calls only
+    /// bump a counter; the clock is read on a stride calibrated from
+    /// the observed poll rate, so a kernel polling per row pays at most
+    /// one `Instant::now()` per `poll_stride` polls while a kernel
+    /// polling every few hundred microseconds still observes expiry
+    /// within roughly [`MAX_POLL_SKEW`](Self::MAX_POLL_SKEW). Use
+    /// [`TransformCtx::expired_now`] where exact timing matters.
     pub fn expired(&self) -> bool {
-        self.deadline.is_some_and(|d| Instant::now() >= d)
+        let Some(deadline) = self.deadline else {
+            return false;
+        };
+        if self.expired_latch.get() {
+            return true;
+        }
+        let n = self.polls.get() + 1;
+        self.polls.set(n);
+        if n < self.next_read.get() {
+            return false;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            self.expired_latch.set(true);
+            return true;
+        }
+        // Calibrate the next read: skip however many polls fit in the
+        // skew budget at the measured per-poll rate (1 when the rate is
+        // unknown or slow, `poll_stride` at most). Nearing the deadline
+        // shrinks the budget, so detection tightens exactly when it
+        // matters. Growth is geometric (at most doubling per read): one
+        // noisy-short interval must not grant the full cap to a kernel
+        // that actually polls slowly.
+        let budget = (deadline - now).div_f64(4.0).min(Self::MAX_POLL_SKEW);
+        let by_rate = match self.last_read.get() {
+            Some(prev) if n > self.last_read_polls.get() && now > prev => {
+                let per_poll =
+                    (now - prev).as_nanos().max(1) / u128::from(n - self.last_read_polls.get());
+                (budget.as_nanos() / per_poll.max(1)).clamp(1, u128::from(self.poll_stride)) as u64
+            }
+            _ => 1,
+        };
+        let stride = by_rate
+            .min(self.granted_stride.get().saturating_mul(2))
+            .max(1);
+        self.granted_stride.set(stride);
+        self.last_read.set(Some(now));
+        self.last_read_polls.set(n);
+        self.next_read.set(n + stride);
+        false
+    }
+
+    /// Whether the deadline has passed, checked against the clock right
+    /// now (no stride amortization).
+    ///
+    /// Also resets the stride calibration: the skip count measured for
+    /// one kernel's poll rate must not carry into the next — a stage
+    /// polling every microsecond calibrates to the stride cap, and a
+    /// following stage polling every 20 ms would otherwise wait the
+    /// whole cap out in *its* time scale before the first clock read.
+    /// The pipeline calls this between steps, so every stage starts
+    /// with a fresh (read-immediately) stride and recalibrates to its
+    /// own rate within two polls.
+    pub fn expired_now(&self) -> bool {
+        if self.expired_latch.get() {
+            return true;
+        }
+        let Some(deadline) = self.deadline else {
+            return false;
+        };
+        let now = Instant::now();
+        self.last_read.set(Some(now));
+        self.last_read_polls.set(self.polls.get());
+        self.next_read.set(self.polls.get() + 1);
+        self.granted_stride.set(1);
+        if now >= deadline {
+            self.expired_latch.set(true);
+            return true;
+        }
+        false
     }
 
     /// Time remaining until the deadline (`None` = unbounded).
     pub fn remaining(&self) -> Option<Duration> {
         self.deadline
             .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// A zero-filled `f32` buffer of length `len` — pool-served when a
+    /// pool is attached, `vec![0.0; len]` otherwise. Byte-identical to
+    /// the allocation it replaces.
+    pub fn acquire_f32(&self, len: usize) -> Vec<f32> {
+        match self.pool() {
+            Some(p) => p.f32s().acquire_filled(len, 0.0),
+            None => vec![0.0; len],
+        }
+    }
+
+    /// Returns an `f32` buffer to the pool (dropped when unpooled).
+    pub fn recycle_f32(&self, buf: Vec<f32>) {
+        if let Some(p) = self.pool() {
+            p.f32s().recycle(buf);
+        }
+    }
+
+    /// An `f32` buffer holding a copy of `src` — pool-served when a
+    /// pool is attached. The scratch-then-commit pattern for
+    /// interruptible in-place stages: work on the copy, swap it in only
+    /// on completion, so an interrupt leaves the sample untouched.
+    pub fn acquire_f32_from(&self, src: &[f32]) -> Vec<f32> {
+        match self.pool() {
+            Some(p) => {
+                let mut buf = p.f32s().acquire(src.len());
+                buf.extend_from_slice(src);
+                buf
+            }
+            None => src.to_vec(),
+        }
+    }
+
+    /// A zero-filled `u8` buffer of length `len` (see
+    /// [`TransformCtx::acquire_f32`]).
+    pub fn acquire_u8(&self, len: usize) -> Vec<u8> {
+        match self.pool() {
+            Some(p) => p.u8s().acquire_filled(len, 0),
+            None => vec![0; len],
+        }
+    }
+
+    /// Returns a `u8` buffer to the pool (dropped when unpooled).
+    pub fn recycle_u8(&self, buf: Vec<u8>) {
+        if let Some(p) = self.pool() {
+            p.u8s().recycle(buf);
+        }
     }
 }
 
@@ -94,6 +315,21 @@ pub enum Outcome<T> {
     /// *input* value, unchanged, so the transform can be re-executed by a
     /// background worker.
     Interrupted(T),
+}
+
+/// Result of applying one transform in place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InPlace {
+    /// The transform mutated the sample to completion.
+    Done,
+    /// The transform noticed the deadline and bailed out, leaving the
+    /// sample **in its input state** so re-executing this transform
+    /// (background worker, no deadline) reproduces the uninterrupted
+    /// result.
+    Interrupted,
+    /// The transform has no in-place implementation; the pipeline falls
+    /// back to by-value [`Transform::apply`] for this step.
+    ByValue,
 }
 
 /// A single preprocessing step.
@@ -111,6 +347,24 @@ pub trait Transform<T>: Send + Sync + 'static {
     /// the original input to honor the load balancer's timeout; short
     /// transforms may ignore the context entirely.
     fn apply(&self, input: T, ctx: &TransformCtx) -> Result<Outcome<T>>;
+
+    /// Applies the transform by mutating `sample` in place — the
+    /// zero-allocation hot path. Stages needing a differently shaped
+    /// output buffer should draw it from [`TransformCtx::acquire_f32`]/
+    /// [`TransformCtx::acquire_u8`] and recycle the buffer it replaces.
+    ///
+    /// The default has no in-place implementation and returns
+    /// [`InPlace::ByValue`], making the pipeline fall back to the
+    /// by-value [`Transform::apply`] for this step — existing transforms
+    /// keep working unchanged.
+    ///
+    /// **Contract:** returning [`InPlace::Interrupted`] promises that
+    /// `sample` was left in its input state (restore before bailing
+    /// out), because the resume path re-executes this transform from
+    /// scratch and must produce byte-identical output.
+    fn apply_mut(&self, _sample: &mut T, _ctx: &TransformCtx) -> Result<InPlace> {
+        Ok(InPlace::ByValue)
+    }
 
     /// Volume classification used by Pecan's AutoOrder policy.
     fn cost_class(&self) -> CostClass {
@@ -238,41 +492,79 @@ impl<T: Send + 'static> Pipeline<T> {
         input: T,
         timeout: Option<Duration>,
     ) -> Result<PipelineRun<T>> {
-        let start = Instant::now();
         let ctx = match timeout {
-            Some(t) => TransformCtx::with_deadline(start + t),
+            Some(t) => TransformCtx::with_deadline(Instant::now() + t),
             None => TransformCtx::unbounded(),
         };
-        let mut value = input;
+        self.run_ctx(start_at, input, ctx)
+    }
+
+    /// Runs transforms `start_at..` on `input` under an explicit
+    /// execution context — the primitive behind [`Pipeline::run`] and
+    /// [`Pipeline::run_from`].
+    ///
+    /// With [`TransformCtx::in_place`] set (e.g. via
+    /// [`TransformCtx::with_pool`]) each step executes through
+    /// [`Transform::apply_mut`], falling back to by-value
+    /// [`Transform::apply`] per step when it reports
+    /// [`InPlace::ByValue`]. Resume-at-index semantics are identical in
+    /// both modes: a completed step is never redone, and an interrupted
+    /// step `i` (which left the sample in its input state, per the
+    /// `apply_mut` contract) re-executes from `resume_at = i`.
+    pub fn run_ctx(&self, start_at: usize, input: T, ctx: TransformCtx) -> Result<PipelineRun<T>> {
+        let start = Instant::now();
+        let in_place = ctx.in_place();
+        // `Option` dance so the by-value fallback can take ownership of
+        // the sample mid-loop while `apply_mut` borrows it in place.
+        let mut value = Some(input);
         let mut i = start_at;
         while i < self.steps.len() {
-            match self.steps[i].apply(value, &ctx)? {
-                Outcome::Done(v) => {
-                    value = v;
-                    i += 1;
-                    // Deadline check *after* the completed transform: resume
-                    // continues at the next step (nothing is redone).
-                    if i < self.steps.len() && ctx.expired() {
-                        return Ok(PipelineRun::TimedOut {
-                            partial: value,
-                            resume_at: i,
-                            elapsed: start.elapsed(),
-                        });
+            let step = &self.steps[i];
+            let status = if in_place {
+                step.apply_mut(value.as_mut().expect("sample present"), &ctx)?
+            } else {
+                InPlace::ByValue
+            };
+            let interrupted = match status {
+                InPlace::Done => false,
+                InPlace::Interrupted => true,
+                InPlace::ByValue => {
+                    match step.apply(value.take().expect("sample present"), &ctx)? {
+                        Outcome::Done(v) => {
+                            value = Some(v);
+                            false
+                        }
+                        Outcome::Interrupted(v) => {
+                            value = Some(v);
+                            true
+                        }
                     }
                 }
-                Outcome::Interrupted(v) => {
-                    // The transform bailed out mid-flight; it must be
-                    // re-executed from scratch by the background worker.
-                    return Ok(PipelineRun::TimedOut {
-                        partial: v,
-                        resume_at: i,
-                        elapsed: start.elapsed(),
-                    });
-                }
+            };
+            if interrupted {
+                // The transform bailed out mid-flight; it must be
+                // re-executed from scratch by the background worker.
+                return Ok(PipelineRun::TimedOut {
+                    partial: value.take().expect("sample present"),
+                    resume_at: i,
+                    elapsed: start.elapsed(),
+                });
+            }
+            i += 1;
+            // Deadline check *after* the completed transform: resume
+            // continues at the next step (nothing is redone). Forced
+            // clock read — the between-step check must stay timely even
+            // when kernels amortize their polls.
+            if i < self.steps.len() && ctx.expired_now() {
+                return Ok(PipelineRun::TimedOut {
+                    partial: value.take().expect("sample present"),
+                    resume_at: i,
+                    elapsed: start.elapsed(),
+                });
             }
         }
         Ok(PipelineRun::Completed {
-            value,
+            value: value.take().expect("sample present"),
             elapsed: start.elapsed(),
         })
     }
@@ -424,6 +716,214 @@ mod tests {
         match p.run(0, Some(Duration::from_millis(1))).unwrap() {
             PipelineRun::Completed { value, .. } => assert_eq!(value, 1),
             PipelineRun::TimedOut { .. } => panic!("finished samples are fast samples"),
+        }
+    }
+
+    #[test]
+    fn expired_is_false_without_deadline() {
+        let ctx = TransformCtx::unbounded();
+        for _ in 0..1000 {
+            assert!(!ctx.expired());
+        }
+    }
+
+    #[test]
+    fn expired_latches_once_observed() {
+        let ctx = TransformCtx::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(ctx.expired(), "past deadline observed on the first poll");
+        assert!(ctx.expired(), "latched without further clock reads");
+        assert!(ctx.expired_now());
+    }
+
+    #[test]
+    fn tight_polls_amortize_clock_reads_but_still_detect() {
+        // A tight kernel polling millions of times must still notice a
+        // short deadline — the adaptive stride caps skipped polls, so
+        // expiry is detected promptly in wall time.
+        let ctx = TransformCtx::with_deadline(Instant::now() + Duration::from_millis(5))
+            .with_poll_stride(64);
+        let t0 = Instant::now();
+        let mut polls = 0u64;
+        while !ctx.expired() {
+            polls += 1;
+            assert!(
+                t0.elapsed() < Duration::from_secs(5),
+                "expiry never detected after {polls} polls"
+            );
+        }
+        // Detection may lag the 5 ms deadline only by the skew budget
+        // plus scheduler noise, never by the old stride-in-polls bound.
+        assert!(
+            t0.elapsed() < Duration::from_millis(100),
+            "detection too late: {:?}",
+            t0.elapsed()
+        );
+        assert!(polls > 64, "tight loop must have skipped clock reads");
+    }
+
+    #[test]
+    fn slow_polls_detect_within_skew_budget() {
+        // A coarse poller (hundreds of µs between polls, like an
+        // I/O-bound stage) must not wait `poll_stride` polls for the
+        // clock: the adaptive stride drops to ~1 at this rate.
+        let deadline = Duration::from_millis(5);
+        let ctx = TransformCtx::with_deadline(Instant::now() + deadline);
+        let t0 = Instant::now();
+        let mut polls = 0u32;
+        while !ctx.expired() {
+            polls += 1;
+            assert!(polls < 10_000, "expiry missed");
+            std::thread::sleep(Duration::from_micros(300));
+        }
+        let lag = t0.elapsed().saturating_sub(deadline);
+        assert!(
+            lag < Duration::from_millis(20),
+            "coarse poller detected expiry {lag:?} late"
+        );
+    }
+
+    #[test]
+    fn coarse_poller_after_tight_stage_still_detects_promptly() {
+        // Regression: a tight stage calibrates the stride up, the
+        // pipeline's between-step check resets it, and the next stage
+        // polls every ~300µs. The first in-stage poll lands right after
+        // the reset (a microsecond interval); the geometric ramp must
+        // keep that from granting the full 64-poll cap, or a 6 ms
+        // deadline goes unseen for ~19 ms and nothing classifies slow.
+        let deadline = Duration::from_millis(6);
+        let ctx = TransformCtx::with_deadline(Instant::now() + deadline);
+        for _ in 0..10_000 {
+            let _ = ctx.expired(); // Tight stage.
+        }
+        assert!(!ctx.expired_now()); // Step boundary.
+        let mut polls = 0u32;
+        while !ctx.expired() {
+            polls += 1;
+            assert!(polls < 10_000, "expiry missed");
+            std::thread::sleep(Duration::from_micros(300));
+        }
+        // How far past the deadline the detection landed.
+        let overshoot = ctx.deadline().unwrap().elapsed();
+        assert!(
+            overshoot < Duration::from_millis(20),
+            "coarse poller detected expiry {overshoot:?} late after a tight stage"
+        );
+    }
+
+    #[test]
+    fn between_step_check_resets_stride_calibration() {
+        // A tight kernel calibrates the stride up to the cap; the
+        // between-step `expired_now` must reset it so the next stage
+        // (possibly polling 4 orders of magnitude slower) reads the
+        // clock on its first poll instead of skipping the cap out.
+        let ctx = TransformCtx::with_deadline(Instant::now() + Duration::from_secs(3600));
+        for _ in 0..10_000 {
+            let _ = ctx.expired(); // Tight stage: stride grows to the cap.
+        }
+        assert!(ctx.next_read.get() > ctx.polls.get() + 1, "stride grew");
+        assert!(!ctx.expired_now()); // Step boundary.
+        assert_eq!(
+            ctx.next_read.get(),
+            ctx.polls.get() + 1,
+            "next stage must read the clock on its first poll"
+        );
+    }
+
+    #[test]
+    fn in_place_falls_back_to_by_value_per_step() {
+        // Transforms without `apply_mut` run through `apply` even when
+        // the context requests in-place execution.
+        let p: Pipeline<u64> = Pipeline::new(vec![
+            fn_transform("x2", |x: u64| Ok(x * 2)),
+            fn_transform("inc", |x: u64| Ok(x + 1)),
+        ]);
+        let ctx = TransformCtx::unbounded().with_in_place(true);
+        match p.run_ctx(0, 5, ctx).unwrap() {
+            PipelineRun::Completed { value, .. } => assert_eq!(value, 11),
+            _ => panic!("no deadline"),
+        }
+    }
+
+    #[test]
+    fn ctx_acquire_without_pool_allocates_plainly() {
+        let ctx = TransformCtx::unbounded();
+        assert_eq!(ctx.acquire_f32(4), vec![0.0f32; 4]);
+        assert_eq!(ctx.acquire_u8(3), vec![0u8; 3]);
+        assert_eq!(ctx.acquire_f32_from(&[1.0, 2.0]), vec![1.0, 2.0]);
+        ctx.recycle_f32(vec![0.0; 8]); // No pool: simply dropped.
+    }
+
+    #[test]
+    fn ctx_acquire_round_trips_through_pool() {
+        let pools = Arc::new(PoolSet::new(1 << 20));
+        let ctx = TransformCtx::unbounded().with_pool(Arc::clone(&pools));
+        assert!(ctx.in_place());
+        let buf = ctx.acquire_f32(128);
+        assert_eq!(buf, vec![0.0f32; 128]);
+        ctx.recycle_f32(buf);
+        // Same size class (64..128]: the recycled buffer serves it.
+        let again = ctx.acquire_f32_from(&[3.0; 100]);
+        assert_eq!(again, vec![3.0f32; 100]);
+        assert!(pools.stats().f32s.hits >= 1, "second acquire reuses");
+    }
+
+    /// In-place doubler whose first execution interrupts after restoring
+    /// the sample — the `apply_mut` resume contract under test.
+    struct InterruptOnce {
+        fired: std::sync::atomic::AtomicBool,
+    }
+
+    impl Transform<Vec<f32>> for InterruptOnce {
+        fn name(&self) -> &str {
+            "interrupt-once"
+        }
+
+        fn apply(&self, mut v: Vec<f32>, _ctx: &TransformCtx) -> Result<Outcome<Vec<f32>>> {
+            for x in v.iter_mut() {
+                *x *= 2.0;
+            }
+            Ok(Outcome::Done(v))
+        }
+
+        fn apply_mut(&self, v: &mut Vec<f32>, _ctx: &TransformCtx) -> Result<InPlace> {
+            use std::sync::atomic::Ordering;
+            if !self.fired.swap(true, Ordering::Relaxed) {
+                // Simulate noticing the deadline mid-mutation: scribble,
+                // restore from a snapshot, bail out.
+                let snapshot = v.clone();
+                for x in v.iter_mut() {
+                    *x += 7.0;
+                }
+                v.copy_from_slice(&snapshot);
+                return Ok(InPlace::Interrupted);
+            }
+            for x in v.iter_mut() {
+                *x *= 2.0;
+            }
+            Ok(InPlace::Done)
+        }
+    }
+
+    #[test]
+    fn interrupted_in_place_stage_resumes_byte_identically() {
+        let p: Pipeline<Vec<f32>> = Pipeline::new(vec![Arc::new(InterruptOnce {
+            fired: std::sync::atomic::AtomicBool::new(false),
+        })]);
+        let ctx = TransformCtx::unbounded().with_in_place(true);
+        let (partial, resume_at) = match p.run_ctx(0, vec![1.5, -2.0, 3.25], ctx).unwrap() {
+            PipelineRun::TimedOut {
+                partial, resume_at, ..
+            } => (partial, resume_at),
+            _ => panic!("first execution must interrupt"),
+        };
+        assert_eq!(partial, vec![1.5, -2.0, 3.25], "input state restored");
+        assert_eq!(resume_at, 0);
+        let ctx = TransformCtx::unbounded().with_in_place(true);
+        match p.run_ctx(resume_at, partial, ctx).unwrap() {
+            PipelineRun::Completed { value, .. } => {
+                assert_eq!(value, vec![3.0, -4.0, 6.5]);
+            }
+            _ => panic!("re-execution must complete"),
         }
     }
 

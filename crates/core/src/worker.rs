@@ -19,10 +19,11 @@ use crate::cache::SampleCache;
 use crate::dataset::{Dataset, Sampler};
 use crate::error::LoaderError;
 use crate::loader::{ErrorPolicy, LoaderConfig};
+use crate::pool::{PoolSet, SampleRecycler};
 use crate::profiler::SampleRecord;
 use crate::queue::{Closed, MinatoQueue, TryPutError, TryReserveError};
 use crate::scheduler::WorkerGate;
-use crate::transform::{Pipeline, PipelineRun};
+use crate::transform::{Pipeline, PipelineRun, TransformCtx};
 use minato_metrics::{Counter, UtilizationMeter};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -49,6 +50,15 @@ pub(crate) struct Runtime<D: Dataset> {
     /// Hits bypass the dataset, the pipeline, and timeout
     /// classification, and never feed the balancer's profiler.
     pub cache: Option<Arc<dyn SampleCache<D::Sample>>>,
+    /// Buffer pools for the zero-allocation hot path; `None` when
+    /// pooling is disabled (the default). With pools attached, the
+    /// pipeline executes in place and stages draw fresh buffers from
+    /// (and recycle replaced buffers into) this set.
+    pub pools: Option<Arc<PoolSet>>,
+    /// Delivery-side recycle hook attached to every emitted batch, so
+    /// the training loop dropping a batch hands sample buffers back to
+    /// the pool. `None` when pooling is disabled.
+    pub recycler: Option<Arc<dyn SampleRecycler<D::Sample>>>,
     pub fast_q: MinatoQueue<Prepared<D::Sample>>,
     pub slow_q: MinatoQueue<Prepared<D::Sample>>,
     pub temp_q: MinatoQueue<Deferred<D::Sample>>,
@@ -110,6 +120,25 @@ impl<D: Dataset> Runtime<D> {
 
     fn is_shutdown(&self) -> bool {
         self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Builds the per-run transform context: optional deadline, plus the
+    /// buffer pools (which engage in-place execution) when pooling is on.
+    fn transform_ctx(&self, timeout: Option<Duration>) -> TransformCtx {
+        let ctx = match timeout {
+            Some(t) => TransformCtx::with_deadline(Instant::now() + t),
+            None => TransformCtx::unbounded(),
+        };
+        match &self.pools {
+            Some(p) => ctx.with_pool(Arc::clone(p)),
+            None => ctx,
+        }
+    }
+
+    /// An empty batch carrying the delivery-side recycle hook (a no-op
+    /// plain batch when pooling is off).
+    fn new_batch(&self) -> Batch<D::Sample> {
+        Batch::with_recycler(self.cfg.batch_size, self.recycler.clone())
     }
 
     /// Closes the producer-side queues once no new samples can ever reach
@@ -203,7 +232,7 @@ pub(crate) fn loader_worker<D: Dataset>(rt: Arc<Runtime<D>>, id: usize) {
             let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 let raw = rt.dataset.load(ticket.index)?;
                 let timeout = rt.balancer.current_timeout();
-                rt.pipeline.run(raw, timeout)
+                rt.pipeline.run_ctx(0, raw, rt.transform_ctx(timeout))
             }))
             .unwrap_or_else(|p| {
                 let msg = p
@@ -335,7 +364,8 @@ pub(crate) fn slow_worker<D: Dataset>(rt: Arc<Runtime<D>>) {
             // cascade depends on this thread reaching its exit accounting.
             let (resume_at, partial) = (d.resume_at, d.partial);
             let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                rt.pipeline.run_from(resume_at, partial, None)
+                rt.pipeline
+                    .run_ctx(resume_at, partial, rt.transform_ctx(None))
             }))
             .unwrap_or_else(|_| {
                 Err(LoaderError::Transform {
@@ -433,7 +463,7 @@ fn emit_batch<D: Dataset>(rt: &Runtime<D>, batch: &mut Batch<D::Sample>) -> bool
     if batch.is_empty() {
         return true;
     }
-    let full = std::mem::replace(batch, Batch::with_capacity(rt.cfg.batch_size));
+    let full = std::mem::replace(batch, rt.new_batch());
     let samples = full.len() as u64;
     let bytes = full.bytes();
     let mut order: Vec<usize> = (0..rt.batch_qs.len()).collect();
@@ -469,7 +499,7 @@ fn emit_batch<D: Dataset>(rt: &Runtime<D>, batch: &mut Batch<D::Sample>) -> bool
 }
 
 fn batch_worker_minato<D: Dataset>(rt: &Runtime<D>) {
-    let mut batch: Batch<D::Sample> = Batch::with_capacity(rt.cfg.batch_size);
+    let mut batch: Batch<D::Sample> = rt.new_batch();
     // Sticky per-queue completion flags: once a queue reports closed and
     // drained it can never produce again, so the worker stops touching it
     // — popping a closed queue returns instantly, and a loop doing that
@@ -548,9 +578,12 @@ fn batch_worker_minato<D: Dataset>(rt: &Runtime<D>) {
 /// head-of-line blocking in exchange for ordering guarantees.
 fn batch_worker_ordered<D: Dataset>(rt: &Runtime<D>) {
     let mut reorder: ReorderBuffer<Prepared<D::Sample>> = ReorderBuffer::new(0);
-    let mut batch: Batch<D::Sample> = Batch::with_capacity(rt.cfg.batch_size);
-    let push_ready = |ready: Vec<Prepared<D::Sample>>, batch: &mut Batch<D::Sample>| -> bool {
-        for p in ready {
+    let mut batch: Batch<D::Sample> = rt.new_batch();
+    // Reusable drain buffer: one allocation serves every
+    // `drain_ready` call instead of a fresh `Vec` per arriving sample.
+    let mut ready: Vec<Prepared<D::Sample>> = Vec::new();
+    let push_ready = |ready: &mut Vec<Prepared<D::Sample>>, batch: &mut Batch<D::Sample>| -> bool {
+        for p in ready.drain(..) {
             batch.push(p);
             if batch.len() >= rt.cfg.batch_size && !emit_batch(rt, batch) {
                 return false;
@@ -564,8 +597,9 @@ fn batch_worker_ordered<D: Dataset>(rt: &Runtime<D>) {
         }
         match rt.fast_q.pop_timeout(rt.cfg.starvation_wait) {
             Ok(Some(p)) => {
-                let ready = reorder.push(p.meta.seq, p);
-                if !push_ready(ready, &mut batch) {
+                reorder.offer(p.meta.seq, p);
+                reorder.drain_ready(&mut ready);
+                if !push_ready(&mut ready, &mut batch) {
                     return;
                 }
             }
@@ -574,8 +608,8 @@ fn batch_worker_ordered<D: Dataset>(rt: &Runtime<D>) {
         }
     }
     // Samples lost to errors leave permanent gaps; flush what is parked.
-    let remaining = reorder.drain_remaining();
-    if !push_ready(remaining, &mut batch) {
+    let mut remaining = reorder.drain_remaining();
+    if !push_ready(&mut remaining, &mut batch) {
         return;
     }
     if !rt.cfg.drop_last && !batch.is_empty() {
@@ -621,6 +655,7 @@ mod tests {
             cache_budget_bytes: 0,
             cache_policy: crate::cache::EvictionPolicy::CostAware,
             cache_shards: 8,
+            pool_budget_bytes: 0,
         }
     }
 
@@ -636,6 +671,8 @@ mod tests {
                 ..BalancerConfig::default()
             }),
             cache: None,
+            pools: None,
+            recycler: None,
             fast_q: MinatoQueue::new("fast", cfg.queue_capacity),
             slow_q: MinatoQueue::new("slow", cfg.queue_capacity),
             temp_q: MinatoQueue::new("temp", cfg.queue_capacity),

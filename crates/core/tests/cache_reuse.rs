@@ -245,7 +245,7 @@ fn tiny_budget_degrades_gracefully() {
         .expect("valid configuration");
     let mut counts: HashMap<u32, usize> = HashMap::new();
     for b in loader.iter() {
-        for s in b.samples {
+        for s in b.into_samples() {
             *counts.entry(s).or_default() += 1;
         }
     }

@@ -13,7 +13,8 @@
 //! preserved under reordering).
 
 use minato_core::error::{LoaderError, Result};
-use minato_core::transform::{CostClass, Outcome, Pipeline, Transform, TransformCtx};
+use minato_core::pool::{PoolSet, Reclaim};
+use minato_core::transform::{CostClass, InPlace, Outcome, Pipeline, Transform, TransformCtx};
 use rand::{rngs::StdRng, RngExt, SeedableRng};
 use std::sync::Arc;
 
@@ -85,6 +86,15 @@ impl AudioClip {
     }
 }
 
+impl Reclaim for AudioClip {
+    fn reclaim(self, pools: &PoolSet) {
+        match self.data {
+            AudioData::Waveform(w) => pools.f32s().recycle(w),
+            AudioData::Features { values, .. } => pools.f32s().recycle(values),
+        }
+    }
+}
+
 fn expect_waveform(clip: &AudioClip, t: &str) -> Result<()> {
     match clip.data {
         AudioData::Waveform(_) => Ok(()),
@@ -112,12 +122,8 @@ pub struct Pad {
     pub unit: usize,
 }
 
-impl Transform<AudioClip> for Pad {
-    fn name(&self) -> &str {
-        "Pad"
-    }
-
-    fn apply(&self, mut clip: AudioClip, _ctx: &TransformCtx) -> Result<Outcome<AudioClip>> {
+impl Pad {
+    fn pad_in_place(&self, clip: &mut AudioClip) -> Result<()> {
         if self.unit == 0 {
             return Err(LoaderError::Transform {
                 name: "Pad".into(),
@@ -140,7 +146,26 @@ impl Transform<AudioClip> for Pad {
             values.resize(target_frames * *bins, 0.0);
             *frames = target_frames;
         }
+        Ok(())
+    }
+}
+
+impl Transform<AudioClip> for Pad {
+    fn name(&self) -> &str {
+        "Pad"
+    }
+
+    fn apply(&self, mut clip: AudioClip, _ctx: &TransformCtx) -> Result<Outcome<AudioClip>> {
+        self.pad_in_place(&mut clip)?;
         Ok(Outcome::Done(clip))
+    }
+
+    fn apply_mut(&self, clip: &mut AudioClip, _ctx: &TransformCtx) -> Result<InPlace> {
+        // Inflationary, but growth happens inside the sample's own
+        // buffer; pool-served buffers carry class-granular capacity, so
+        // the resize usually fits without reallocating.
+        self.pad_in_place(clip)?;
+        Ok(InPlace::Done)
     }
 
     fn cost_class(&self) -> CostClass {
@@ -156,12 +181,8 @@ pub struct SpecAugment {
     pub max_width: f32,
 }
 
-impl Transform<AudioClip> for SpecAugment {
-    fn name(&self) -> &str {
-        "SpecAugment"
-    }
-
-    fn apply(&self, mut clip: AudioClip, _ctx: &TransformCtx) -> Result<Outcome<AudioClip>> {
+impl SpecAugment {
+    fn augment_in_place(&self, clip: &mut AudioClip) {
         let mut rng = StdRng::seed_from_u64(clip.seed ^ 0x5BEC);
         let mask = |vals: &mut [f32], rng: &mut StdRng, max_w: usize| {
             if vals.is_empty() || max_w == 0 {
@@ -187,7 +208,22 @@ impl Transform<AudioClip> for SpecAugment {
                 }
             }
         }
+    }
+}
+
+impl Transform<AudioClip> for SpecAugment {
+    fn name(&self) -> &str {
+        "SpecAugment"
+    }
+
+    fn apply(&self, mut clip: AudioClip, _ctx: &TransformCtx) -> Result<Outcome<AudioClip>> {
+        self.augment_in_place(&mut clip);
         Ok(Outcome::Done(clip))
+    }
+
+    fn apply_mut(&self, clip: &mut AudioClip, _ctx: &TransformCtx) -> Result<InPlace> {
+        self.augment_in_place(clip);
+        Ok(InPlace::Done)
     }
 
     fn cost_class(&self) -> CostClass {
@@ -217,13 +253,9 @@ impl FilterBank {
     }
 }
 
-impl Transform<AudioClip> for FilterBank {
-    fn name(&self) -> &str {
-        "FilterBank"
-    }
-
-    fn apply(&self, mut clip: AudioClip, _ctx: &TransformCtx) -> Result<Outcome<AudioClip>> {
-        expect_waveform(&clip, "FilterBank")?;
+impl FilterBank {
+    fn validate(&self, clip: &AudioClip) -> Result<usize> {
+        expect_waveform(clip, "FilterBank")?;
         if self.window == 0 || self.hop == 0 || self.bins == 0 {
             return Err(LoaderError::Transform {
                 name: "FilterBank".into(),
@@ -233,12 +265,16 @@ impl Transform<AudioClip> for FilterBank {
         let AudioData::Waveform(w) = &clip.data else {
             unreachable!("checked above");
         };
-        let frames = if w.len() >= self.window {
+        Ok(if w.len() >= self.window {
             (w.len() - self.window) / self.hop + 1
         } else {
             0
-        };
-        let mut values = vec![0.0f32; frames * self.bins];
+        })
+    }
+
+    /// Fills `values` (`frames * bins` long, zero-filled) with band
+    /// energies of waveform `w`: the shared kernel behind both paths.
+    fn energies_into(&self, w: &[f32], frames: usize, values: &mut [f32]) {
         // Goertzel-style band energies: real O(frames × window × bins/8)
         // compute, the honest stand-in for mel filterbanks.
         for f in 0..frames {
@@ -259,12 +295,50 @@ impl Transform<AudioClip> for FilterBank {
                 values[f * self.bins + b] = (re * re + im * im + 1e-10).ln();
             }
         }
+    }
+}
+
+impl Transform<AudioClip> for FilterBank {
+    fn name(&self) -> &str {
+        "FilterBank"
+    }
+
+    fn apply(&self, mut clip: AudioClip, _ctx: &TransformCtx) -> Result<Outcome<AudioClip>> {
+        let frames = self.validate(&clip)?;
+        let AudioData::Waveform(w) = &clip.data else {
+            unreachable!("validated above");
+        };
+        let mut values = vec![0.0f32; frames * self.bins];
+        self.energies_into(w, frames, &mut values);
         clip.data = AudioData::Features {
             frames,
             bins: self.bins,
             values,
         };
         Ok(Outcome::Done(clip))
+    }
+
+    fn apply_mut(&self, clip: &mut AudioClip, ctx: &TransformCtx) -> Result<InPlace> {
+        let frames = self.validate(clip)?;
+        let AudioData::Waveform(w) = &clip.data else {
+            unreachable!("validated above");
+        };
+        // Deflationary stage: the feature matrix comes from the pool and
+        // the (much larger) waveform goes back to it.
+        let mut values = ctx.acquire_f32(frames * self.bins);
+        self.energies_into(w, frames, &mut values);
+        let old = std::mem::replace(
+            &mut clip.data,
+            AudioData::Features {
+                frames,
+                bins: self.bins,
+                values,
+            },
+        );
+        if let AudioData::Waveform(w) = old {
+            ctx.recycle_f32(w);
+        }
+        Ok(InPlace::Done)
     }
 
     fn cost_class(&self) -> CostClass {
@@ -278,13 +352,23 @@ pub struct FrameSplicing {
     pub factor: usize,
 }
 
-impl Transform<AudioClip> for FrameSplicing {
-    fn name(&self) -> &str {
-        "FrameSplicing"
+impl FrameSplicing {
+    fn splice_into(&self, bins: usize, values: &[f32], out_frames: usize, out: &mut [f32]) {
+        let out_bins = bins * self.factor;
+        for f in 0..out_frames {
+            for k in 0..self.factor {
+                let src = (f * self.factor + k) * bins;
+                let dst = f * out_bins + k * bins;
+                out[dst..dst + bins].copy_from_slice(&values[src..src + bins]);
+            }
+        }
     }
 
-    fn apply(&self, mut clip: AudioClip, _ctx: &TransformCtx) -> Result<Outcome<AudioClip>> {
-        expect_features(&clip, "FrameSplicing")?;
+    /// Both execution paths share this body: the only difference is
+    /// where the spliced output buffer comes from (and where the old
+    /// one goes), which `ctx` decides.
+    fn run(&self, clip: &mut AudioClip, ctx: &TransformCtx) -> Result<()> {
+        expect_features(clip, "FrameSplicing")?;
         if self.factor == 0 {
             return Err(LoaderError::Transform {
                 name: "FrameSplicing".into(),
@@ -299,19 +383,29 @@ impl Transform<AudioClip> for FrameSplicing {
         {
             let out_frames = *frames / self.factor;
             let out_bins = *bins * self.factor;
-            let mut out = vec![0.0f32; out_frames * out_bins];
-            for f in 0..out_frames {
-                for k in 0..self.factor {
-                    let src = (f * self.factor + k) * *bins;
-                    let dst = f * out_bins + k * *bins;
-                    out[dst..dst + *bins].copy_from_slice(&values[src..src + *bins]);
-                }
-            }
+            let mut out = ctx.acquire_f32(out_frames * out_bins);
+            self.splice_into(*bins, values, out_frames, &mut out);
             *frames = out_frames;
             *bins = out_bins;
-            *values = out;
+            ctx.recycle_f32(std::mem::replace(values, out));
         }
+        Ok(())
+    }
+}
+
+impl Transform<AudioClip> for FrameSplicing {
+    fn name(&self) -> &str {
+        "FrameSplicing"
+    }
+
+    fn apply(&self, mut clip: AudioClip, ctx: &TransformCtx) -> Result<Outcome<AudioClip>> {
+        self.run(&mut clip, ctx)?;
         Ok(Outcome::Done(clip))
+    }
+
+    fn apply_mut(&self, clip: &mut AudioClip, ctx: &TransformCtx) -> Result<InPlace> {
+        self.run(clip, ctx)?;
+        Ok(InPlace::Done)
     }
 
     fn cost_class(&self) -> CostClass {
@@ -323,20 +417,18 @@ impl Transform<AudioClip> for FrameSplicing {
 /// RNN-T consumer expects).
 pub struct PermuteAudio;
 
-impl Transform<AudioClip> for PermuteAudio {
-    fn name(&self) -> &str {
-        "PermuteAudio"
-    }
-
-    fn apply(&self, mut clip: AudioClip, _ctx: &TransformCtx) -> Result<Outcome<AudioClip>> {
-        expect_features(&clip, "PermuteAudio")?;
+impl PermuteAudio {
+    /// Shared body of both execution paths; `ctx` decides where the
+    /// transposed buffer comes from and where the old one goes.
+    fn run(clip: &mut AudioClip, ctx: &TransformCtx) -> Result<()> {
+        expect_features(clip, "PermuteAudio")?;
         if let AudioData::Features {
             frames,
             bins,
             values,
         } = &mut clip.data
         {
-            let mut out = vec![0.0f32; values.len()];
+            let mut out = ctx.acquire_f32(values.len());
             for f in 0..*frames {
                 for b in 0..*bins {
                     out[b * *frames + f] = values[f * *bins + b];
@@ -345,9 +437,25 @@ impl Transform<AudioClip> for PermuteAudio {
             // Layout note: after permutation we keep (frames, bins) but the
             // buffer is bin-major; swapping the counts records the shape.
             std::mem::swap(frames, bins);
-            *values = out;
+            ctx.recycle_f32(std::mem::replace(values, out));
         }
+        Ok(())
+    }
+}
+
+impl Transform<AudioClip> for PermuteAudio {
+    fn name(&self) -> &str {
+        "PermuteAudio"
+    }
+
+    fn apply(&self, mut clip: AudioClip, ctx: &TransformCtx) -> Result<Outcome<AudioClip>> {
+        Self::run(&mut clip, ctx)?;
         Ok(Outcome::Done(clip))
+    }
+
+    fn apply_mut(&self, clip: &mut AudioClip, ctx: &TransformCtx) -> Result<InPlace> {
+        Self::run(clip, ctx)?;
+        Ok(InPlace::Done)
     }
 
     fn cost_class(&self) -> CostClass {
@@ -396,6 +504,15 @@ impl Transform<AudioClip> for LightStep {
         Ok(Outcome::Done(clip))
     }
 
+    fn apply_mut(&self, clip: &mut AudioClip, _ctx: &TransformCtx) -> Result<InPlace> {
+        if let AudioData::Features { values, .. } = &mut clip.data {
+            for _ in 0..self.passes {
+                smooth_pass(values);
+            }
+        }
+        Ok(InPlace::Done)
+    }
+
     fn cost_class(&self) -> CostClass {
         CostClass::Neutral
     }
@@ -428,6 +545,29 @@ impl Transform<AudioClip> for HeavyStep {
             }
         }
         Ok(Outcome::Done(clip))
+    }
+
+    fn apply_mut(&self, clip: &mut AudioClip, ctx: &TransformCtx) -> Result<InPlace> {
+        if let AudioData::Features { values, .. } = &mut clip.data {
+            // Scratch-then-commit: run the passes on a pooled copy and
+            // swap it in only on completion, so an interrupt leaves the
+            // sample bit-for-bit in its input state (the `apply_mut`
+            // resume contract) without cloning the whole clip.
+            let mut scratch = ctx.acquire_f32_from(values);
+            for p in 0..self.passes {
+                smooth_pass(&mut scratch);
+                // Extra enhancement work per pass: contrast expansion.
+                for v in scratch.iter_mut() {
+                    *v = v.tanh() * 1.02;
+                }
+                if p % 4 == 3 && ctx.expired() {
+                    ctx.recycle_f32(scratch);
+                    return Ok(InPlace::Interrupted);
+                }
+            }
+            ctx.recycle_f32(std::mem::replace(values, scratch));
+        }
+        Ok(InPlace::Done)
     }
 
     fn cost_class(&self) -> CostClass {
@@ -618,6 +758,62 @@ mod tests {
             }
             _ => panic!("no deadline"),
         }
+    }
+
+    #[test]
+    fn in_place_pipeline_is_byte_identical() {
+        use minato_core::pool::PoolSet;
+        let p = speech_pipeline(4, 8);
+        let by_value = match p.run(clip(0.5), None).unwrap() {
+            PipelineRun::Completed { value, .. } => value,
+            _ => panic!("no deadline"),
+        };
+        let pools = std::sync::Arc::new(PoolSet::new(32 << 20));
+        for _ in 0..2 {
+            let ctx = TransformCtx::unbounded().with_pool(std::sync::Arc::clone(&pools));
+            match p.run_ctx(0, clip(0.5), ctx).unwrap() {
+                PipelineRun::Completed { value, .. } => assert_eq!(value, by_value),
+                _ => panic!("no deadline"),
+            }
+        }
+        let s = pools.stats().combined();
+        assert!(s.recycled > 0, "shape-changing stages recycle inputs");
+        assert!(s.hits > 0, "second run reuses pooled buffers");
+    }
+
+    #[test]
+    fn heavy_step_in_place_interrupt_restores_input() {
+        use minato_core::pool::PoolSet;
+        use minato_core::transform::InPlace;
+        let mut c = clip(2.0);
+        c = match FilterBank::default_16k()
+            .apply(c, &TransformCtx::unbounded())
+            .unwrap()
+        {
+            Outcome::Done(o) => o,
+            _ => panic!(),
+        };
+        let heavy = HeavyStep { passes: 100_000 };
+        let pools = std::sync::Arc::new(PoolSet::new(32 << 20));
+        let ctx = TransformCtx::with_deadline(std::time::Instant::now() + Duration::from_millis(5))
+            .with_pool(std::sync::Arc::clone(&pools));
+        let mut interrupted = c.clone();
+        match heavy.apply_mut(&mut interrupted, &ctx).unwrap() {
+            InPlace::Interrupted => {
+                assert_eq!(interrupted, c, "sample left in its input state")
+            }
+            _ => panic!("100k passes cannot finish in 5 ms"),
+        }
+        // Re-execution from the restored state (the background path)
+        // matches an uninterrupted run.
+        let quick = HeavyStep { passes: 8 };
+        let uctx = TransformCtx::unbounded().with_pool(pools);
+        quick.apply_mut(&mut interrupted, &uctx).unwrap();
+        let by_value = match quick.apply(c, &TransformCtx::unbounded()).unwrap() {
+            Outcome::Done(o) => o,
+            _ => panic!(),
+        };
+        assert_eq!(interrupted, by_value);
     }
 
     #[test]

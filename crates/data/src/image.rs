@@ -7,7 +7,8 @@
 //! AutoOrder must reason about (§5.1).
 
 use minato_core::error::{LoaderError, Result};
-use minato_core::transform::{CostClass, Outcome, Pipeline, Transform, TransformCtx};
+use minato_core::pool::{PoolSet, Reclaim};
+use minato_core::transform::{CostClass, InPlace, Outcome, Pipeline, Transform, TransformCtx};
 use rand::{rngs::StdRng, RngExt, SeedableRng};
 use std::sync::Arc;
 
@@ -108,6 +109,12 @@ impl Image2D {
     }
 }
 
+impl Reclaim for Image2D {
+    fn reclaim(self, pools: &PoolSet) {
+        pools.f32s().recycle(self.pixels);
+    }
+}
+
 /// Bilinear resize to a fixed `target` (shorter-side style resize is the
 /// paper's; a fixed target keeps batches stackable). Inflationary for
 /// small inputs, deflationary for large ones.
@@ -118,12 +125,10 @@ pub struct Resize {
     pub height: usize,
 }
 
-impl Transform<Image2D> for Resize {
-    fn name(&self) -> &str {
-        "Resize"
-    }
-
-    fn apply(&self, img: Image2D, _ctx: &TransformCtx) -> Result<Outcome<Image2D>> {
+impl Resize {
+    /// Bilinearly samples `img` into `out` (`tw*th*c` long) and rescales
+    /// the boxes in place: the shared kernel behind both paths.
+    fn resize_into(&self, img: &Image2D, out: &mut [f32], boxes: &mut [BoundingBox]) -> Result<()> {
         if img.layout != Layout::Hwc {
             return Err(LoaderError::Transform {
                 name: "Resize".into(),
@@ -139,7 +144,6 @@ impl Transform<Image2D> for Resize {
         let (tw, th, c) = (self.width, self.height, img.channels);
         let sx = img.width as f32 / tw as f32;
         let sy = img.height as f32 / th as f32;
-        let mut out = vec![0.0f32; tw * th * c];
         for y in 0..th {
             let fy = (y as f32 + 0.5) * sy - 0.5;
             let y0 = fy.floor().max(0.0) as usize;
@@ -160,17 +164,26 @@ impl Transform<Image2D> for Resize {
             }
         }
         // Boxes scale with the resize.
-        let boxes = img
-            .boxes
-            .iter()
-            .map(|b| BoundingBox {
-                x: b.x / sx,
-                y: b.y / sy,
-                w: b.w / sx,
-                h: b.h / sy,
-                class_id: b.class_id,
-            })
-            .collect();
+        for b in boxes.iter_mut() {
+            b.x /= sx;
+            b.y /= sy;
+            b.w /= sx;
+            b.h /= sy;
+        }
+        Ok(())
+    }
+}
+
+impl Transform<Image2D> for Resize {
+    fn name(&self) -> &str {
+        "Resize"
+    }
+
+    fn apply(&self, mut img: Image2D, _ctx: &TransformCtx) -> Result<Outcome<Image2D>> {
+        let (tw, th, c) = (self.width, self.height, img.channels);
+        let mut out = vec![0.0f32; tw * th * c];
+        let mut boxes = std::mem::take(&mut img.boxes);
+        self.resize_into(&img, &mut out, &mut boxes)?;
         Ok(Outcome::Done(Image2D {
             width: tw,
             height: th,
@@ -180,6 +193,25 @@ impl Transform<Image2D> for Resize {
             boxes,
             seed: img.seed,
         }))
+    }
+
+    fn apply_mut(&self, img: &mut Image2D, ctx: &TransformCtx) -> Result<InPlace> {
+        let (tw, th, c) = (self.width, self.height, img.channels);
+        // Shape-changing stage: the output buffer comes from the pool,
+        // the input buffer goes back to it. Boxes move out first so the
+        // kernel can rescale them while borrowing the image.
+        let mut out = ctx.acquire_f32(tw * th * c);
+        let mut boxes = std::mem::take(&mut img.boxes);
+        if let Err(e) = self.resize_into(img, &mut out, &mut boxes) {
+            img.boxes = boxes;
+            ctx.recycle_f32(out);
+            return Err(e);
+        }
+        img.width = tw;
+        img.height = th;
+        img.boxes = boxes;
+        ctx.recycle_f32(std::mem::replace(&mut img.pixels, out));
+        Ok(InPlace::Done)
     }
 
     fn cost_class(&self) -> CostClass {
@@ -192,12 +224,8 @@ impl Transform<Image2D> for Resize {
 /// Mirrors the image (and boxes) horizontally with probability 1/2.
 pub struct RandomHorizontalFlip;
 
-impl Transform<Image2D> for RandomHorizontalFlip {
-    fn name(&self) -> &str {
-        "RandomHorizontalFlip"
-    }
-
-    fn apply(&self, mut img: Image2D, _ctx: &TransformCtx) -> Result<Outcome<Image2D>> {
+impl RandomHorizontalFlip {
+    fn flip_in_place(img: &mut Image2D) {
         let mut rng = StdRng::seed_from_u64(img.seed ^ 0xF11B);
         if rng.random_bool(0.5) {
             let (w, c) = (img.width, img.channels);
@@ -214,7 +242,22 @@ impl Transform<Image2D> for RandomHorizontalFlip {
                 b.x = img.width as f32 - b.x - b.w;
             }
         }
+    }
+}
+
+impl Transform<Image2D> for RandomHorizontalFlip {
+    fn name(&self) -> &str {
+        "RandomHorizontalFlip"
+    }
+
+    fn apply(&self, mut img: Image2D, _ctx: &TransformCtx) -> Result<Outcome<Image2D>> {
+        Self::flip_in_place(&mut img);
         Ok(Outcome::Done(img))
+    }
+
+    fn apply_mut(&self, img: &mut Image2D, _ctx: &TransformCtx) -> Result<InPlace> {
+        Self::flip_in_place(img);
+        Ok(InPlace::Done)
     }
 
     fn cost_class(&self) -> CostClass {
@@ -225,6 +268,19 @@ impl Transform<Image2D> for RandomHorizontalFlip {
 /// Converts HWC storage order to CHW training order.
 pub struct ToTensor;
 
+impl ToTensor {
+    fn transpose_into(img: &Image2D, out: &mut [f32]) {
+        let (w, h, c) = (img.width, img.height, img.channels);
+        for y in 0..h {
+            for x in 0..w {
+                for ch in 0..c {
+                    out[ch * h * w + y * w + x] = img.pixels[(y * w + x) * c + ch];
+                }
+            }
+        }
+    }
+}
+
 impl Transform<Image2D> for ToTensor {
     fn name(&self) -> &str {
         "ToTensor"
@@ -234,20 +290,26 @@ impl Transform<Image2D> for ToTensor {
         if img.layout == Layout::Chw {
             return Ok(Outcome::Done(img));
         }
-        let (w, h, c) = (img.width, img.height, img.channels);
-        let mut out = vec![0.0f32; w * h * c];
-        for y in 0..h {
-            for x in 0..w {
-                for ch in 0..c {
-                    out[ch * h * w + y * w + x] = img.pixels[(y * w + x) * c + ch];
-                }
-            }
-        }
+        let mut out = vec![0.0f32; img.pixels.len()];
+        Self::transpose_into(&img, &mut out);
         Ok(Outcome::Done(Image2D {
             pixels: out,
             layout: Layout::Chw,
             ..img
         }))
+    }
+
+    fn apply_mut(&self, img: &mut Image2D, ctx: &TransformCtx) -> Result<InPlace> {
+        if img.layout == Layout::Chw {
+            return Ok(InPlace::Done);
+        }
+        // A transpose cannot run in place; round-trip the buffer through
+        // the pool instead.
+        let mut out = ctx.acquire_f32(img.pixels.len());
+        Self::transpose_into(img, &mut out);
+        img.layout = Layout::Chw;
+        ctx.recycle_f32(std::mem::replace(&mut img.pixels, out));
+        Ok(InPlace::Done)
     }
 
     fn cost_class(&self) -> CostClass {
@@ -273,12 +335,8 @@ impl Normalize {
     }
 }
 
-impl Transform<Image2D> for Normalize {
-    fn name(&self) -> &str {
-        "Normalize"
-    }
-
-    fn apply(&self, mut img: Image2D, _ctx: &TransformCtx) -> Result<Outcome<Image2D>> {
+impl Normalize {
+    fn normalize_in_place(&self, img: &mut Image2D) -> Result<()> {
         if img.layout != Layout::Chw {
             return Err(LoaderError::Transform {
                 name: "Normalize".into(),
@@ -292,7 +350,23 @@ impl Transform<Image2D> for Normalize {
                 *p = (*p - m) / s;
             }
         }
+        Ok(())
+    }
+}
+
+impl Transform<Image2D> for Normalize {
+    fn name(&self) -> &str {
+        "Normalize"
+    }
+
+    fn apply(&self, mut img: Image2D, _ctx: &TransformCtx) -> Result<Outcome<Image2D>> {
+        self.normalize_in_place(&mut img)?;
         Ok(Outcome::Done(img))
+    }
+
+    fn apply_mut(&self, img: &mut Image2D, _ctx: &TransformCtx) -> Result<InPlace> {
+        self.normalize_in_place(img)?;
+        Ok(InPlace::Done)
     }
 
     fn cost_class(&self) -> CostClass {
@@ -464,5 +538,26 @@ mod tests {
             }
             _ => panic!("no deadline"),
         }
+    }
+
+    #[test]
+    fn in_place_pipeline_is_byte_identical() {
+        use minato_core::pool::PoolSet;
+        let p = detection_pipeline(16);
+        let by_value = match p.run(img(37, 23), None).unwrap() {
+            PipelineRun::Completed { value, .. } => value,
+            _ => panic!("no deadline"),
+        };
+        let pools = std::sync::Arc::new(PoolSet::new(16 << 20));
+        for _ in 0..2 {
+            let ctx = TransformCtx::unbounded().with_pool(std::sync::Arc::clone(&pools));
+            match p.run_ctx(0, img(37, 23), ctx).unwrap() {
+                PipelineRun::Completed { value, .. } => assert_eq!(value, by_value),
+                _ => panic!("no deadline"),
+            }
+        }
+        let s = pools.stats().combined();
+        assert!(s.recycled >= 2, "resize + to-tensor recycle their inputs");
+        assert!(s.hits > 0, "second run reuses pooled buffers");
     }
 }

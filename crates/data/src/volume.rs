@@ -8,7 +8,8 @@
 
 use crate::dist::standard_normal;
 use minato_core::error::{LoaderError, Result};
-use minato_core::transform::{CostClass, Outcome, Pipeline, Transform, TransformCtx};
+use minato_core::pool::{PoolSet, Reclaim};
+use minato_core::transform::{CostClass, InPlace, Outcome, Pipeline, Transform, TransformCtx};
 use rand::{rngs::StdRng, RngExt, SeedableRng};
 use std::sync::Arc;
 
@@ -83,6 +84,13 @@ impl Volume3D {
     }
 }
 
+impl Reclaim for Volume3D {
+    fn reclaim(self, pools: &PoolSet) {
+        pools.f32s().recycle(self.voxels);
+        pools.u8s().recycle(self.labels);
+    }
+}
+
 /// Crops a random `target`-sized region (Deflationary; the dominant cost
 /// in the paper's pipeline at 338 ms average, §3.1).
 pub struct RandomCrop {
@@ -90,12 +98,10 @@ pub struct RandomCrop {
     pub target: [usize; 3],
 }
 
-impl Transform<Volume3D> for RandomCrop {
-    fn name(&self) -> &str {
-        "RandomCrop"
-    }
-
-    fn apply(&self, v: Volume3D, _ctx: &TransformCtx) -> Result<Outcome<Volume3D>> {
+impl RandomCrop {
+    /// Crops `v` into `voxels`/`labels` (zero-filled, `td*th*tw` long):
+    /// the shared kernel behind the by-value and in-place paths.
+    fn crop_into(&self, v: &Volume3D, voxels: &mut [f32], labels: &mut [u8]) -> Result<()> {
         let [td, th, tw] = self.target;
         if td == 0 || th == 0 || tw == 0 {
             return Err(LoaderError::Transform {
@@ -132,23 +138,55 @@ impl Transform<Volume3D> for RandomCrop {
         } else {
             0
         };
-        let mut out = Volume3D {
-            dims: self.target,
-            voxels: vec![0.0; td * th * tw],
-            labels: vec![0; td * th * tw],
-            seed: v.seed,
-        };
         for z in 0..td.min(d) {
             for y in 0..th.min(h) {
                 for x in 0..tw.min(w) {
                     let src = v.index(z + oz, y + oy, x + ox);
                     let dst = (z * th + y) * tw + x;
-                    out.voxels[dst] = (v.voxels[src] - mean) * inv_std;
-                    out.labels[dst] = v.labels[src];
+                    voxels[dst] = (v.voxels[src] - mean) * inv_std;
+                    labels[dst] = v.labels[src];
                 }
             }
         }
-        Ok(Outcome::Done(out))
+        Ok(())
+    }
+}
+
+impl Transform<Volume3D> for RandomCrop {
+    fn name(&self) -> &str {
+        "RandomCrop"
+    }
+
+    fn apply(&self, v: Volume3D, _ctx: &TransformCtx) -> Result<Outcome<Volume3D>> {
+        let [td, th, tw] = self.target;
+        let n_out = td * th * tw;
+        let mut voxels = vec![0.0f32; n_out];
+        let mut labels = vec![0u8; n_out];
+        self.crop_into(&v, &mut voxels, &mut labels)?;
+        Ok(Outcome::Done(Volume3D {
+            dims: self.target,
+            voxels,
+            labels,
+            seed: v.seed,
+        }))
+    }
+
+    fn apply_mut(&self, v: &mut Volume3D, ctx: &TransformCtx) -> Result<InPlace> {
+        let [td, th, tw] = self.target;
+        let n_out = td * th * tw;
+        // Deflationary stage: the differently shaped output comes from
+        // the pool and the (bigger) input buffers go back to it.
+        let mut voxels = ctx.acquire_f32(n_out);
+        let mut labels = ctx.acquire_u8(n_out);
+        if let Err(e) = self.crop_into(v, &mut voxels, &mut labels) {
+            ctx.recycle_f32(voxels);
+            ctx.recycle_u8(labels);
+            return Err(e);
+        }
+        v.dims = self.target;
+        ctx.recycle_f32(std::mem::replace(&mut v.voxels, voxels));
+        ctx.recycle_u8(std::mem::replace(&mut v.labels, labels));
+        Ok(InPlace::Done)
     }
 
     fn cost_class(&self) -> CostClass {
@@ -159,12 +197,8 @@ impl Transform<Volume3D> for RandomCrop {
 /// Randomly flips along each axis with probability 1/2 (Neutral).
 pub struct RandomFlip;
 
-impl Transform<Volume3D> for RandomFlip {
-    fn name(&self) -> &str {
-        "RandomFlip"
-    }
-
-    fn apply(&self, mut v: Volume3D, _ctx: &TransformCtx) -> Result<Outcome<Volume3D>> {
+impl RandomFlip {
+    fn flip_in_place(v: &mut Volume3D) {
         let mut rng = StdRng::seed_from_u64(v.seed ^ 0xF11B);
         let [d, h, w] = v.dims;
         if rng.random_bool(0.5) {
@@ -188,7 +222,22 @@ impl Transform<Volume3D> for RandomFlip {
                 }
             }
         }
+    }
+}
+
+impl Transform<Volume3D> for RandomFlip {
+    fn name(&self) -> &str {
+        "RandomFlip"
+    }
+
+    fn apply(&self, mut v: Volume3D, _ctx: &TransformCtx) -> Result<Outcome<Volume3D>> {
+        Self::flip_in_place(&mut v);
         Ok(Outcome::Done(v))
+    }
+
+    fn apply_mut(&self, v: &mut Volume3D, _ctx: &TransformCtx) -> Result<InPlace> {
+        Self::flip_in_place(v);
+        Ok(InPlace::Done)
     }
 
     fn cost_class(&self) -> CostClass {
@@ -199,18 +248,29 @@ impl Transform<Volume3D> for RandomFlip {
 /// Scales intensity by a random factor in `[0.7, 1.3]` (Neutral).
 pub struct RandomBrightness;
 
+impl RandomBrightness {
+    fn scale_in_place(v: &mut Volume3D) {
+        let mut rng = StdRng::seed_from_u64(v.seed ^ 0xB216);
+        let factor = rng.random_range(0.7..1.3) as f32;
+        for x in v.voxels.iter_mut() {
+            *x *= factor;
+        }
+    }
+}
+
 impl Transform<Volume3D> for RandomBrightness {
     fn name(&self) -> &str {
         "RandomBrightness"
     }
 
     fn apply(&self, mut v: Volume3D, _ctx: &TransformCtx) -> Result<Outcome<Volume3D>> {
-        let mut rng = StdRng::seed_from_u64(v.seed ^ 0xB216);
-        let factor = rng.random_range(0.7..1.3) as f32;
-        for x in v.voxels.iter_mut() {
-            *x *= factor;
-        }
+        Self::scale_in_place(&mut v);
         Ok(Outcome::Done(v))
+    }
+
+    fn apply_mut(&self, v: &mut Volume3D, _ctx: &TransformCtx) -> Result<InPlace> {
+        Self::scale_in_place(v);
+        Ok(InPlace::Done)
     }
 
     fn cost_class(&self) -> CostClass {
@@ -225,17 +285,28 @@ pub struct GaussianNoise {
     pub sigma: f32,
 }
 
+impl GaussianNoise {
+    fn add_noise_in_place(&self, v: &mut Volume3D) {
+        let mut rng = StdRng::seed_from_u64(v.seed ^ 0x9015E);
+        for x in v.voxels.iter_mut() {
+            *x += self.sigma * standard_normal(&mut rng) as f32;
+        }
+    }
+}
+
 impl Transform<Volume3D> for GaussianNoise {
     fn name(&self) -> &str {
         "GaussianNoise"
     }
 
     fn apply(&self, mut v: Volume3D, _ctx: &TransformCtx) -> Result<Outcome<Volume3D>> {
-        let mut rng = StdRng::seed_from_u64(v.seed ^ 0x9015E);
-        for x in v.voxels.iter_mut() {
-            *x += self.sigma * standard_normal(&mut rng) as f32;
-        }
+        self.add_noise_in_place(&mut v);
         Ok(Outcome::Done(v))
+    }
+
+    fn apply_mut(&self, v: &mut Volume3D, _ctx: &TransformCtx) -> Result<InPlace> {
+        self.add_noise_in_place(v);
+        Ok(InPlace::Done)
     }
 
     fn cost_class(&self) -> CostClass {
@@ -247,19 +318,30 @@ impl Transform<Volume3D> for GaussianNoise {
 /// `Cast` step; Neutral).
 pub struct Cast;
 
-impl Transform<Volume3D> for Cast {
-    fn name(&self) -> &str {
-        "Cast"
-    }
-
-    fn apply(&self, mut v: Volume3D, _ctx: &TransformCtx) -> Result<Outcome<Volume3D>> {
+impl Cast {
+    fn cast_in_place(v: &mut Volume3D) {
         for x in v.voxels.iter_mut() {
             // Round-trip through f16-equivalent precision (10-bit
             // mantissa) without a half-float dependency.
             let bits = x.to_bits() & 0xFFFF_E000;
             *x = f32::from_bits(bits);
         }
+    }
+}
+
+impl Transform<Volume3D> for Cast {
+    fn name(&self) -> &str {
+        "Cast"
+    }
+
+    fn apply(&self, mut v: Volume3D, _ctx: &TransformCtx) -> Result<Outcome<Volume3D>> {
+        Self::cast_in_place(&mut v);
         Ok(Outcome::Done(v))
+    }
+
+    fn apply_mut(&self, v: &mut Volume3D, _ctx: &TransformCtx) -> Result<InPlace> {
+        Self::cast_in_place(v);
+        Ok(InPlace::Done)
     }
 
     fn cost_class(&self) -> CostClass {
@@ -407,6 +489,50 @@ mod tests {
             _ => panic!("no deadline"),
         }
         assert_eq!(p.len(), 5);
+    }
+
+    #[test]
+    fn in_place_pipeline_is_byte_identical_and_recycles() {
+        use minato_core::pool::PoolSet;
+        let p = segmentation_pipeline([8, 8, 8]);
+        let by_value = match p.run(vol([16, 16, 16]), None).unwrap() {
+            PipelineRun::Completed { value, .. } => value,
+            _ => panic!("no deadline"),
+        };
+        let pools = std::sync::Arc::new(PoolSet::new(64 << 20));
+        let run_pooled = || {
+            let ctx = TransformCtx::unbounded().with_pool(std::sync::Arc::clone(&pools));
+            match p.run_ctx(0, vol([16, 16, 16]), ctx).unwrap() {
+                PipelineRun::Completed { value, .. } => value,
+                _ => panic!("no deadline"),
+            }
+        };
+        let pooled = run_pooled();
+        assert_eq!(pooled, by_value, "in-place path must be byte-identical");
+        let first = pools.stats().combined();
+        assert!(first.recycled >= 2, "crop recycles voxels+labels");
+        // Close the consumer side of the loop (what the batch recycle
+        // hook does after delivery): the next run's crop output must
+        // then come from pooled memory instead of the allocator.
+        use minato_core::pool::Reclaim;
+        pooled.reclaim(&pools);
+        let again = run_pooled();
+        assert_eq!(again, by_value);
+        let second = pools.stats().combined();
+        assert!(
+            second.hits > first.hits,
+            "steady state must serve crop outputs from the pool"
+        );
+    }
+
+    #[test]
+    fn reclaim_returns_both_payloads() {
+        use minato_core::pool::{PoolSet, Reclaim};
+        let pools = PoolSet::new(1 << 20);
+        vol([8, 8, 8]).reclaim(&pools);
+        let s = pools.stats();
+        assert_eq!(s.f32s.recycled, 1);
+        assert_eq!(s.u8s.recycled, 1);
     }
 
     #[test]

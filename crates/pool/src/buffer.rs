@@ -1,0 +1,626 @@
+//! The size-classed, lock-striped buffer pool.
+//!
+//! Layout: capacities are bucketed into power-of-two *size classes*
+//! (`min_class_elems << i` elements). Each class keeps its buffers in
+//! several independently locked *stripes*; a thread hashes to a home
+//! stripe, so two workers recycling concurrently rarely contend. On top
+//! of the shared stripes sits one *thread-local fast slot* per
+//! `(pool, class)`: a stage that recycles its input buffer and
+//! immediately acquires a similar-sized output buffer (the common
+//! pipeline pattern) round-trips through thread-local storage without
+//! touching a lock.
+//!
+//! Byte accounting covers the shared stripes only — thread-local slots
+//! are bounded at one buffer per class per thread and are intentionally
+//! outside the budget (they are the pool's L1, not its capacity).
+
+use parking_lot::Mutex;
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Configuration of one [`BufferPool`].
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Total bytes the pool may keep resident across all shared
+    /// free-lists; 0 disables the pool entirely.
+    pub budget_bytes: u64,
+    /// Per-class cap on resident bytes (0 = no extra cap beyond
+    /// `budget_bytes`). Prevents one buffer size from monopolizing the
+    /// whole budget.
+    pub class_budget_bytes: u64,
+    /// Lock stripes per size class.
+    pub stripes: usize,
+    /// Capacity (in elements) of the smallest size class.
+    pub min_class_elems: usize,
+    /// Number of power-of-two size classes; the largest class holds
+    /// buffers of `min_class_elems << (num_classes - 1)` elements.
+    pub num_classes: usize,
+    /// Keep one per-thread fast slot per class in front of the striped
+    /// lists.
+    pub thread_local_slots: bool,
+}
+
+impl PoolConfig {
+    /// A pool with `budget_bytes` of capacity and default geometry:
+    /// classes from 64 elements up to ~2 M elements, 4 stripes per
+    /// class, per-class cap of half the budget.
+    pub fn with_budget(budget_bytes: u64) -> PoolConfig {
+        PoolConfig {
+            budget_bytes,
+            class_budget_bytes: budget_bytes / 2,
+            stripes: 4,
+            min_class_elems: 64,
+            num_classes: 16,
+            thread_local_slots: true,
+        }
+    }
+
+    /// A disabled pool (budget 0): acquires allocate, recycles drop.
+    pub fn disabled() -> PoolConfig {
+        PoolConfig::with_budget(0)
+    }
+}
+
+/// Counter snapshot of one pool.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Acquires served from a free-list (including fast slots).
+    pub hits: u64,
+    /// Acquires that fell through to a fresh allocation.
+    pub misses: u64,
+    /// Hits served by a thread-local fast slot (subset of `hits`).
+    pub tl_hits: u64,
+    /// Buffers accepted back into the pool.
+    pub recycled: u64,
+    /// Buffers rejected on return (budget exceeded, too small, or pool
+    /// disabled) and released to the allocator instead.
+    pub dropped: u64,
+    /// Bytes currently resident in the shared free-lists. This is the
+    /// steady-state working set the pool holds between samples.
+    pub bytes: u64,
+}
+
+impl PoolStats {
+    /// Total acquires.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of acquires served from pooled memory (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let l = self.lookups();
+        if l == 0 {
+            0.0
+        } else {
+            self.hits as f64 / l as f64
+        }
+    }
+
+    /// Element-wise sum (for aggregating the pools of a
+    /// [`PoolSet`](crate::PoolSet)).
+    pub fn merged(&self, other: &PoolStats) -> PoolStats {
+        PoolStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            tl_hits: self.tl_hits + other.tl_hits,
+            recycled: self.recycled + other.recycled,
+            dropped: self.dropped + other.dropped,
+            bytes: self.bytes + other.bytes,
+        }
+    }
+}
+
+struct SizeClass<T> {
+    /// Every buffer stored in this class has `capacity() >= cap_elems`.
+    cap_elems: usize,
+    bytes: AtomicU64,
+    stripes: Vec<Mutex<Vec<Vec<T>>>>,
+}
+
+/// A size-classed, lock-striped pool of `Vec<T>` buffers.
+///
+/// `acquire` hands out a cleared buffer with at least the requested
+/// capacity; `recycle` takes any buffer back, clears it, and files it
+/// under the largest class it can serve (or drops it if the budget is
+/// full). Buffers allocated on a miss are sized to the class capacity,
+/// so recycled memory keeps fitting the class it came from.
+pub struct BufferPool<T: Send + 'static> {
+    id: u64,
+    cfg: PoolConfig,
+    classes: Vec<SizeClass<T>>,
+    bytes: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    tl_hits: AtomicU64,
+    recycled: AtomicU64,
+    dropped: AtomicU64,
+}
+
+static NEXT_POOL_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD_SEED: AtomicUsize = AtomicUsize::new(0);
+
+/// Ids of pools currently alive. Fast slots of *dropped* pools are
+/// unreachable by any future acquire, so long-lived threads sweep them
+/// out of their TLS map (amortized, see [`tl_put`]) instead of leaking
+/// one parked buffer per (dead pool, class) forever.
+static LIVE_POOLS: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+
+/// TLS map size beyond which an insert of a new key triggers a sweep of
+/// entries whose pool has been dropped.
+const FAST_SLOT_SWEEP_THRESHOLD: usize = 64;
+
+thread_local! {
+    /// Stripe selector: a stable small integer per thread.
+    static THREAD_SEED: usize = NEXT_THREAD_SEED.fetch_add(1, Ordering::Relaxed);
+    /// Fast slots: at most one parked buffer per (pool id, class) per
+    /// thread. Entries are type-erased so one TLS map serves pools of
+    /// every element type; the unique pool id guarantees the downcast
+    /// target matches. An entry holding an empty (zero-capacity) vec is
+    /// the vacant marker, so the `Box` itself is allocated once per
+    /// (pool, class, thread) and reused forever after.
+    static FAST_SLOTS: RefCell<HashMap<(u64, usize), Box<dyn Any>>> =
+        RefCell::new(HashMap::new());
+}
+
+fn tl_take<T: 'static>(pool: u64, class: usize) -> Option<Vec<T>> {
+    FAST_SLOTS.with(|slots| {
+        let mut slots = slots.borrow_mut();
+        let slot = slots.get_mut(&(pool, class))?;
+        let buf = slot.downcast_mut::<Vec<T>>()?;
+        if buf.capacity() == 0 {
+            None
+        } else {
+            Some(std::mem::take(buf))
+        }
+    })
+}
+
+/// Parks `buf` in the calling thread's fast slot; hands it back if the
+/// slot is occupied (or holds a different element type).
+///
+/// Creating a *new* slot on a grown map first sweeps entries belonging
+/// to dropped pools, so a thread that outlives many loader generations
+/// (the typical training-loop consumer) keeps at most
+/// [`FAST_SLOT_SWEEP_THRESHOLD`]-ish live slots instead of accreting
+/// parked buffers for every pool that ever existed.
+fn tl_put<T: Send + 'static>(pool: u64, class: usize, buf: Vec<T>) -> Result<(), Vec<T>> {
+    FAST_SLOTS.with(|slots| {
+        let mut slots = slots.borrow_mut();
+        if slots.len() >= FAST_SLOT_SWEEP_THRESHOLD && !slots.contains_key(&(pool, class)) {
+            let live = LIVE_POOLS.lock();
+            slots.retain(|&(id, _), _| live.contains(&id));
+        }
+        match slots.entry((pool, class)) {
+            Entry::Vacant(e) => {
+                e.insert(Box::new(buf));
+                Ok(())
+            }
+            Entry::Occupied(mut e) => match e.get_mut().downcast_mut::<Vec<T>>() {
+                Some(slot) if slot.capacity() == 0 => {
+                    *slot = buf;
+                    Ok(())
+                }
+                _ => Err(buf),
+            },
+        }
+    })
+}
+
+impl<T: Send + 'static> BufferPool<T> {
+    /// Creates a pool with the given configuration.
+    pub fn new(mut cfg: PoolConfig) -> BufferPool<T> {
+        cfg.stripes = cfg.stripes.max(1);
+        cfg.min_class_elems = cfg.min_class_elems.max(1);
+        cfg.num_classes = cfg.num_classes.clamp(1, 48);
+        if cfg.class_budget_bytes == 0 {
+            cfg.class_budget_bytes = cfg.budget_bytes;
+        }
+        let classes = (0..cfg.num_classes)
+            .map(|i| SizeClass {
+                cap_elems: cfg.min_class_elems << i,
+                bytes: AtomicU64::new(0),
+                stripes: (0..cfg.stripes).map(|_| Mutex::new(Vec::new())).collect(),
+            })
+            .collect();
+        let id = NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed);
+        LIVE_POOLS.lock().push(id);
+        BufferPool {
+            id,
+            cfg,
+            classes,
+            bytes: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            tl_hits: AtomicU64::new(0),
+            recycled: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether the pool can hold anything at all.
+    pub fn enabled(&self) -> bool {
+        self.cfg.budget_bytes > 0
+    }
+
+    /// The configuration the pool was built with.
+    pub fn config(&self) -> &PoolConfig {
+        &self.cfg
+    }
+
+    /// Smallest class able to serve `min_elems`, if any.
+    fn class_for_acquire(&self, min_elems: usize) -> Option<usize> {
+        self.classes.iter().position(|c| c.cap_elems >= min_elems)
+    }
+
+    /// Largest class a buffer of `capacity` elements can serve, if any.
+    fn class_for_recycle(&self, capacity: usize) -> Option<usize> {
+        self.classes.iter().rposition(|c| c.cap_elems <= capacity)
+    }
+
+    /// Returns an *empty* buffer with `capacity() >= min_elems`, served
+    /// from the free-lists when possible (thread-local fast slot first,
+    /// then the striped shared lists) and freshly allocated otherwise.
+    pub fn acquire(&self, min_elems: usize) -> Vec<T> {
+        if self.enabled() {
+            if let Some(ci) = self.class_for_acquire(min_elems) {
+                if self.cfg.thread_local_slots {
+                    if let Some(buf) = tl_take::<T>(self.id, ci) {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        self.tl_hits.fetch_add(1, Ordering::Relaxed);
+                        return buf;
+                    }
+                }
+                let class = &self.classes[ci];
+                let n = class.stripes.len();
+                let home = THREAD_SEED.with(|s| *s) % n;
+                for k in 0..n {
+                    let mut stripe = class.stripes[(home + k) % n].lock();
+                    if let Some(buf) = stripe.pop() {
+                        drop(stripe);
+                        let sz = (buf.capacity() * std::mem::size_of::<T>()) as u64;
+                        self.bytes.fetch_sub(sz, Ordering::AcqRel);
+                        class.bytes.fetch_sub(sz, Ordering::AcqRel);
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return buf;
+                    }
+                }
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                // Allocate at class granularity so the buffer stays
+                // eligible for this class when it comes back.
+                return Vec::with_capacity(class.cap_elems);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        Vec::with_capacity(min_elems)
+    }
+
+    /// Acquires a buffer and fills it to `len` copies of `value` —
+    /// byte-identical to `vec![value; len]`, minus the allocation on a
+    /// pool hit.
+    pub fn acquire_filled(&self, len: usize, value: T) -> Vec<T>
+    where
+        T: Clone,
+    {
+        let mut buf = self.acquire(len);
+        buf.resize(len, value);
+        buf
+    }
+
+    /// Acquires a buffer wrapped in an RAII guard that recycles it on
+    /// drop.
+    pub fn acquire_guard(&self, min_elems: usize) -> Recycled<'_, T> {
+        Recycled {
+            buf: Some(self.acquire(min_elems)),
+            pool: self,
+        }
+    }
+
+    /// Takes a buffer back. The buffer is cleared and filed under the
+    /// largest class its capacity can serve; it is dropped instead when
+    /// the pool is disabled, the buffer is smaller than the smallest
+    /// class, or accepting it would exceed the class/global byte budget.
+    pub fn recycle(&self, mut buf: Vec<T>) {
+        let cap = buf.capacity();
+        if !self.enabled() || cap == 0 {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let Some(ci) = self.class_for_recycle(cap) else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        buf.clear();
+        if self.cfg.thread_local_slots {
+            match tl_put(self.id, ci, buf) {
+                Ok(()) => {
+                    self.recycled.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                Err(back) => buf = back,
+            }
+        }
+        let sz = (cap * std::mem::size_of::<T>()) as u64;
+        // Optimistic add, undo on overshoot: never lets `bytes` sit
+        // above the budget from a concurrent observer's perspective by
+        // more than the in-flight reservation being rolled back.
+        let class = &self.classes[ci];
+        let global = self.bytes.fetch_add(sz, Ordering::AcqRel) + sz;
+        if global > self.cfg.budget_bytes {
+            self.bytes.fetch_sub(sz, Ordering::AcqRel);
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let class_total = class.bytes.fetch_add(sz, Ordering::AcqRel) + sz;
+        if class_total > self.cfg.class_budget_bytes {
+            class.bytes.fetch_sub(sz, Ordering::AcqRel);
+            self.bytes.fetch_sub(sz, Ordering::AcqRel);
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let n = class.stripes.len();
+        let home = THREAD_SEED.with(|s| *s) % n;
+        class.stripes[home].lock().push(buf);
+        self.recycled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            tl_hits: self.tl_hits.load(Ordering::Relaxed),
+            recycled: self.recycled.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Acquire),
+        }
+    }
+}
+
+impl<T: Send + 'static> Drop for BufferPool<T> {
+    fn drop(&mut self) {
+        // Deregister so long-lived threads' fast-slot sweeps (see
+        // `tl_put`) can reclaim slots parked under this pool's id.
+        LIVE_POOLS.lock().retain(|&id| id != self.id);
+    }
+}
+
+impl<T: Send + 'static> std::fmt::Debug for BufferPool<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufferPool")
+            .field("id", &self.id)
+            .field("budget_bytes", &self.cfg.budget_bytes)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// RAII handle over a pooled buffer: derefs to the `Vec<T>` and returns
+/// the memory to its pool when dropped. Use [`Recycled::detach`] to keep
+/// the buffer instead.
+pub struct Recycled<'p, T: Send + 'static> {
+    buf: Option<Vec<T>>,
+    pool: &'p BufferPool<T>,
+}
+
+/// Alias emphasizing the guard role of [`Recycled`].
+pub type PoolGuard<'p, T> = Recycled<'p, T>;
+
+impl<T: Send + 'static> Recycled<'_, T> {
+    /// Takes the buffer out of the guard; it will *not* be recycled.
+    pub fn detach(mut self) -> Vec<T> {
+        self.buf.take().expect("buffer present until drop")
+    }
+}
+
+impl<T: Send + 'static> Deref for Recycled<'_, T> {
+    type Target = Vec<T>;
+
+    fn deref(&self) -> &Vec<T> {
+        self.buf.as_ref().expect("buffer present until drop")
+    }
+}
+
+impl<T: Send + 'static> DerefMut for Recycled<'_, T> {
+    fn deref_mut(&mut self) -> &mut Vec<T> {
+        self.buf.as_mut().expect("buffer present until drop")
+    }
+}
+
+impl<T: Send + 'static> Drop for Recycled<'_, T> {
+    fn drop(&mut self) {
+        if let Some(buf) = self.buf.take() {
+            self.pool.recycle(buf);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(budget: u64) -> BufferPool<f32> {
+        BufferPool::new(PoolConfig::with_budget(budget))
+    }
+
+    /// A pool with fast slots off, so hits/misses exercise the shared
+    /// striped lists deterministically.
+    fn shared_pool(budget: u64) -> BufferPool<f32> {
+        let mut cfg = PoolConfig::with_budget(budget);
+        cfg.thread_local_slots = false;
+        BufferPool::new(cfg)
+    }
+
+    #[test]
+    fn acquire_miss_then_hit_round_trip() {
+        let p = shared_pool(1 << 20);
+        let buf = p.acquire(100);
+        assert!(buf.capacity() >= 100);
+        assert!(buf.is_empty());
+        assert_eq!(p.stats().misses, 1);
+        p.recycle(buf);
+        assert_eq!(p.stats().recycled, 1);
+        assert!(p.stats().bytes > 0);
+        let again = p.acquire(100);
+        assert_eq!(p.stats().hits, 1);
+        assert!(again.capacity() >= 100);
+        assert_eq!(p.stats().bytes, 0, "resident bytes follow the buffer out");
+    }
+
+    #[test]
+    fn thread_local_slot_short_circuits_locks() {
+        let p = pool(1 << 20);
+        let buf = p.acquire(64);
+        p.recycle(buf);
+        let _again = p.acquire(64);
+        let s = p.stats();
+        assert_eq!(s.tl_hits, 1, "same-thread round trip uses the fast slot");
+        assert_eq!(s.bytes, 0, "fast slots are outside byte accounting");
+    }
+
+    #[test]
+    fn budget_rejects_excess() {
+        // Budget fits one 1024-elem f32 buffer (4096 B) but not two.
+        let mut cfg = PoolConfig::with_budget(6000);
+        cfg.thread_local_slots = false;
+        cfg.class_budget_bytes = 6000;
+        let p: BufferPool<f32> = BufferPool::new(cfg);
+        let a = p.acquire(1000);
+        let b = p.acquire(1000);
+        p.recycle(a);
+        p.recycle(b);
+        let s = p.stats();
+        assert_eq!(s.recycled, 1);
+        assert_eq!(s.dropped, 1);
+        assert!(s.bytes <= 6000);
+    }
+
+    #[test]
+    fn per_class_budget_caps_one_size() {
+        let mut cfg = PoolConfig::with_budget(1 << 20);
+        cfg.class_budget_bytes = 4096; // One 1024-elem f32 buffer.
+        cfg.thread_local_slots = false;
+        let p: BufferPool<f32> = BufferPool::new(cfg);
+        p.recycle(Vec::with_capacity(1024));
+        p.recycle(Vec::with_capacity(1024));
+        let s = p.stats();
+        assert_eq!((s.recycled, s.dropped), (1, 1));
+    }
+
+    #[test]
+    fn disabled_pool_is_transparent() {
+        let p = pool(0);
+        let buf = p.acquire(50);
+        assert_eq!(buf.capacity(), 50, "disabled pool allocates exactly");
+        p.recycle(buf);
+        let s = p.stats();
+        assert_eq!(s.hits, 0);
+        assert_eq!(s.recycled, 0);
+        assert_eq!(s.dropped, 1);
+        assert_eq!(s.bytes, 0);
+    }
+
+    #[test]
+    fn oversized_requests_fall_through() {
+        let p = shared_pool(1 << 30);
+        let max = p.config().min_class_elems << (p.config().num_classes - 1);
+        let buf = p.acquire(max + 1);
+        assert!(buf.capacity() > max);
+        assert_eq!(p.stats().misses, 1);
+        p.recycle(buf); // Still lands in the largest class.
+        assert_eq!(p.stats().recycled, 1);
+    }
+
+    #[test]
+    fn tiny_buffers_are_dropped() {
+        let p = shared_pool(1 << 20);
+        p.recycle(Vec::with_capacity(1)); // Below min_class_elems (64).
+        assert_eq!(p.stats().dropped, 1);
+    }
+
+    #[test]
+    fn acquire_filled_matches_vec_macro() {
+        let p = pool(1 << 20);
+        let a = p.acquire_filled(33, 7.0f32);
+        assert_eq!(a, vec![7.0f32; 33]);
+        p.recycle(a);
+        let b = p.acquire_filled(33, 7.0f32);
+        assert_eq!(
+            b,
+            vec![7.0f32; 33],
+            "reused buffer is re-filled identically"
+        );
+    }
+
+    #[test]
+    fn guard_returns_on_drop_and_detach_keeps() {
+        let p = pool(1 << 20);
+        {
+            let mut g = p.acquire_guard(128);
+            g.push(1.0);
+            assert_eq!(g.len(), 1);
+        }
+        assert_eq!(p.stats().recycled, 1);
+        let g = p.acquire_guard(128);
+        let kept = g.detach();
+        assert!(kept.capacity() >= 128);
+        assert_eq!(p.stats().recycled, 1, "detached buffer is not recycled");
+    }
+
+    #[test]
+    fn dead_pool_fast_slots_are_swept() {
+        // A long-lived thread recycling into many short-lived pools (a
+        // fresh loader per epoch) must not accrete one parked buffer
+        // per dead pool forever: inserting a new slot on a grown map
+        // sweeps entries whose pool was dropped.
+        for _ in 0..FAST_SLOT_SWEEP_THRESHOLD + 8 {
+            let p = pool(1 << 20);
+            let b = p.acquire(64);
+            p.recycle(b); // Parks in this thread's fast slot.
+        } // Pool dropped: its slot is now dead weight.
+        let p = pool(1 << 20);
+        let b = p.acquire(64);
+        p.recycle(b);
+        FAST_SLOTS.with(|slots| {
+            let len = slots.borrow().len();
+            // The sweep is amortized (it runs when an insert finds the
+            // map at the threshold), so the live bound is the threshold
+            // itself — not 72+ entries accreted across generations.
+            assert!(
+                len <= FAST_SLOT_SWEEP_THRESHOLD,
+                "dead pools' fast slots must be swept: {len} entries remain"
+            );
+        });
+    }
+
+    #[test]
+    fn concurrent_stress_keeps_bytes_under_budget() {
+        use std::sync::Arc;
+        let mut cfg = PoolConfig::with_budget(64 * 1024);
+        cfg.thread_local_slots = false;
+        let p: Arc<BufferPool<f32>> = Arc::new(BufferPool::new(cfg));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let p = Arc::clone(&p);
+                std::thread::spawn(move || {
+                    for i in 0..500usize {
+                        let want = 64 << ((t + i) % 6);
+                        let mut b = p.acquire(want);
+                        b.resize(want, 0.5);
+                        assert!(p.stats().bytes <= 64 * 1024, "budget violated");
+                        p.recycle(b);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = p.stats();
+        assert!(s.bytes <= 64 * 1024);
+        assert!(s.hits > 0, "steady-state traffic must reuse buffers");
+    }
+}

@@ -97,7 +97,7 @@ fn torch_baseline_and_minato_agree_on_content() {
         .expect("valid configuration");
         let mut idx: Vec<usize> = loader
             .iter()
-            .flat_map(|b| b.samples)
+            .flat_map(|b| b.into_samples())
             .map(|s| s.index)
             .collect();
         idx.sort_unstable();
@@ -117,7 +117,7 @@ fn torch_baseline_and_minato_agree_on_content() {
         .expect("valid configuration");
         let mut idx: Vec<usize> = loader
             .iter()
-            .flat_map(|b| b.samples)
+            .flat_map(|b| b.into_samples())
             .map(|s| s.index)
             .collect();
         idx.sort_unstable();
@@ -171,7 +171,7 @@ fn order_preserving_mode_round_trip() {
     .expect("valid configuration");
     let idx: Vec<usize> = loader
         .iter()
-        .flat_map(|b| b.samples)
+        .flat_map(|b| b.into_samples())
         .map(|s| s.index)
         .collect();
     assert_eq!(idx, (0..40).collect::<Vec<_>>(), "strict order required");

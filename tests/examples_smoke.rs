@@ -108,7 +108,11 @@ fn image_segmentation_flow() {
         .seed(7)
         .build()
         .expect("valid configuration");
-    let minato_voxels: usize = loader.iter().flat_map(|b| b.samples).map(|v| v.len()).sum();
+    let minato_voxels: usize = loader
+        .iter()
+        .flat_map(|b| b.into_samples())
+        .map(|v| v.len())
+        .sum();
     assert_eq!(loader.stats().samples_done, 12);
 
     let torch = TorchLoader::new(
@@ -122,7 +126,11 @@ fn image_segmentation_flow() {
         },
     )
     .expect("valid configuration");
-    let torch_voxels: usize = torch.iter().flat_map(|b| b.samples).map(|v| v.len()).sum();
+    let torch_voxels: usize = torch
+        .iter()
+        .flat_map(|b| b.into_samples())
+        .map(|v| v.len())
+        .sum();
     // Both loaders crop to the same target shape, so total voxels match.
     assert_eq!(minato_voxels, torch_voxels);
     assert!(minato_voxels > 0);
@@ -192,4 +200,45 @@ fn memory_constrained_flow() {
         minato.train_time_s,
         pytorch.train_time_s
     );
+}
+
+/// `examples/pooled_hot_path.rs`: pooled in-place execution on the
+/// volumetric pipeline; the recycle loop must turn and delivery must
+/// match the unpooled loader sample for sample.
+#[test]
+fn pooled_hot_path_flow() {
+    let n = 48usize;
+    let make = |pool_budget: u64| {
+        let dataset = FnDataset::new(n, |i| {
+            let d = 12 + (i % 3) * 6;
+            Ok(Volume3D::generate([d, d, d], i as u64))
+        });
+        let mut b = MinatoLoader::builder(dataset, segmentation_pipeline([8, 8, 8]))
+            .batch_size(8)
+            .seed(9)
+            .initial_workers(2)
+            .max_workers(3);
+        if pool_budget > 0 {
+            b = b.pool_budget_bytes(pool_budget);
+        }
+        b.build().expect("valid configuration")
+    };
+    let collect = |loader: &MinatoLoader<_>| {
+        let mut all: Vec<Volume3D> = Vec::new();
+        for batch in loader.iter() {
+            all.extend(batch.samples.iter().cloned());
+        }
+        all.sort_by_key(|v| v.seed);
+        all
+    };
+    let unpooled = make(0);
+    let base = collect(&unpooled);
+    assert!(unpooled.stats().pool.is_none());
+
+    let pooled = make(64 << 20);
+    let got = collect(&pooled);
+    assert_eq!(got, base, "pooling must not change delivered samples");
+    let ps = pooled.stats().pool.expect("pool on").combined();
+    assert!(ps.recycled > 0, "recycle loop must turn: {ps:?}");
+    assert!(ps.hits > 0, "steady state must reuse buffers: {ps:?}");
 }

@@ -169,7 +169,7 @@ proptest! {
             .expect("valid configuration");
         let mut counts = std::collections::HashMap::new();
         for b in loader.iter() {
-            for s in b.samples {
+            for s in b.into_samples() {
                 *counts.entry(s).or_insert(0usize) += 1;
             }
         }
