@@ -281,6 +281,197 @@ pub fn ablation_cache_reuse() -> String {
     )
 }
 
+/// A cooperative sleeping stage whose per-sample cost is a function of
+/// the sample value — the knob the `exec_elastic` ablation turns to
+/// build balanced vs phase-shifting slow fractions. Sleeping (rather
+/// than spinning) keeps the measurement about scheduling, not about how
+/// many physical cores the CI machine has.
+pub struct ShapedCost {
+    cost_of: Box<dyn Fn(u32) -> Duration + Send + Sync>,
+}
+
+impl ShapedCost {
+    /// Stage whose cost for sample `i` is `cost_of(i)`.
+    pub fn new(cost_of: impl Fn(u32) -> Duration + Send + Sync + 'static) -> ShapedCost {
+        ShapedCost {
+            cost_of: Box::new(cost_of),
+        }
+    }
+}
+
+impl Transform<u32> for ShapedCost {
+    fn name(&self) -> &str {
+        "shaped-cost"
+    }
+
+    fn apply(&self, input: u32, ctx: &TransformCtx) -> minato_core::error::Result<Outcome<u32>> {
+        let cost = (self.cost_of)(input);
+        let start = Instant::now();
+        while start.elapsed() < cost {
+            if ctx.expired() {
+                return Ok(Outcome::Interrupted(input));
+            }
+            std::thread::sleep(Duration::from_micros(200).min(cost));
+        }
+        Ok(Outcome::Done(input))
+    }
+}
+
+/// One `exec_elastic` measurement.
+#[derive(Debug, Clone)]
+pub struct ExecElasticReport {
+    /// Samples delivered.
+    pub delivered: u64,
+    /// Wall time of the iteration in milliseconds.
+    pub wall_ms: f64,
+    /// Cross-role worker moves recorded by the executor (0 on the
+    /// fixed-role arm).
+    pub role_switches: u64,
+    /// Progressing leases claimed at/over budget (work stolen into a
+    /// role; 0 on the fixed-role arm).
+    pub steals: u64,
+    /// Largest slow-role budget the scheduler reached during the run.
+    pub peak_slow_budget: usize,
+}
+
+/// Runs one arm of the fixed-role vs role-fluid comparison at *equal
+/// thread count*: the fixed arm spawns 3 fast + 1 slow + 1 batch
+/// dedicated workers; the elastic arm runs the same three roles on one
+/// role-fluid pool of 5 threads.
+///
+/// `phase_shift = false` is the balanced workload (an even 20% of
+/// samples are slow, light enough for one slow worker); `true` is the
+/// fig12-style shift — the second half of the run turns 80% slow, so a
+/// fixed pool bottlenecks on its single background worker while parked
+/// fast capacity idles.
+pub fn exec_elastic_run(elastic: bool, phase_shift: bool) -> ExecElasticReport {
+    const N: u32 = 160;
+    const THREADS: usize = 5; // = 3 fast + 1 slow + 1 batch (fixed arm).
+    let fast_cost = Duration::from_micros(500);
+    let slow_cost = if phase_shift {
+        Duration::from_millis(10)
+    } else {
+        Duration::from_millis(3)
+    };
+    let cost_of = move |i: u32| {
+        let slow = if phase_shift {
+            i >= N / 2 && !i.is_multiple_of(5) // 80% of the second half.
+        } else {
+            // An even 5% throughout: light enough that one dedicated
+            // slow worker absorbs the background work in the shadow of
+            // the foreground — the fixed split is right-sized here.
+            i.is_multiple_of(20)
+        };
+        if slow {
+            slow_cost
+        } else {
+            fast_cost
+        }
+    };
+    let ds = VecDataset::new((0..N).collect::<Vec<_>>());
+    let pipeline = Pipeline::new(vec![
+        Arc::new(ShapedCost::new(cost_of)) as Arc<dyn Transform<u32>>
+    ]);
+    let loader = MinatoLoader::builder(ds, pipeline)
+        .batch_size(8)
+        .shuffle(false)
+        .initial_workers(3)
+        .max_workers(3)
+        .slow_workers(1)
+        .batch_workers(1)
+        // Large enough that the temp queue never fills: the fixed arm
+        // must bottleneck on its dedicated slow worker, not dissolve
+        // into backpressure helping.
+        .queue_capacity(N as usize * 2)
+        .ticket_chunk(4)
+        .timeout_policy(TimeoutPolicy::Fixed(Duration::from_millis(1)))
+        .scheduler(SchedulerConfig {
+            interval: Duration::from_millis(20),
+            ..SchedulerConfig::paper_default(THREADS)
+        })
+        .executor(if elastic {
+            ExecutorConfig::Elastic { threads: THREADS }
+        } else {
+            ExecutorConfig::Fixed
+        })
+        .build()
+        .expect("valid configuration");
+    let t0 = Instant::now();
+    let mut delivered = 0u64;
+    let mut peak_slow_budget = 0usize;
+    for b in loader.iter() {
+        delivered += b.len() as u64;
+        if let Some(exec) = loader.stats().exec {
+            if let Some(slow) = exec.role("slow") {
+                peak_slow_budget = peak_slow_budget.max(slow.budget);
+            }
+        }
+    }
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(delivered, N as u64, "ablation must deliver every sample");
+    let exec = loader.stats().exec.expect("executor stats");
+    ExecElasticReport {
+        delivered,
+        wall_ms,
+        role_switches: exec.role_switches,
+        steals: exec.steals,
+        peak_slow_budget,
+    }
+}
+
+/// Fixed-role vs role-fluid executor at equal thread count, on a
+/// balanced and a phase-shifting workload: the role-fluid pool must
+/// match fixed throughput when the static split is right-sized, and win
+/// when the bottleneck moves to the slow stage mid-run.
+pub fn ablation_exec_elastic() -> String {
+    let mut t = Table::new(&[
+        "workload",
+        "fixed (ms)",
+        "elastic (ms)",
+        "gain",
+        "switches",
+        "peak slow budget",
+    ]);
+    let mut gains = Vec::new();
+    for (label, shift) in [("balanced 5% slow", false), ("phase shift 80% slow", true)] {
+        let fixed = exec_elastic_run(false, shift);
+        let elastic = exec_elastic_run(true, shift);
+        let gain = fixed.wall_ms / elastic.wall_ms.max(f64::MIN_POSITIVE);
+        gains.push(gain);
+        t.row_owned(vec![
+            label.into(),
+            fnum(fixed.wall_ms, 0),
+            fnum(elastic.wall_ms, 0),
+            format!("{gain:.2}x"),
+            format!("{}", elastic.role_switches),
+            format!("{}", elastic.peak_slow_budget),
+        ]);
+    }
+    // Acceptance gate (release smoke in CI): equal-thread-count parity
+    // on the balanced workload, a real win on the phase shift. Debug
+    // builds skip the numeric gates (wall ratios are a release-mode
+    // criterion, asserted best-of-3 in crates/bench/tests).
+    if !cfg!(debug_assertions) {
+        assert!(
+            gains[0] >= 0.9,
+            "elastic executor lost >10% on the balanced workload: {:.2}x",
+            gains[0]
+        );
+        assert!(
+            gains[1] >= 1.2,
+            "elastic executor must win >=1.2x on the phase shift: {:.2}x",
+            gains[1]
+        );
+    }
+    format!(
+        "Ablation — elastic role-fluid executor (equal thread count: 3+1+1\n\
+         dedicated vs one 5-thread work-stealing pool; fig12-style slow\n\
+         fraction ramp). Phase shift: {:.2}x over fixed roles.\n{}",
+        gains[1],
+        t.render()
+    )
+}
+
 /// A volume-neutral gain stage over a raw `f32` payload. The by-value
 /// path materializes a fresh output buffer per stage — the functional
 /// style mainstream loader ops use, and exactly the O(k)-buffers-per-
@@ -470,14 +661,15 @@ pub fn ablation_pool_reuse() -> String {
 /// All ablations, concatenated.
 pub fn all_ablations(scale: Scale) -> String {
     format!(
-        "{}\n{}\n{}\n{}\n{}\n{}\n{}",
+        "{}\n{}\n{}\n{}\n{}\n{}\n{}\n{}",
         ablation_timeout_percentile(scale),
         ablation_adaptive_workers(scale),
         ablation_queue_depth(scale),
         ablation_wakeup_policy(),
         ablation_queue_batching(),
         ablation_cache_reuse(),
-        ablation_pool_reuse()
+        ablation_pool_reuse(),
+        ablation_exec_elastic()
     )
 }
 

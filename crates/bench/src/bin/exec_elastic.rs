@@ -1,0 +1,7 @@
+//! Ablation: fixed-role vs role-fluid (elastic) executor at equal
+//! thread count, on a balanced and a phase-shifting workload — wall
+//! time, role switches, and the scheduler's peak slow-role budget.
+
+fn main() {
+    println!("{}", minato_bench::ablations::ablation_exec_elastic());
+}

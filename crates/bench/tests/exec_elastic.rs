@@ -1,0 +1,69 @@
+//! Acceptance gate for the `exec_elastic` ablation: at equal thread
+//! count, the role-fluid executor must stay within ±10% of fixed-role
+//! throughput on a balanced workload and win ≥1.2x on the
+//! phase-shifting slow-heavy workload. Both bounds are taken best-of-3
+//! per arm to shield the ratios from scheduler noise on shared CI
+//! machines.
+
+use minato_bench::ablations::exec_elastic_run;
+
+fn best_of_3(elastic: bool, phase_shift: bool) -> f64 {
+    (0..3)
+        .map(|_| exec_elastic_run(elastic, phase_shift).wall_ms)
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Equal-thread-count parity on the balanced workload: when the fixed
+/// split is right-sized, role fluidity must not cost throughput.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "wall-clock ratio is a release-mode gate (CI exec_elastic smoke)"
+)]
+fn role_fluid_matches_fixed_on_balanced_workload() {
+    let fixed = best_of_3(false, false);
+    let elastic = best_of_3(true, false);
+    assert!(
+        elastic <= 1.1 * fixed + 15.0,
+        "elastic lost >10% on the balanced workload: fixed {fixed:.0} ms, \
+         elastic {elastic:.0} ms"
+    );
+}
+
+/// The tentpole claim: when the bottleneck moves to the slow stage
+/// mid-run, capacity migrates and the role-fluid pool beats the fixed
+/// split by ≥1.2x at the same thread count.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "wall-clock ratio is a release-mode gate (CI exec_elastic smoke)"
+)]
+fn role_fluid_wins_on_phase_shifting_workload() {
+    let fixed = best_of_3(false, true);
+    let elastic = best_of_3(true, true);
+    assert!(
+        fixed >= 1.2 * elastic,
+        "expected >=1.2x on the phase shift: fixed {fixed:.0} ms, \
+         elastic {elastic:.0} ms"
+    );
+}
+
+/// Functional half of the gate, runs in every build: both arms deliver
+/// the full sample set, and the elastic arm demonstrably migrated
+/// capacity (role switches recorded, slow budget grew past its fixed
+/// share).
+#[test]
+fn both_arms_deliver_and_elastic_migrates() {
+    let fixed = exec_elastic_run(false, true);
+    let elastic = exec_elastic_run(true, true);
+    assert_eq!(fixed.delivered, elastic.delivered);
+    assert_eq!(fixed.role_switches, 0, "fixed roles must never migrate");
+    assert!(
+        elastic.role_switches > 0,
+        "role-fluid arm recorded no switches"
+    );
+    assert!(
+        elastic.peak_slow_budget > 1,
+        "slow budget never grew past the fixed share: {elastic:?}"
+    );
+}

@@ -15,11 +15,19 @@
 //! * [`balancer`] — the dynamic sample-aware load balancer: optimistic
 //!   start, warm-up profiling, P75 timeout with P90 fallback (§4.2).
 //! * [`queue`] — bounded instrumented MPMC queues (fast/slow/temp/batch).
-//! * [`scheduler`] — the adaptive worker scheduler, Formulas 1–2 (§4.3).
+//! * [`scheduler`] — the adaptive worker scheduler, Formulas 1–2 (§4.3),
+//!   extended with the role-budget split driving the elastic executor.
 //! * [`cache`] — cross-epoch sample cache: memoized preprocessed outputs
 //!   served on the fast path in later epochs (sharded, byte-budgeted,
 //!   cost-aware eviction; off by default).
 //! * [`loader`] — the public `MinatoLoader` builder/iterator API.
+//!
+//! The worker runtime itself lives on the `minato-exec` executor: the
+//! fast/slow/batch stages are role handlers a shared thread pool runs
+//! under per-role budgets — fixed dedicated slices by default
+//! ([`loader::ExecutorConfig::Fixed`]), one role-fluid work-stealing
+//! pool with [`loader::ExecutorConfig::Elastic`], or a multi-loader
+//! shared pool with [`loader::ExecutorConfig::Shared`].
 //!
 //! ## Quick start
 //!
@@ -67,16 +75,19 @@ pub mod prelude {
     pub use crate::cache::{CacheStats, ClonedSampleCache, EvictionPolicy, SampleCache};
     pub use crate::dataset::{Dataset, EpochSampler, FnDataset, Sampler, VecDataset};
     pub use crate::error::{LoaderError, Result};
-    pub use crate::loader::{ErrorPolicy, LoaderConfig, MinatoLoader, MinatoLoaderBuilder};
+    pub use crate::loader::{
+        ErrorPolicy, ExecutorConfig, LoaderConfig, MinatoLoader, MinatoLoaderBuilder,
+    };
     pub use crate::pool::{
         BufferPool, PoolConfig, PoolRecycler, PoolSet, PoolSetStats, PoolStats, Reclaim,
         SampleRecycler,
     };
     pub use crate::queue::{MinatoQueue, WakeupPolicy};
-    pub use crate::scheduler::{SchedulerConfig, WorkerScheduler};
+    pub use crate::scheduler::{RoleBudgets, SchedulerConfig, WorkerScheduler};
     pub use crate::stats::{LoaderStats, MonitorTrace};
     pub use crate::transform::{
         fn_transform, fn_transform_classed, CostClass, InPlace, Outcome, Pipeline, PipelineRun,
         Transform, TransformCtx,
     };
+    pub use minato_exec::{ExecStats, RoleStatsSnapshot, SharedExecutor};
 }

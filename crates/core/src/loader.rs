@@ -30,16 +30,42 @@ use crate::dataset::{Dataset, EpochSampler, Sampler};
 use crate::error::{LoaderError, Result};
 use crate::pool::{PoolRecycler, PoolSet, Reclaim, SampleRecycler};
 use crate::queue::{MinatoQueue, WakeupPolicy};
-use crate::scheduler::{SchedulerConfig, WorkerGate, WorkerScheduler};
+use crate::scheduler::{RoleBudgets, SchedulerConfig, WorkerScheduler};
 use crate::stats::{LoaderStats, MonitorTrace};
 use crate::transform::Pipeline;
-use crate::worker::{batch_worker, loader_worker, slow_worker, Runtime};
+use crate::worker::{BatchStep, ExecRoles, FastStep, Runtime, SlowStep};
+use minato_exec::{ExecConfig, ExecHandle, Executor, RoleSpec, SharedExecutor};
 use minato_metrics::{Counter, UtilizationMeter};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// How the loader's three pipeline stages (fast preprocessing, slow
+/// background completion, batch assembly) map onto worker threads.
+#[derive(Debug, Clone, Default)]
+pub enum ExecutorConfig {
+    /// One dedicated thread slice per stage — `max_workers` fast
+    /// threads gated by the adaptive scheduler, plus dedicated slow and
+    /// batch workers. Behavior-equivalent to the pre-executor runtime
+    /// (the default).
+    #[default]
+    Fixed,
+    /// A single role-fluid pool: `threads` workers (0 = `max_workers`)
+    /// re-bid for the fast/slow/batch roles at safe points under the
+    /// scheduler's [`RoleBudgets`], stealing into whichever stage is
+    /// the bottleneck. Capacity migrates within one refresh interval.
+    Elastic {
+        /// Pool size; 0 resolves to `max_workers` at build time.
+        threads: usize,
+    },
+    /// Run as a tenant of an external [`SharedExecutor`] pool (multi-
+    /// loader training): this loader registers its roles on the shared
+    /// pool instead of spawning threads, and budgets arbitrate capacity
+    /// across tenants.
+    Shared(SharedExecutor),
+}
 
 /// What to do when a dataset or transform errors on one sample.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,6 +138,10 @@ pub struct LoaderConfig {
     /// default — behavior is then byte-identical to a pool-less build:
     /// by-value transform execution, no recycle hook on batches).
     pub pool_budget_bytes: u64,
+    /// How pipeline stages map onto worker threads (fixed dedicated
+    /// slices, one elastic role-fluid pool, or a shared multi-loader
+    /// pool).
+    pub executor: ExecutorConfig,
 }
 
 /// Builder for [`MinatoLoader`]. All knobs default to the paper's
@@ -177,6 +207,7 @@ impl<D: Dataset> MinatoLoaderBuilder<D> {
                 cache_policy: EvictionPolicy::CostAware,
                 cache_shards: 8,
                 pool_budget_bytes: 0,
+                executor: ExecutorConfig::Fixed,
             },
         }
     }
@@ -317,6 +348,16 @@ impl<D: Dataset> MinatoLoaderBuilder<D> {
     /// (the paper's CUDA-stream prefetch, §4.3).
     pub fn transfer_hook(mut self, hook: Arc<dyn TransferHook<D::Sample>>) -> Self {
         self.transfer_hook = Some(hook);
+        self
+    }
+
+    /// Selects the executor backing the loader (default:
+    /// [`ExecutorConfig::Fixed`], behavior-equivalent to dedicated
+    /// per-stage threads). [`ExecutorConfig::Elastic`] runs every stage
+    /// on one role-fluid work-stealing pool; [`ExecutorConfig::Shared`]
+    /// joins an external multi-loader pool as a tenant.
+    pub fn executor(mut self, exec: ExecutorConfig) -> Self {
+        self.cfg.executor = exec;
         self
     }
 
@@ -478,6 +519,30 @@ impl<D: Dataset> MinatoLoaderBuilder<D> {
         if cfg.ticket_chunk == 0 {
             return Err(LoaderError::Config("ticket_chunk must be positive".into()));
         }
+        match &cfg.executor {
+            ExecutorConfig::Fixed => {}
+            ExecutorConfig::Elastic { threads } => {
+                let resolved = if *threads == 0 {
+                    cfg.max_workers
+                } else {
+                    *threads
+                };
+                if resolved < 2 {
+                    return Err(LoaderError::Config(
+                        "elastic executor needs at least 2 threads (batch assembly \
+                         plus one producing role)"
+                            .into(),
+                    ));
+                }
+            }
+            ExecutorConfig::Shared(pool) => {
+                if pool.threads() < 2 {
+                    return Err(LoaderError::Config(
+                        "shared executor pool needs at least 2 threads".into(),
+                    ));
+                }
+            }
+        }
         if cfg.cache_budget_bytes > 0 {
             if cfg.cache_shards == 0 {
                 return Err(LoaderError::Config("cache_shards must be positive".into()));
@@ -515,9 +580,40 @@ impl<D: Dataset> MinatoLoaderBuilder<D> {
 /// the pipeline down and joins every worker thread.
 pub struct MinatoLoader<D: Dataset> {
     rt: Arc<Runtime<D>>,
+    /// The loader-owned worker pool; `None` when running as a tenant of
+    /// a shared pool (whose threads outlive this loader).
+    executor: Option<Executor>,
     handles: Vec<JoinHandle<()>>,
     trace: Arc<Mutex<MonitorTrace>>,
     joined: AtomicBool,
+}
+
+/// Initial role budgets: the fixed topology's worker counts, clamped to
+/// fit an elastic pool (batch first, then slow, fast takes the rest).
+fn initial_budgets(
+    cfg: &LoaderConfig,
+    slow_workers: usize,
+    elastic: bool,
+    threads: usize,
+) -> RoleBudgets {
+    if !elastic {
+        return RoleBudgets {
+            fast: cfg.initial_workers,
+            slow: slow_workers.max(1),
+            batch: cfg.batch_workers,
+        };
+    }
+    let batch = cfg.batch_workers.min(threads).max(1);
+    let avail = threads.saturating_sub(batch);
+    let slow = if slow_workers == 0 {
+        0
+    } else {
+        slow_workers.clamp(1.min(avail), avail)
+    };
+    // A zero fast budget on a tiny pool is fine: elastic workers steal
+    // into the fast role whenever nothing else has work.
+    let fast = cfg.initial_workers.min(avail.saturating_sub(slow));
+    RoleBudgets { fast, slow, batch }
 }
 
 impl<D: Dataset> MinatoLoader<D> {
@@ -553,13 +649,46 @@ impl<D: Dataset> MinatoLoader<D> {
             warmup_samples: cfg.warmup_samples,
             ..BalancerConfig::default()
         });
-        // In order-preserving mode every sample is fast; avoid spawning
+        // In order-preserving mode every sample is fast; avoid budgeting
         // slow workers that would idle forever.
         let slow_workers = if matches!(cfg.timeout_policy, TimeoutPolicy::Disabled) {
             0
         } else {
             cfg.slow_workers
         };
+        // Fixed mode keeps one slow thread even with slow_workers == 0:
+        // its only job is the close cascade (closing the slow queue once
+        // the never-used temp queue closes).
+        let slow_threads = slow_workers.max(1);
+        let batch_threads = cfg.batch_workers;
+        let (exec, exec_owned, elastic) = match &cfg.executor {
+            ExecutorConfig::Fixed => {
+                let threads = cfg.max_workers + slow_threads + batch_threads;
+                let mut ecfg = ExecConfig::fixed(threads);
+                ecfg.idle_wait = cfg.starvation_wait;
+                (ExecHandle::new(ecfg), true, false)
+            }
+            ExecutorConfig::Elastic { threads } => {
+                let threads = if *threads == 0 {
+                    cfg.max_workers
+                } else {
+                    *threads
+                };
+                let mut ecfg = ExecConfig::elastic(threads);
+                ecfg.idle_wait = cfg.starvation_wait;
+                (ExecHandle::new(ecfg), true, true)
+            }
+            ExecutorConfig::Shared(pool) => (pool.handle().clone(), false, true),
+        };
+        if elastic {
+            // Formula 1 now bounds the whole pool, not just the fast
+            // slice.
+            cfg.scheduler.max_workers = exec.config().threads;
+            cfg.scheduler.min_workers = cfg
+                .scheduler
+                .min_workers
+                .clamp(1, cfg.scheduler.max_workers);
+        }
         let batch_qs: Vec<MinatoQueue<Batch<D::Sample>>> = (0..cfg.num_gpus)
             .map(|g| {
                 MinatoQueue::with_policy(&format!("batch[{g}]"), cfg.prefetch_factor, cfg.wakeup)
@@ -570,14 +699,14 @@ impl<D: Dataset> MinatoLoader<D> {
             slow_q: MinatoQueue::with_policy("slow", cfg.queue_capacity, cfg.wakeup),
             temp_q: MinatoQueue::with_policy("temp", cfg.queue_capacity, cfg.wakeup),
             batch_qs,
-            gate: WorkerGate::new(cfg.initial_workers),
-            loaders_live: AtomicUsize::new(cfg.max_workers),
+            exec: exec.clone(),
+            exec_roles: OnceLock::new(),
+            exec_owned,
+            batch_help: OnceLock::new(),
             in_flight: AtomicUsize::new(0),
             source_drained: AtomicBool::new(false),
-            slow_live: AtomicUsize::new(slow_workers.max(1)),
-            batchers_live: AtomicUsize::new(cfg.batch_workers),
             cpu_meter: UtilizationMeter::new(cfg.max_workers),
-            slow_meter: UtilizationMeter::new(slow_workers.max(1)),
+            slow_meter: UtilizationMeter::new(slow_threads),
             samples_out: Counter::new(),
             bytes_out: Counter::new(),
             batches_out: Counter::new(),
@@ -596,59 +725,78 @@ impl<D: Dataset> MinatoLoader<D> {
             cfg: cfg.clone(),
         });
 
-        let mut handles = Vec::new();
-        for id in 0..cfg.max_workers {
-            let rt2 = Arc::clone(&rt);
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("minato-loader-{id}"))
-                    .spawn(move || loader_worker(rt2, id))
-                    .map_err(|e| LoaderError::Config(format!("spawn failed: {e}")))?,
-            );
-        }
-        if slow_workers == 0 {
-            // Keep the close cascade intact: close the slow queue once the
-            // (never-used) temp queue closes. A tiny thread handles it.
-            let rt2 = Arc::clone(&rt);
-            handles.push(
-                std::thread::Builder::new()
-                    .name("minato-slow-0".into())
-                    .spawn(move || slow_worker(rt2))
-                    .map_err(|e| LoaderError::Config(format!("spawn failed: {e}")))?,
-            );
+        // The three pipeline stages as executor roles. Initial budgets
+        // reproduce the fixed topology; on an elastic pool they are
+        // clamped to the pool size and re-balanced every refresh.
+        let batch_step = Arc::new(BatchStep::new(Arc::clone(&rt)));
+        let lanes = batch_step.lane_count();
+        // Producers blocked on full internal queues help this step
+        // along instead of waiting (the role-fluid progress guarantee).
+        rt.batch_help
+            .set(Arc::downgrade(&batch_step))
+            .unwrap_or_else(|_| unreachable!("batch_help set once"));
+        // On a role-fluid pool a slow worker should re-bid quickly when
+        // the temp queue is empty; a dedicated fixed slow worker has
+        // nowhere else to go, so it sleeps longer between probes.
+        let slow_wait = if elastic {
+            cfg.starvation_wait
         } else {
-            for id in 0..slow_workers {
-                let rt2 = Arc::clone(&rt);
-                handles.push(
-                    std::thread::Builder::new()
-                        .name(format!("minato-slow-{id}"))
-                        .spawn(move || slow_worker(rt2))
-                        .map_err(|e| LoaderError::Config(format!("spawn failed: {e}")))?,
-                );
-            }
-        }
-        for id in 0..cfg.batch_workers {
-            let rt2 = Arc::clone(&rt);
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("minato-batch-{id}"))
-                    .spawn(move || batch_worker(rt2))
+            Duration::from_millis(25)
+        };
+        let budgets = initial_budgets(&cfg, slow_workers, elastic, exec.config().threads);
+        let ids = exec.register(vec![
+            RoleSpec {
+                name: "fast".into(),
+                step: Arc::new(FastStep::new(Arc::clone(&rt))),
+                budget: budgets.fast,
+                threads: cfg.max_workers,
+                max_concurrency: None,
+            },
+            RoleSpec {
+                name: "slow".into(),
+                step: Arc::new(SlowStep::new(Arc::clone(&rt), slow_wait)),
+                budget: budgets.slow,
+                threads: slow_threads,
+                max_concurrency: None,
+            },
+            RoleSpec {
+                name: "batch".into(),
+                step: batch_step,
+                budget: budgets.batch,
+                threads: batch_threads,
+                max_concurrency: Some(lanes),
+            },
+        ]);
+        let roles = ExecRoles {
+            fast: ids[0],
+            slow: ids[1],
+            batch: ids[2],
+        };
+        rt.exec_roles.set(roles).expect("roles set once");
+        let executor = if exec_owned {
+            Some(
+                exec.spawn()
                     .map_err(|e| LoaderError::Config(format!("spawn failed: {e}")))?,
-            );
-        }
+            )
+        } else {
+            None
+        };
+
         let trace = Arc::new(Mutex::new(MonitorTrace::new()));
+        let mut handles = Vec::new();
         {
             let rt2 = Arc::clone(&rt);
             let trace2 = Arc::clone(&trace);
             handles.push(
                 std::thread::Builder::new()
                     .name("minato-monitor".into())
-                    .spawn(move || monitor_loop(rt2, trace2))
+                    .spawn(move || monitor_loop(rt2, trace2, budgets))
                     .map_err(|e| LoaderError::Config(format!("spawn failed: {e}")))?,
             );
         }
         Ok(MinatoLoader {
             rt,
+            executor,
             handles,
             trace,
             joined: AtomicBool::new(false),
@@ -700,7 +848,15 @@ impl<D: Dataset> MinatoLoader<D> {
                     .sum::<u64>(),
             cache: rt.cache.as_ref().map(|c| c.stats()),
             pool: rt.pools.as_ref().map(|p| p.stats()),
-            active_workers: rt.gate.active_limit(),
+            exec: rt
+                .exec_roles
+                .get()
+                .map(|roles| rt.exec.stats_for(&roles.all())),
+            active_workers: rt
+                .exec_roles
+                .get()
+                .map(|roles| rt.exec.budget(roles.fast))
+                .unwrap_or(rt.cfg.initial_workers),
             timeout: rt.balancer.current_timeout(),
             preprocess_ms: rt.balancer.profiler().summary_ms(),
         }
@@ -727,6 +883,9 @@ impl<D: Dataset> MinatoLoader<D> {
     fn join_all(&mut self) {
         if self.joined.swap(true, Ordering::AcqRel) {
             return;
+        }
+        if let Some(pool) = self.executor.as_mut() {
+            pool.join();
         }
         for h in self.handles.drain(..) {
             // A panicked worker already recorded its damage; joining must
@@ -758,10 +917,22 @@ impl<D: Dataset> Iterator for BatchIter<'_, D> {
 }
 
 /// Monitor loop: samples utilization/occupancy, drives the adaptive worker
-/// scheduler, and keeps the balancer's timeout fresh (§4.3).
-fn monitor_loop<D: Dataset>(rt: Arc<Runtime<D>>, trace: Arc<Mutex<MonitorTrace>>) {
+/// scheduler — as a single fast-gate limit on a fixed executor, as a
+/// role-budget vector on an elastic one — and keeps the balancer's
+/// timeout fresh (§4.3).
+fn monitor_loop<D: Dataset>(
+    rt: Arc<Runtime<D>>,
+    trace: Arc<Mutex<MonitorTrace>>,
+    mut budgets: RoleBudgets,
+) {
     let mut scheduler = WorkerScheduler::new(rt.cfg.scheduler.clone());
     let interval = rt.cfg.scheduler.interval;
+    let roles = *rt
+        .exec_roles
+        .get()
+        .expect("roles registered before monitor");
+    let elastic = rt.exec.config().elastic;
+    let slow_enabled = !matches!(rt.cfg.timeout_policy, TimeoutPolicy::Disabled);
     let mut prev_busy = 0u64;
     let mut prev_slow_busy = 0u64;
     let mut prev_bytes = 0u64;
@@ -776,7 +947,7 @@ fn monitor_loop<D: Dataset>(rt: Arc<Runtime<D>>, trace: Arc<Mutex<MonitorTrace>>
         }
         let all_closed = rt.batch_qs.iter().all(|q| q.is_closed());
         let now = rt.started_at.elapsed().as_secs_f64();
-        let active = rt.gate.active_limit().max(1);
+        let active = rt.exec.budget(roles.fast).max(1);
 
         // CPU utilization of *active loader* workers over the last
         // interval. Slow workers meter their busy time separately: they
@@ -853,12 +1024,35 @@ fn monitor_loop<D: Dataset>(rt: Arc<Runtime<D>>, trace: Arc<Mutex<MonitorTrace>>
                 t.pool_hit_pct.push(now, pct);
                 t.pool_bytes.push(now, bytes);
             }
+            t.role_mix[0].push(now, budgets.fast as f64);
+            t.role_mix[1].push(now, budgets.slow as f64);
+            t.role_mix[2].push(now, budgets.batch as f64);
         }
 
         if rt.cfg.adaptive_workers {
-            let target = scheduler.decide(active, q_len, q_cap, cpu_norm);
-            if target != active {
-                rt.gate.set_active_limit(target);
+            if elastic {
+                // Formula 1 sizes the whole pool; the role split follows
+                // the temp-queue backlog with bounded churn.
+                let limit = scheduler.decide(budgets.total(), q_len, q_cap, cpu_norm);
+                // Backlog per slow worker per claim burst — capacity-
+                // independent, unlike the raw temp-queue fill fraction.
+                let backlog = rt.temp_q.len() as f64
+                    / (rt.cfg.ticket_chunk.max(1) * budgets.slow.max(1)) as f64;
+                let fast_active = !rt.source_drained.load(Ordering::SeqCst);
+                let next =
+                    scheduler.decide_roles(limit, budgets, backlog, slow_enabled, fast_active);
+                if next != budgets {
+                    budgets = next;
+                    rt.exec.set_budget(roles.fast, budgets.fast);
+                    rt.exec.set_budget(roles.slow, budgets.slow);
+                    rt.exec.set_budget(roles.batch, budgets.batch);
+                }
+            } else {
+                let target = scheduler.decide(active, q_len, q_cap, cpu_norm);
+                if target != active {
+                    rt.exec.set_budget(roles.fast, target);
+                    budgets.fast = target;
+                }
             }
         }
         rt.balancer.refresh_now();

@@ -1,4 +1,5 @@
-//! Adaptive CPU worker scheduler (paper §4.3, Formulas 1–2).
+//! Adaptive CPU worker scheduler (paper §4.3, Formulas 1–2) and the
+//! role-budget split driving the elastic executor.
 //!
 //! The scheduler keeps the GPUs busy by matching the number of active
 //! preprocessing workers to the training demand. Every monitor interval it
@@ -12,15 +13,27 @@
 //! where `Qsize` is the moving average of the batch-queue occupancy,
 //! `Cusage` the normalized CPU utilization of the active workers, and `Δ`
 //! is clipped to a small integer range for stability. Empty queues and/or
-//! hot CPUs add workers; full queues with idle CPUs retire them.
+//! hot CPUs add workers; full queues with idle CPUs retire them. The
+//! moving average is *seeded* with the first occupancy observation — a
+//! cold window would otherwise over-weight the startup transient for a
+//! full window length and bias the first refreshes toward scale-up.
 //!
-//! The decision function is pure ([`WorkerScheduler::decide`]) so it can be
-//! unit-tested and swept in ablation benches; [`WorkerGate`] applies the
-//! decision to a pool of real threads by parking/unparking them.
+//! On the role-fluid executor the Formula-1 worker count is no longer
+//! applied as a single gate limit but split into a **role-budget
+//! vector** ([`RoleBudgets`]) by [`WorkerScheduler::decide_roles`]:
+//! every refresh, the active limit is partitioned between the fast,
+//! slow, and batch roles, steering the slow share by the temp-queue
+//! backlog (smoothed, with a hysteresis band) so that at most one
+//! worker migrates per refresh — capacity follows the bottleneck while
+//! role churn stays bounded.
+//!
+//! The decision functions are pure ([`WorkerScheduler::decide`],
+//! [`WorkerScheduler::decide_roles`]) so they can be unit-tested and
+//! swept in ablation benches; the executor applies them to real
+//! threads — the fixed mode parks workers whose rank exceeds the fast
+//! budget (the classic gate), the elastic mode re-bids whole roles.
 
-use minato_metrics::MovingAverage;
-use parking_lot::{Condvar, Mutex};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use minato_metrics::{Ewma, MovingAverage};
 use std::time::Duration;
 
 /// Tuning parameters for the adaptive scheduler.
@@ -60,11 +73,36 @@ impl SchedulerConfig {
     }
 }
 
+/// Target worker counts per executor role — the scheduler's output on
+/// the role-fluid executor (one number per stage instead of a single
+/// gate limit). Budgets always sum to the active limit passed to
+/// [`WorkerScheduler::decide_roles`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoleBudgets {
+    /// Foreground preprocessing workers (ticket claim + pipeline).
+    pub fast: usize,
+    /// Background slow-resume workers.
+    pub slow: usize,
+    /// Batch-assembly workers.
+    pub batch: usize,
+}
+
+impl RoleBudgets {
+    /// Total workers across all roles.
+    pub fn total(&self) -> usize {
+        self.fast + self.slow + self.batch
+    }
+}
+
 /// Pure scaling-decision engine.
 #[derive(Debug)]
 pub struct WorkerScheduler {
     cfg: SchedulerConfig,
     queue_avg: MovingAverage,
+    /// Whether `queue_avg` was seeded with the first observation.
+    primed: bool,
+    /// Smoothed temp-queue backlog driving the slow-role share.
+    slow_pressure: Ewma,
 }
 
 impl WorkerScheduler {
@@ -88,6 +126,8 @@ impl WorkerScheduler {
         WorkerScheduler {
             cfg,
             queue_avg: MovingAverage::new(window),
+            primed: false,
+            slow_pressure: Ewma::new(0.5),
         }
     }
 
@@ -116,6 +156,13 @@ impl WorkerScheduler {
     /// * `batch_queue_len` — instantaneous batch-queue occupancy,
     /// * `q_max` — batch-queue capacity,
     /// * `cpu_usage` — normalized `[0,1]` utilization of active workers.
+    ///
+    /// Cold start: the *first* observation seeds the whole moving-average
+    /// window. A window warming up from empty would over-weight the
+    /// startup transient (an empty batch queue before the pipeline has
+    /// produced anything) for `queue_avg_window` refreshes, biasing the
+    /// first decisions toward scale-up and then overshooting on the way
+    /// back down.
     pub fn decide(
         &mut self,
         current: usize,
@@ -123,90 +170,87 @@ impl WorkerScheduler {
         q_max: usize,
         cpu_usage: f64,
     ) -> usize {
-        self.queue_avg.record(batch_queue_len as f64);
+        if self.primed {
+            self.queue_avg.record(batch_queue_len as f64);
+        } else {
+            for _ in 0..self.cfg.queue_avg_window.max(1) {
+                self.queue_avg.record(batch_queue_len as f64);
+            }
+            self.primed = true;
+        }
         let d = self.delta(self.queue_avg.value(), q_max as f64, cpu_usage);
         let next = current as i64 + d;
         (next.max(self.cfg.min_workers as i64) as usize).min(self.cfg.max_workers)
     }
-}
 
-/// Gate controlling how many pool threads may run.
-///
-/// All `max_workers` threads are spawned up front; a thread with id `i`
-/// runs only while `i < active_limit`. Scaling down parks the highest ids,
-/// scaling up unparks them — workers never migrate state.
-#[derive(Debug)]
-pub struct WorkerGate {
-    active_limit: AtomicUsize,
-    lock: Mutex<()>,
-    changed: Condvar,
-    shutdown: AtomicUsize, // 0 = running, 1 = shutdown.
-}
-
-impl WorkerGate {
-    /// Creates a gate with `initial` threads allowed to run.
-    pub fn new(initial: usize) -> WorkerGate {
-        WorkerGate {
-            active_limit: AtomicUsize::new(initial),
-            lock: Mutex::new(()),
-            changed: Condvar::new(),
-            shutdown: AtomicUsize::new(0),
+    /// Splits an active limit (the Formula-1 output) into per-role
+    /// budgets for the elastic executor.
+    ///
+    /// * `limit` — total workers to distribute (from [`WorkerScheduler::decide`]),
+    /// * `prev` — the budgets currently in force,
+    /// * `slow_backlog` — deferred samples queued *per slow-role worker
+    ///   per claim burst* (`temp_len / (ticket_chunk · slow_budget)`):
+    ///   1.0 means every slow worker already has a full burst waiting,
+    ///   so the signal is independent of the temp queue's capacity,
+    /// * `slow_enabled` — whether timeout classification is on (off in
+    ///   order-preserving mode: the slow role then gets no budget),
+    /// * `fast_active` — whether the sampler can still produce tickets
+    ///   (once drained, the fast share is released to the slow role).
+    ///
+    /// Invariants (see the crate's property tests):
+    ///
+    /// * the returned budgets sum to `limit` exactly;
+    /// * at most one worker migrates between roles per call
+    ///   (hysteresis), except when `limit` itself changed;
+    /// * the batch role keeps at least one worker whenever `limit > 0`;
+    /// * the slow role keeps at least one worker while enabled and
+    ///   `limit` permits, and is only grown/shrunk when the smoothed
+    ///   backlog crosses the hysteresis band (grow above one queued
+    ///   burst per slow worker, shrink below a quarter burst).
+    pub fn decide_roles(
+        &mut self,
+        limit: usize,
+        prev: RoleBudgets,
+        slow_backlog: f64,
+        slow_enabled: bool,
+        fast_active: bool,
+    ) -> RoleBudgets {
+        let limit = limit.max(1);
+        self.slow_pressure.record(slow_backlog.clamp(0.0, 16.0));
+        let pressure = self.slow_pressure.value();
+        // Batch assembly is cheap and capped by its lane count; keep its
+        // share stable at the configured size, shrunk only when the
+        // limit itself cannot accommodate it.
+        let batch = prev.batch.max(1).min(limit);
+        let avail = limit.saturating_sub(batch);
+        let fast_min = usize::from(fast_active && avail >= 2);
+        let (slow_min, slow_max) = if slow_enabled {
+            (usize::from(avail >= 1), avail.saturating_sub(fast_min))
+        } else {
+            (0, 0)
+        };
+        // Hysteresis: the slow share moves by at most one worker per
+        // refresh, and only when the smoothed backlog leaves the
+        // [0.25, 1.0] dead band — bounded role churn by construction.
+        let mut slow = prev.slow;
+        if !fast_active {
+            // Nothing left to claim: background completion is the only
+            // producing stage, hand it everything at once.
+            slow = slow_max;
+        } else if pressure > 1.0 {
+            slow += 1;
+        } else if pressure < 0.25 {
+            slow = slow.saturating_sub(1);
         }
-    }
-
-    /// Current active-thread limit.
-    pub fn active_limit(&self) -> usize {
-        self.active_limit.load(Ordering::Acquire)
-    }
-
-    /// Sets the active-thread limit and wakes parked workers.
-    pub fn set_active_limit(&self, n: usize) {
-        self.active_limit.store(n, Ordering::Release);
-        let _g = self.lock.lock();
-        self.changed.notify_all();
-    }
-
-    /// Signals shutdown: every waiter wakes and [`WorkerGate::wait_active`]
-    /// returns `false` from now on.
-    pub fn shutdown(&self) {
-        self.shutdown.store(1, Ordering::Release);
-        let _g = self.lock.lock();
-        self.changed.notify_all();
-    }
-
-    /// Whether shutdown was signalled.
-    pub fn is_shutdown(&self) -> bool {
-        self.shutdown.load(Ordering::Acquire) == 1
-    }
-
-    /// Blocks worker `id` until it is allowed to run (`id < active_limit`)
-    /// or shutdown. Returns `true` to run, `false` on shutdown.
-    pub fn wait_active(&self, id: usize) -> bool {
-        if self.is_shutdown() {
-            return false;
-        }
-        if id < self.active_limit() {
-            return true;
-        }
-        let mut g = self.lock.lock();
-        loop {
-            if self.is_shutdown() {
-                return false;
-            }
-            if id < self.active_limit() {
-                return true;
-            }
-            // Re-check with a bounded wait: a store between the atomic load
-            // and this wait would otherwise be missed without the timeout.
-            self.changed.wait_for(&mut g, Duration::from_millis(50));
-        }
+        let slow = slow.clamp(slow_min, slow_max);
+        let fast = limit.saturating_sub(batch + slow);
+        RoleBudgets { fast, slow, batch }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
 
     fn sched(alpha: f64, beta: f64) -> WorkerScheduler {
         WorkerScheduler::new(SchedulerConfig {
@@ -301,33 +345,173 @@ mod tests {
         assert_eq!(s.delta(5.0, 0.0, 0.7), 0);
     }
 
+    /// Warm-up-boundary regression: the first occupancy observation
+    /// seeds the whole moving-average window, so a single transient dip
+    /// right after warm-up must not flip the decision to scale-up. An
+    /// unseeded window would average the first two samples ((100+20)/2 =
+    /// 60 → Δ=+1) instead of the seeded (100·7+20)/8 = 90 → Δ=0.
     #[test]
-    fn gate_parks_and_releases_workers() {
-        let gate = Arc::new(WorkerGate::new(1));
-        let g2 = Arc::clone(&gate);
-        let ran = Arc::new(AtomicUsize::new(0));
-        let r2 = Arc::clone(&ran);
-        // Worker id 3 is beyond the limit: it must park until the limit
-        // rises.
-        let h = std::thread::spawn(move || {
-            if g2.wait_active(3) {
-                r2.store(1, Ordering::SeqCst);
-            }
-        });
-        std::thread::sleep(Duration::from_millis(30));
-        assert_eq!(ran.load(Ordering::SeqCst), 0, "worker must be parked");
-        gate.set_active_limit(8);
-        h.join().unwrap();
-        assert_eq!(ran.load(Ordering::SeqCst), 1);
+    fn cold_start_seeds_queue_average() {
+        let mut s = WorkerScheduler::new(SchedulerConfig::paper_default(64));
+        assert_eq!(s.decide(8, 100, 100, 0.68), 8, "full queue: hold");
+        assert_eq!(
+            s.decide(8, 20, 100, 0.68),
+            8,
+            "one post-warm-up dip must not trigger scale-up"
+        );
+    }
+
+    fn budgets(fast: usize, slow: usize, batch: usize) -> RoleBudgets {
+        RoleBudgets { fast, slow, batch }
     }
 
     #[test]
-    fn gate_shutdown_releases_with_false() {
-        let gate = Arc::new(WorkerGate::new(0));
-        let g2 = Arc::clone(&gate);
-        let h = std::thread::spawn(move || g2.wait_active(5));
-        std::thread::sleep(Duration::from_millis(20));
-        gate.shutdown();
-        assert!(!h.join().unwrap());
+    fn role_budgets_sum_to_limit_and_move_slowly() {
+        let mut s = WorkerScheduler::new(SchedulerConfig::paper_default(8));
+        let mut prev = budgets(6, 1, 1);
+        // A deep slow backlog: slow grows by exactly one per refresh.
+        for expect_slow in [2usize, 3, 4] {
+            let next = s.decide_roles(8, prev, 4.0, true, true);
+            assert_eq!(next.total(), 8, "budgets must sum to the limit");
+            assert_eq!(next.slow, expect_slow, "one migration per refresh");
+            assert_eq!(next.batch, 1);
+            prev = next;
+        }
+        // Backlog gone: the EWMA decays below the shrink threshold after
+        // a few empty observations, then the slow share returns one
+        // worker per refresh (never below the enabled minimum of 1).
+        for _ in 0..16 {
+            prev = s.decide_roles(8, prev, 0.0, true, true);
+            assert_eq!(prev.total(), 8);
+        }
+        assert_eq!(prev.slow, 1, "slow share released back to fast");
+        assert_eq!(prev.fast, 6);
+    }
+
+    #[test]
+    fn role_budgets_hold_inside_hysteresis_band() {
+        let mut s = WorkerScheduler::new(SchedulerConfig::paper_default(8));
+        let prev = budgets(5, 2, 1);
+        // A backlog inside the [0.25, 1.0] dead band must not churn roles.
+        for _ in 0..10 {
+            assert_eq!(s.decide_roles(8, prev, 0.5, true, true), prev);
+        }
+    }
+
+    #[test]
+    fn role_budgets_without_slow_path() {
+        let mut s = WorkerScheduler::new(SchedulerConfig::paper_default(8));
+        // Order-preserving mode: classification off, slow share stays 0
+        // no matter the (impossible) backlog signal.
+        let next = s.decide_roles(8, budgets(7, 0, 1), 4.0, false, true);
+        assert_eq!(next, budgets(7, 0, 1));
+    }
+
+    #[test]
+    fn role_budgets_release_fast_share_when_source_drained() {
+        let mut s = WorkerScheduler::new(SchedulerConfig::paper_default(8));
+        let next = s.decide_roles(8, budgets(6, 1, 1), 0.4, true, false);
+        assert_eq!(next.fast, 0, "no tickets left: fast share released");
+        assert_eq!(next.slow, 7, "background completion takes the pool");
+        assert_eq!(next.total(), 8);
+    }
+
+    #[test]
+    fn role_budgets_tiny_limits_keep_batch_alive() {
+        let mut s = WorkerScheduler::new(SchedulerConfig::paper_default(8));
+        for limit in 1..=3usize {
+            let next = s.decide_roles(limit, budgets(1, 1, 1), 4.0, true, true);
+            assert_eq!(next.total(), limit);
+            assert!(next.batch >= 1, "batch role must survive limit {limit}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Formula 2's output is always inside the configured clip, for
+        /// arbitrary (and degenerate) queue/CPU inputs.
+        #[test]
+        fn delta_stays_within_clip(
+            q_avg in -1.0e6f64..1.0e6,
+            q_max in -10.0f64..1.0e6,
+            cpu in -2.0f64..3.0,
+            alpha in 0.0f64..50.0,
+            beta in 0.0f64..50.0,
+            clip in 0i64..8,
+        ) {
+            let s = WorkerScheduler::new(SchedulerConfig {
+                alpha,
+                beta,
+                delta_clip: clip,
+                ..SchedulerConfig::paper_default(64)
+            });
+            let d = s.delta(q_avg, q_max, cpu);
+            prop_assert!(
+                (-clip..=clip).contains(&d),
+                "delta {d} escaped clip {clip} (q_avg={q_avg}, q_max={q_max}, cpu={cpu})"
+            );
+        }
+
+        /// Formula 1's output never leaves `[min_workers, max_workers]`,
+        /// whatever occupancy/CPU stream it is fed and wherever the
+        /// current count starts (even outside the bounds).
+        #[test]
+        fn decide_stays_within_worker_bounds(
+            min in 1usize..8,
+            span in 0usize..24,
+            current in 0usize..64,
+            lens in proptest::collection::vec(0usize..200, 1..24),
+            cpus in proptest::collection::vec(0.0f64..1.0, 1..24),
+        ) {
+            let max = min + span;
+            let mut s = WorkerScheduler::new(SchedulerConfig {
+                min_workers: min,
+                max_workers: max,
+                ..SchedulerConfig::paper_default(max)
+            });
+            let mut w = current;
+            for (i, len) in lens.iter().enumerate() {
+                let cpu = cpus[i % cpus.len()];
+                w = s.decide(w, *len, 100, cpu);
+                prop_assert!(
+                    (min..=max).contains(&w),
+                    "decide left [{min}, {max}]: {w}"
+                );
+            }
+        }
+
+        /// Role budgets always sum to the active limit, keep the batch
+        /// role alive, and respect the slow role's enablement — for
+        /// arbitrary starting budgets, limits, and backlog streams.
+        #[test]
+        fn role_budgets_always_sum_to_limit(
+            limit in 1usize..64,
+            pf in 0usize..64,
+            ps in 0usize..64,
+            pb in 1usize..4,
+            backlog in proptest::collection::vec(0.0f64..1.0, 1..16),
+            slow_enabled in any::<bool>(),
+            fast_active in any::<bool>(),
+        ) {
+            let mut s = WorkerScheduler::new(SchedulerConfig::paper_default(64));
+            let mut prev = RoleBudgets { fast: pf, slow: ps, batch: pb };
+            for frac in backlog {
+                let next = s.decide_roles(limit, prev, frac, slow_enabled, fast_active);
+                prop_assert_eq!(
+                    next.total(), limit,
+                    "budgets {:?} do not sum to limit {}", next, limit
+                );
+                prop_assert!(next.batch >= 1, "batch role starved: {next:?}");
+                if !slow_enabled {
+                    prop_assert_eq!(next.slow, 0);
+                }
+                prev = next;
+            }
+        }
     }
 }

@@ -2,6 +2,7 @@
 
 use crate::cache::CacheStats;
 use crate::pool::PoolSetStats;
+use minato_exec::ExecStats;
 use minato_metrics::{Summary, TimeSeries};
 use std::time::Duration;
 
@@ -43,7 +44,12 @@ pub struct LoaderStats {
     /// resident bytes) per element type; `None` when pooling is
     /// disabled (the default).
     pub pool: Option<PoolSetStats>,
-    /// Workers currently allowed to run by the scheduler gate.
+    /// Executor counters for this loader's roles: per-role budget,
+    /// occupancy, progressing steps, steals (work run at/over budget),
+    /// and role switches. `None` only for runtimes driven without an
+    /// executor (handler unit tests).
+    pub exec: Option<ExecStats>,
+    /// Fast-role workers currently budgeted by the scheduler.
     pub active_workers: usize,
     /// The balancer's current fast/slow cutoff (`None` = optimistic phase).
     pub timeout: Option<Duration>,
@@ -78,6 +84,10 @@ pub struct MonitorTrace {
     /// Bytes resident in the pool's shared free-lists at each interval
     /// — the steady-state working set the recycle loop retains.
     pub pool_bytes: TimeSeries,
+    /// Per-role worker budgets over time (`[fast, slow, batch]`): how
+    /// the scheduler's role-budget vector migrated capacity between
+    /// stages. Constant series on a fixed executor.
+    pub role_mix: [TimeSeries; 3],
 }
 
 impl MonitorTrace {
@@ -92,6 +102,11 @@ impl MonitorTrace {
             cache_hit_pct: TimeSeries::new("cache_hit_pct"),
             pool_hit_pct: TimeSeries::new("pool_hit_pct"),
             pool_bytes: TimeSeries::new("pool_bytes"),
+            role_mix: [
+                TimeSeries::new("role_fast"),
+                TimeSeries::new("role_slow"),
+                TimeSeries::new("role_batch"),
+            ],
         }
     }
 }
@@ -117,5 +132,6 @@ mod tests {
         assert!(t.cache_hit_pct.is_empty());
         assert!(t.pool_hit_pct.is_empty());
         assert!(t.pool_bytes.is_empty());
+        assert!(t.role_mix.iter().all(|s| s.is_empty()));
     }
 }

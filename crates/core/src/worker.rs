@@ -1,17 +1,26 @@
-//! Worker thread bodies and the shared loader runtime.
+//! Role handlers and the shared loader runtime.
 //!
 //! The runtime wires together the queue topology of Figure 5:
 //!
 //! ```text
-//! sampler → [loader workers] → fast_q ─┐
-//!                 │ timeout            ├→ [batch workers] → batch_q[gpu] → training
-//!                 └→ temp_q → [slow workers] → slow_q ─┘
+//! sampler → [fast role] → fast_q ─┐
+//!              │ timeout          ├→ [batch role] → batch_q[gpu] → training
+//!              └→ temp_q → [slow role] → slow_q ─┘
 //! ```
 //!
-//! Shutdown is a close cascade, never a hard stop: the last loader worker
-//! closes `fast_q`/`temp_q`, the last slow worker closes `slow_q`, the last
-//! batch worker closes every batch queue. Queues drain after close, so no
-//! prepared sample is lost.
+//! Since the elastic-executor refactor the three stages are no longer
+//! dedicated thread bodies but [`minato_exec::RoleStep`] implementations
+//! ([`FastStep`], [`SlowStep`], [`BatchStep`]): any worker of the shared
+//! pool can run any stage, one bounded step at a time, under the
+//! scheduler's role-budget vector. Each step keeps the pre-refactor
+//! semantics — chunked ticket claims, reserve-then-publish batch
+//! delivery, cache admission, pooled in-place execution — byte for byte.
+//!
+//! Shutdown is a close cascade, never a hard stop: the fast role's
+//! `finish` closes `fast_q`/`temp_q` (normally `maybe_close_sources`
+//! already did), the slow role's `finish` closes `slow_q`, the batch
+//! role's `finish` flushes partial batches and closes every batch queue.
+//! Queues drain after close, so no prepared sample is lost.
 
 use crate::balancer::LoadBalancer;
 use crate::batch::{Batch, Prepared, ReorderBuffer, SampleMeta, TransferHook};
@@ -21,13 +30,13 @@ use crate::error::LoaderError;
 use crate::loader::{ErrorPolicy, LoaderConfig};
 use crate::pool::{PoolSet, SampleRecycler};
 use crate::profiler::SampleRecord;
-use crate::queue::{Closed, MinatoQueue, TryPutError, TryReserveError};
-use crate::scheduler::WorkerGate;
+use crate::queue::{Closed, MinatoQueue, PopResult, TryPutError, TryReserveError};
 use crate::transform::{Pipeline, PipelineRun, TransformCtx};
+use minato_exec::{ExecHandle, RoleId, RoleStep, StepOutcome};
 use minato_metrics::{Counter, UtilizationMeter};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock, Weak};
 use std::time::{Duration, Instant};
 
 /// A sample parked mid-pipeline after a timeout (temp-queue entry).
@@ -40,7 +49,21 @@ pub(crate) struct Deferred<S> {
     pub spent: Duration,
 }
 
-/// State shared by every loader/slow/batch/monitor thread.
+/// The loader's role ids on its executor pool, set once at build time.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ExecRoles {
+    pub fast: RoleId,
+    pub slow: RoleId,
+    pub batch: RoleId,
+}
+
+impl ExecRoles {
+    pub(crate) fn all(&self) -> [RoleId; 3] {
+        [self.fast, self.slow, self.batch]
+    }
+}
+
+/// State shared by every pool worker and the monitor thread.
 pub(crate) struct Runtime<D: Dataset> {
     pub dataset: D,
     pub pipeline: Pipeline<D::Sample>,
@@ -63,24 +86,33 @@ pub(crate) struct Runtime<D: Dataset> {
     pub slow_q: MinatoQueue<Prepared<D::Sample>>,
     pub temp_q: MinatoQueue<Deferred<D::Sample>>,
     pub batch_qs: Vec<MinatoQueue<Batch<D::Sample>>>,
-    pub gate: WorkerGate,
+    /// Control handle of the executor pool running this loader's roles.
+    pub exec: ExecHandle,
+    /// The loader's role ids on that pool (empty in handler unit tests
+    /// that drive steps directly).
+    pub(crate) exec_roles: OnceLock<ExecRoles>,
+    /// Whether the pool is owned by this loader (full shutdown allowed)
+    /// or shared with other tenants (only this loader's roles retire).
+    pub exec_owned: bool,
+    /// Back-reference to the batch role so producers blocked on a full
+    /// internal queue can *help* assemble batches instead of waiting —
+    /// the keystone of the role-fluid progress guarantee (see
+    /// [`Runtime::help_batch_once`]). Weak: the executor owns the step.
+    pub(crate) batch_help: OnceLock<Weak<BatchStep<D>>>,
     pub cfg: LoaderConfig,
-    pub loaders_live: AtomicUsize,
-    pub slow_live: AtomicUsize,
-    pub batchers_live: AtomicUsize,
     /// Tickets claimed from the sampler but not yet routed to a queue (or
     /// dropped on error). Together with `source_drained`, this drives the
-    /// close cascade without depending on every worker thread exiting —
-    /// a worker parked by the scheduler gate must not stall completion.
+    /// close cascade without depending on every pool worker exiting —
+    /// a worker parked by the scheduler must not stall completion.
     pub in_flight: AtomicUsize,
     /// Set once any worker observes the sampler exhausted.
     pub source_drained: AtomicBool,
-    /// Busy time of foreground loader workers only; the monitor
-    /// normalizes it by the *active loader* count, so mixing in slow
-    /// workers' busy time (see `slow_meter`) would inflate `cpu_norm`
-    /// and bias the Formula 1–2 scheduler.
+    /// Busy time of fast-role work only; the monitor normalizes it by
+    /// the fast-role budget, so mixing in slow-role busy time (see
+    /// `slow_meter`) would inflate `cpu_norm` and bias the Formula 1–2
+    /// scheduler.
     pub cpu_meter: UtilizationMeter,
-    /// Busy time of background slow workers, tracked separately.
+    /// Busy time of background slow-role work, tracked separately.
     pub slow_meter: UtilizationMeter,
     pub samples_out: Counter,
     pub bytes_out: Counter,
@@ -106,19 +138,25 @@ impl<D: Dataset> Runtime<D> {
         }
     }
 
-    /// Requests a full stop: queues close, gated workers wake and exit.
+    /// Requests a full stop: queues close, pool workers wake and exit
+    /// (owned pool) or this loader's roles retire (shared pool — other
+    /// tenants keep running).
     pub(crate) fn initiate_shutdown(&self) {
         self.shutdown.store(true, Ordering::Release);
-        self.gate.shutdown();
         self.fast_q.close();
         self.slow_q.close();
         self.temp_q.close();
         for q in &self.batch_qs {
             q.close();
         }
+        if self.exec_owned {
+            self.exec.shutdown();
+        } else if let Some(roles) = self.exec_roles.get() {
+            self.exec.retire(&roles.all());
+        }
     }
 
-    fn is_shutdown(&self) -> bool {
+    pub(crate) fn is_shutdown(&self) -> bool {
         self.shutdown.load(Ordering::Acquire)
     }
 
@@ -150,11 +188,172 @@ impl<D: Dataset> Runtime<D> {
             self.temp_q.close();
         }
     }
+
+    // ------------------------------------------------------------------
+    // Backpressure helping.
+    //
+    // On a role-fluid pool any worker may hold any role, so a stage
+    // blocked *unboundedly* on a full internal queue could deadlock the
+    // pipeline (e.g. every worker in the fast role, waiting on a full
+    // temp queue that only a slow-role worker would drain). Instead of
+    // waiting, a blocked producer advances its downstream stage inline:
+    // fast blocked on temp → complete one deferred sample; anyone
+    // blocked on fast/slow output → run one batch-assembly pass. The
+    // chain bottoms out at the per-GPU batch queues, which only the
+    // external consumer drains — exactly the one place where waiting is
+    // correct backpressure, not a deadlock.
+    // ------------------------------------------------------------------
+
+    /// Completes one deferred sample on the (timeout-free) slow path:
+    /// resume from its recorded transform index, meter the background
+    /// time, feed the balancer, admit to the cache. Returns `None` when
+    /// the sample errored (already recorded).
+    fn complete_one(&self, d: Deferred<D::Sample>) -> Option<Prepared<D::Sample>> {
+        let t0 = Instant::now();
+        // Same panic containment as the foreground path: the close
+        // cascade depends on every step reaching its exit accounting.
+        let (resume_at, partial) = (d.resume_at, d.partial);
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.pipeline
+                .run_ctx(resume_at, partial, self.transform_ctx(None))
+        }))
+        .unwrap_or_else(|_| {
+            Err(LoaderError::Transform {
+                name: "panicked".into(),
+                msg: "background transform panicked".into(),
+            })
+        });
+        self.slow_meter.add_busy(t0.elapsed());
+        match run {
+            Ok(PipelineRun::Completed { value, elapsed }) => {
+                let total = d.spent + elapsed;
+                let meta = SampleMeta {
+                    preprocess: total,
+                    ..d.meta
+                };
+                self.balancer.on_slow_complete(&SampleRecord {
+                    total,
+                    per_transform: Vec::new(),
+                    bytes: Some(meta.bytes),
+                    transforms_applied: self.pipeline.len(),
+                });
+                // Admit with the *full* measured cost: under cost-aware
+                // eviction this is what keeps slow samples resident
+                // longest.
+                if let Some(cache) = self.cache.as_deref() {
+                    cache.admit(meta.index, &value, meta.bytes, total);
+                }
+                Some(Prepared {
+                    sample: value,
+                    meta,
+                })
+            }
+            // No timeout was set, so TimedOut is unreachable; treat it
+            // as an internal error rather than asserting in release
+            // builds.
+            Ok(PipelineRun::TimedOut { .. }) => {
+                debug_assert!(false, "background run cannot time out");
+                self.record_error(LoaderError::Transform {
+                    name: "background".into(),
+                    msg: "unexpected timeout without deadline".into(),
+                });
+                None
+            }
+            Err(e) => {
+                self.record_error(e);
+                None
+            }
+        }
+    }
+
+    /// Pops one deferred sample from the temp queue and completes it
+    /// inline (a fast-role worker moonlighting as a slow worker under
+    /// backpressure). Returns whether anything was there to help with.
+    fn help_slow_once(&self) -> bool {
+        match self.temp_q.try_pop() {
+            PopResult::Item(d) => {
+                if let Some(p) = self.complete_one(d) {
+                    let _ = self.push_slow_completed(vec![p]);
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Runs one batch-assembly pass inline. Returns whether it made
+    /// progress (false also when no batch step is wired up, or another
+    /// worker holds every assembly lane — that worker is the one making
+    /// progress then).
+    fn help_batch_once(&self) -> bool {
+        match self.batch_help.get().and_then(Weak::upgrade) {
+            Some(step) => matches!(RoleStep::step(&*step), StepOutcome::Progress),
+            None => false,
+        }
+    }
+
+    /// Publishes prepared samples into `q` (the fast or slow queue),
+    /// helping the batch stage along while it is full. Fails only when
+    /// the queue closed.
+    fn publish_helping(
+        &self,
+        q: &MinatoQueue<Prepared<D::Sample>>,
+        items: Vec<Prepared<D::Sample>>,
+    ) -> Result<(), Closed> {
+        let mut rest = items;
+        loop {
+            match q.try_put_many(rest) {
+                Ok(()) => return Ok(()),
+                Err(TryPutError::Closed(_)) => return Err(Closed),
+                Err(TryPutError::Full(r)) => {
+                    rest = r;
+                    if !self.help_batch_once() {
+                        std::thread::sleep(self.cfg.starvation_wait);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Publishes completed slow samples ([`Runtime::publish_helping`]
+    /// on the slow queue).
+    fn push_slow_completed(&self, done: Vec<Prepared<D::Sample>>) -> Result<(), Closed> {
+        self.publish_helping(&self.slow_q, done)
+    }
+
+    /// Publishes a chunk of fast samples ([`Runtime::publish_helping`]
+    /// on the fast queue).
+    fn publish_fast(&self, buf: Vec<Prepared<D::Sample>>) -> Result<(), Closed> {
+        self.publish_helping(&self.fast_q, buf)
+    }
+
+    /// Routes a deferral into the temp queue, completing other deferred
+    /// samples inline while it is full (which also frees the slot this
+    /// routing needs). Returns false when the queue closed.
+    fn route_deferred(&self, d: Deferred<D::Sample>) -> bool {
+        let mut d = d;
+        loop {
+            match self.temp_q.try_put(d) {
+                Ok(()) => return true,
+                Err(TryPutError::Closed(_)) => return false,
+                Err(TryPutError::Full(back)) => {
+                    d = back;
+                    // Full implies non-empty, so helping normally frees
+                    // a slot immediately; the sleep only covers losing
+                    // that slot to a concurrent producer.
+                    if !self.help_slow_once() {
+                        std::thread::sleep(self.cfg.starvation_wait);
+                    }
+                }
+            }
+        }
+    }
 }
 
-/// Loader worker: claims tickets in `ticket_chunk`-sized chunks, loads,
+/// Fast role: claims tickets in `ticket_chunk`-sized chunks, loads,
 /// preprocesses against the balancer's timeout, and routes to fast or
-/// temp queue (Algorithm 1 lines 6–12).
+/// temp queue (Algorithm 1 lines 6–12). One step = one chunk, so a
+/// worker re-bids for a role exactly at ticket-chunk boundaries.
 ///
 /// Completed fast samples accumulate in a chunk-local buffer and enter
 /// the fast queue through one [`MinatoQueue::put_many`], so the dominant
@@ -162,12 +361,23 @@ impl<D: Dataset> Runtime<D> {
 /// is paid once per chunk. Timed-out samples still go to the temp queue
 /// immediately: deferring a deferral would delay its background
 /// completion for no benefit.
-pub(crate) fn loader_worker<D: Dataset>(rt: Arc<Runtime<D>>, id: usize) {
-    let chunk = rt.cfg.ticket_chunk.max(1);
-    loop {
-        if !rt.gate.wait_active(id) || rt.is_shutdown() {
-            break;
+pub(crate) struct FastStep<D: Dataset> {
+    rt: Arc<Runtime<D>>,
+}
+
+impl<D: Dataset> FastStep<D> {
+    pub(crate) fn new(rt: Arc<Runtime<D>>) -> FastStep<D> {
+        FastStep { rt }
+    }
+}
+
+impl<D: Dataset> RoleStep for FastStep<D> {
+    fn step(&self) -> StepOutcome {
+        let rt = &*self.rt;
+        if rt.is_shutdown() {
+            return StepOutcome::Exhausted;
         }
+        let chunk = rt.cfg.ticket_chunk.max(1);
         // Claim accounting: raise `in_flight` *before* taking tickets so
         // a concurrent worker observing the drained sampler cannot close
         // the queues while these samples are between claim and routing.
@@ -181,7 +391,7 @@ pub(crate) fn loader_worker<D: Dataset>(rt: Arc<Runtime<D>>, id: usize) {
         }
         if tickets.is_empty() {
             rt.maybe_close_sources();
-            break;
+            return StepOutcome::Exhausted;
         }
         let total = tickets.len();
         let mut processed = 0usize;
@@ -193,7 +403,7 @@ pub(crate) fn loader_worker<D: Dataset>(rt: Arc<Runtime<D>>, id: usize) {
                 return true;
             }
             let n = buf.len();
-            let ok = rt.fast_q.put_many(std::mem::take(buf)).is_ok();
+            let ok = rt.publish_fast(std::mem::take(buf)).is_ok();
             rt.in_flight.fetch_sub(n, Ordering::SeqCst);
             ok
         };
@@ -291,15 +501,15 @@ pub(crate) fn loader_worker<D: Dataset>(rt: Arc<Runtime<D>>, id: usize) {
                         meta,
                         spent: elapsed,
                     };
-                    // A full temp queue means blocking behind saturated
-                    // slow workers — publish the buffered fast samples
-                    // first, or they'd sit invisible to the batch worker
-                    // for the whole wait.
+                    // A full temp queue means the slow stage is behind —
+                    // publish the buffered fast samples first (they'd
+                    // sit invisible to the batch worker for the whole
+                    // wait), then route with inline helping.
                     routed = match rt.temp_q.try_put(deferred) {
                         Ok(()) => true,
                         Err(TryPutError::Closed(_)) => false,
                         Err(TryPutError::Full(d)) => {
-                            flush_fast(&mut fast_buf) && rt.temp_q.put(d).is_ok()
+                            flush_fast(&mut fast_buf) && rt.route_deferred(d)
                         }
                     };
                     rt.in_flight.fetch_sub(1, Ordering::SeqCst);
@@ -323,21 +533,24 @@ pub(crate) fn loader_worker<D: Dataset>(rt: Arc<Runtime<D>>, id: usize) {
         }
         rt.maybe_close_sources();
         if !routed || drained {
-            break;
+            StepOutcome::Exhausted
+        } else {
+            StepOutcome::Progress
         }
     }
-    // Belt-and-braces: all loader workers gone implies nothing can be in
-    // flight; `maybe_close_sources` above normally closed the queues
-    // already (closing is idempotent).
-    if rt.loaders_live.fetch_sub(1, Ordering::AcqRel) == 1 {
-        rt.fast_q.close();
-        rt.temp_q.close();
+
+    // Belt-and-braces: the fast role finishing implies nothing can be in
+    // flight; `maybe_close_sources` in the step body normally closed the
+    // queues already (closing is idempotent).
+    fn finish(&self) {
+        self.rt.fast_q.close();
+        self.rt.temp_q.close();
     }
 }
 
-/// Background slow-task worker: resumes deferred samples from their
-/// recorded transform index, without any timeout (Algorithm 1 lines
-/// 14–18).
+/// Slow role: resumes deferred samples from their recorded transform
+/// index, without any timeout (Algorithm 1 lines 14–18). One step = one
+/// burst, so a worker re-bids after each slow-resume flush.
 ///
 /// Deferred samples are claimed from the temp queue in bursts (one lock
 /// acquisition per burst) and completed results are flushed to the slow
@@ -347,101 +560,58 @@ pub(crate) fn loader_worker<D: Dataset>(rt: Arc<Runtime<D>>, id: usize) {
 /// background work) would reintroduce exactly the head-of-line blocking
 /// this runtime exists to remove. Groups form only under back-pressure,
 /// when a full slow queue makes completions accumulate.
-pub(crate) fn slow_worker<D: Dataset>(rt: Arc<Runtime<D>>) {
-    let chunk = rt.cfg.ticket_chunk.max(1);
-    'outer: loop {
-        let deferred = rt.temp_q.pop_many(chunk);
-        if deferred.is_empty() {
-            break; // Closed and drained.
-        }
-        let mut done: Vec<Prepared<D::Sample>> = Vec::with_capacity(deferred.len());
-        for d in deferred {
-            if rt.is_shutdown() {
-                break 'outer;
-            }
-            let t0 = Instant::now();
-            // Same panic containment as the foreground path: the close
-            // cascade depends on this thread reaching its exit accounting.
-            let (resume_at, partial) = (d.resume_at, d.partial);
-            let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                rt.pipeline
-                    .run_ctx(resume_at, partial, rt.transform_ctx(None))
-            }))
-            .unwrap_or_else(|_| {
-                Err(LoaderError::Transform {
-                    name: "panicked".into(),
-                    msg: "background transform panicked".into(),
-                })
-            });
-            rt.slow_meter.add_busy(t0.elapsed());
-            match run {
-                Ok(PipelineRun::Completed { value, elapsed }) => {
-                    let total = d.spent + elapsed;
-                    let meta = SampleMeta {
-                        preprocess: total,
-                        ..d.meta
-                    };
-                    rt.balancer.on_slow_complete(&SampleRecord {
-                        total,
-                        per_transform: Vec::new(),
-                        bytes: Some(meta.bytes),
-                        transforms_applied: rt.pipeline.len(),
-                    });
-                    // Admit with the *full* measured cost: under
-                    // cost-aware eviction this is what keeps slow
-                    // samples resident longest.
-                    if let Some(cache) = rt.cache.as_deref() {
-                        cache.admit(meta.index, &value, meta.bytes, total);
-                    }
-                    done.push(Prepared {
-                        sample: value,
-                        meta,
-                    });
-                    // Publish immediately if the slow queue has room;
-                    // on back-pressure keep accumulating (bounded by the
-                    // burst size) and let the next attempt or the final
-                    // blocking flush move the group at once.
-                    match rt.slow_q.try_put_many(std::mem::take(&mut done)) {
-                        Ok(()) => {}
-                        Err(TryPutError::Full(rest)) => done = rest,
-                        Err(TryPutError::Closed(_)) => break 'outer,
-                    }
-                }
-                // No timeout was set, so TimedOut is unreachable; treat it
-                // as an internal error rather than asserting in release
-                // builds.
-                Ok(PipelineRun::TimedOut { .. }) => {
-                    debug_assert!(false, "background run cannot time out");
-                    rt.record_error(LoaderError::Transform {
-                        name: "background".into(),
-                        msg: "unexpected timeout without deadline".into(),
-                    });
-                }
-                Err(e) => rt.record_error(e),
-            }
-        }
-        if !done.is_empty() && rt.slow_q.put_many(done).is_err() {
-            break; // Queue closed under us: shutting down.
-        }
-    }
-    if rt.slow_live.fetch_sub(1, Ordering::AcqRel) == 1 {
-        rt.slow_q.close();
+pub(crate) struct SlowStep<D: Dataset> {
+    rt: Arc<Runtime<D>>,
+    /// Bounded wait for deferred work before reporting idle: short on a
+    /// role-fluid pool (the worker should re-bid), longer on a fixed
+    /// pool whose slow workers have nowhere else to go.
+    claim_wait: Duration,
+}
+
+impl<D: Dataset> SlowStep<D> {
+    pub(crate) fn new(rt: Arc<Runtime<D>>, claim_wait: Duration) -> SlowStep<D> {
+        SlowStep { rt, claim_wait }
     }
 }
 
-/// Batch constructor: assembles batches preferring fast samples, falling
-/// back to completed slow samples (Algorithm 1 lines 20–30), and feeds the
-/// least-occupied per-GPU batch queue.
-pub(crate) fn batch_worker<D: Dataset>(rt: Arc<Runtime<D>>) {
-    if rt.cfg.order_preserving {
-        batch_worker_ordered(&rt);
-    } else {
-        batch_worker_minato(&rt);
-    }
-    if rt.batchers_live.fetch_sub(1, Ordering::AcqRel) == 1 {
-        for q in &rt.batch_qs {
-            q.close();
+impl<D: Dataset> RoleStep for SlowStep<D> {
+    fn step(&self) -> StepOutcome {
+        let rt = &*self.rt;
+        if rt.is_shutdown() {
+            return StepOutcome::Exhausted;
         }
+        let chunk = rt.cfg.ticket_chunk.max(1);
+        let deferred = match rt.temp_q.pop_many_timeout(chunk, self.claim_wait) {
+            Ok(v) if v.is_empty() => return StepOutcome::Idle,
+            Ok(v) => v,
+            Err(Closed) => return StepOutcome::Exhausted, // Closed and drained.
+        };
+        let mut done: Vec<Prepared<D::Sample>> = Vec::with_capacity(deferred.len());
+        for d in deferred {
+            if rt.is_shutdown() {
+                return StepOutcome::Exhausted;
+            }
+            if let Some(p) = rt.complete_one(d) {
+                done.push(p);
+                // Publish immediately if the slow queue has room;
+                // on back-pressure keep accumulating (bounded by the
+                // burst size) and let the next attempt or the final
+                // flush move the group at once.
+                match rt.slow_q.try_put_many(std::mem::take(&mut done)) {
+                    Ok(()) => {}
+                    Err(TryPutError::Full(rest)) => done = rest,
+                    Err(TryPutError::Closed(_)) => return StepOutcome::Exhausted,
+                }
+            }
+        }
+        if !done.is_empty() && rt.push_slow_completed(done).is_err() {
+            return StepOutcome::Exhausted; // Queue closed under us.
+        }
+        StepOutcome::Progress
+    }
+
+    fn finish(&self) {
+        self.rt.slow_q.close();
     }
 }
 
@@ -498,18 +668,87 @@ fn emit_batch<D: Dataset>(rt: &Runtime<D>, batch: &mut Batch<D::Sample>) -> bool
     true
 }
 
-fn batch_worker_minato<D: Dataset>(rt: &Runtime<D>) {
-    let mut batch: Batch<D::Sample> = rt.new_batch();
-    // Sticky per-queue completion flags: once a queue reports closed and
-    // drained it can never produce again, so the worker stops touching it
-    // — popping a closed queue returns instantly, and a loop doing that
-    // while the *other* queue trickles stragglers spins a full core.
-    let mut fast_done = false;
-    let mut slow_done = false;
-    loop {
-        if rt.is_shutdown() {
-            return;
+/// Per-lane assembly state of the default (Minato) batch mode.
+///
+/// Sticky per-queue completion flags: once a queue reports closed and
+/// drained it can never produce again, so the lane stops touching it —
+/// popping a closed queue returns instantly, and a step doing that
+/// while the *other* queue trickles stragglers would spin a full core.
+struct MinatoLane<D: Dataset> {
+    batch: Batch<D::Sample>,
+    fast_done: bool,
+    slow_done: bool,
+}
+
+/// Per-lane state of the order-preserving mode (§6): strict sampler
+/// order restored with a [`ReorderBuffer`] before batching.
+struct OrderedLane<D: Dataset> {
+    reorder: ReorderBuffer<Prepared<D::Sample>>,
+    batch: Batch<D::Sample>,
+    /// Reusable drain buffer: one allocation serves every
+    /// `drain_ready` call instead of a fresh `Vec` per arriving sample.
+    ready: Vec<Prepared<D::Sample>>,
+}
+
+enum Lane<D: Dataset> {
+    Minato(MinatoLane<D>),
+    Ordered(OrderedLane<D>),
+}
+
+/// Batch role: assembles batches preferring fast samples, falling back
+/// to completed slow samples (Algorithm 1 lines 20–30), and feeds the
+/// least-occupied per-GPU batch queue. One step = one assembly pass, so
+/// a worker re-bids after each batch emit (at the latest).
+///
+/// Assembly state lives in *lanes* (one per configured batch worker;
+/// exactly one in order-preserving mode, whose reorder buffer cannot be
+/// split): a stepping worker locks a free lane, runs one pass, and
+/// releases it, so partial batches survive workers migrating between
+/// roles. The executor caps the role's concurrency at the lane count.
+pub(crate) struct BatchStep<D: Dataset> {
+    rt: Arc<Runtime<D>>,
+    lanes: Vec<Mutex<Lane<D>>>,
+    /// Rotates the lane each step starts from, so a lane holding a
+    /// partial batch cannot be starved behind an always-free earlier
+    /// lane once its worker migrated away.
+    cursor: AtomicUsize,
+}
+
+impl<D: Dataset> BatchStep<D> {
+    pub(crate) fn new(rt: Arc<Runtime<D>>) -> BatchStep<D> {
+        let lanes = if rt.cfg.order_preserving {
+            vec![Mutex::new(Lane::Ordered(OrderedLane {
+                reorder: ReorderBuffer::new(0),
+                batch: rt.new_batch(),
+                ready: Vec::new(),
+            }))]
+        } else {
+            (0..rt.cfg.batch_workers.max(1))
+                .map(|_| {
+                    Mutex::new(Lane::Minato(MinatoLane {
+                        batch: rt.new_batch(),
+                        fast_done: false,
+                        slow_done: false,
+                    }))
+                })
+                .collect()
+        };
+        BatchStep {
+            rt,
+            lanes,
+            cursor: AtomicUsize::new(0),
         }
+    }
+
+    /// Number of assembly lanes (the role's max concurrency).
+    pub(crate) fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// One assembly pass of the default mode (one iteration of the
+    /// pre-refactor batch-worker loop, semantics unchanged).
+    fn step_minato(&self, lane: &mut MinatoLane<D>) -> StepOutcome {
+        let rt = &*self.rt;
         // Drain in bulk up to the remaining batch budget: fast queue
         // first; completed slow samples are mixed in as soon as they are
         // ready — never deferred to the end of training (§4.1).
@@ -519,29 +758,29 @@ fn batch_worker_minato<D: Dataset>(rt: &Runtime<D>) {
         let need = if rt.cfg.ticket_chunk <= 1 {
             1
         } else {
-            rt.cfg.batch_size - batch.len()
+            rt.cfg.batch_size - lane.batch.len()
         };
         let mut pulled = Vec::new();
-        if !fast_done {
+        if !lane.fast_done {
             match rt.fast_q.try_pop_many(need) {
                 Ok(items) => pulled = items,
-                Err(Closed) => fast_done = true,
+                Err(Closed) => lane.fast_done = true,
             }
         }
-        if pulled.is_empty() && !slow_done {
+        if pulled.is_empty() && !lane.slow_done {
             match rt.slow_q.try_pop_many(need) {
                 Ok(items) => pulled = items,
-                Err(Closed) => slow_done = true,
+                Err(Closed) => lane.slow_done = true,
             }
         }
         if pulled.is_empty() {
-            if fast_done && slow_done {
-                break;
+            if lane.fast_done && lane.slow_done {
+                return StepOutcome::Exhausted;
             }
             // Not enough samples yet: wait briefly on whichever side can
             // still produce (Algorithm 1 line 28; the paper sleeps 10 ms,
             // the wait is configurable and condvar-backed by default).
-            let waited = if !fast_done {
+            let waited = if !lane.fast_done {
                 rt.fast_q.pop_many_timeout(need, rt.cfg.starvation_wait)
             } else {
                 rt.slow_q.pop_many_timeout(need, rt.cfg.starvation_wait)
@@ -549,77 +788,129 @@ fn batch_worker_minato<D: Dataset>(rt: &Runtime<D>) {
             match waited {
                 Ok(items) => pulled = items,
                 Err(Closed) => {
-                    if !fast_done {
-                        fast_done = true;
+                    if !lane.fast_done {
+                        lane.fast_done = true;
                     } else {
-                        slow_done = true;
+                        lane.slow_done = true;
                     }
                 }
             }
         }
+        let progressed = !pulled.is_empty();
         for p in pulled {
-            batch.push(p);
+            lane.batch.push(p);
         }
-        if batch.len() >= rt.cfg.batch_size && !emit_batch(rt, &mut batch) {
-            return;
+        if lane.batch.len() >= rt.cfg.batch_size && !emit_batch(rt, &mut lane.batch) {
+            return StepOutcome::Exhausted;
+        }
+        if progressed {
+            StepOutcome::Progress
+        } else if lane.fast_done && lane.slow_done {
+            StepOutcome::Exhausted
+        } else {
+            StepOutcome::Idle
         }
     }
-    // Flush the final partial batch unless drop_last.
-    if !rt.cfg.drop_last && !batch.is_empty() {
-        let _ = emit_batch(rt, &mut batch);
+
+    /// One pass of the order-preserving mode. Classification is disabled
+    /// by the builder here, so every sample arrives on the fast queue;
+    /// strict sampler order is restored before batching — intentionally
+    /// reintroducing head-of-line blocking in exchange for ordering
+    /// guarantees.
+    fn step_ordered(&self, lane: &mut OrderedLane<D>) -> StepOutcome {
+        let rt = &*self.rt;
+        match rt.fast_q.pop_timeout(rt.cfg.starvation_wait) {
+            Ok(Some(p)) => {
+                lane.reorder.offer(p.meta.seq, p);
+                lane.reorder.drain_ready(&mut lane.ready);
+                for p in lane.ready.drain(..) {
+                    lane.batch.push(p);
+                    if lane.batch.len() >= rt.cfg.batch_size && !emit_batch(rt, &mut lane.batch) {
+                        return StepOutcome::Exhausted;
+                    }
+                }
+                StepOutcome::Progress
+            }
+            Ok(None) => StepOutcome::Idle,
+            Err(_) => StepOutcome::Exhausted, // Closed and drained.
+        }
     }
 }
 
-/// Order-preserving batch construction (§6: curriculum-learning mode).
-///
-/// Classification is disabled by the builder in this mode, so every sample
-/// arrives on the fast queue; this worker restores strict sampler order
-/// with a [`ReorderBuffer`] before batching — intentionally reintroducing
-/// head-of-line blocking in exchange for ordering guarantees.
-fn batch_worker_ordered<D: Dataset>(rt: &Runtime<D>) {
-    let mut reorder: ReorderBuffer<Prepared<D::Sample>> = ReorderBuffer::new(0);
-    let mut batch: Batch<D::Sample> = rt.new_batch();
-    // Reusable drain buffer: one allocation serves every
-    // `drain_ready` call instead of a fresh `Vec` per arriving sample.
-    let mut ready: Vec<Prepared<D::Sample>> = Vec::new();
-    let push_ready = |ready: &mut Vec<Prepared<D::Sample>>, batch: &mut Batch<D::Sample>| -> bool {
-        for p in ready.drain(..) {
-            batch.push(p);
-            if batch.len() >= rt.cfg.batch_size && !emit_batch(rt, batch) {
-                return false;
+impl<D: Dataset> RoleStep for BatchStep<D> {
+    fn step(&self) -> StepOutcome {
+        if self.rt.is_shutdown() {
+            return StepOutcome::Exhausted;
+        }
+        let n = self.lanes.len();
+        let start = self.cursor.fetch_add(1, Ordering::Relaxed) % n;
+        for i in 0..n {
+            let lane = &self.lanes[(start + i) % n];
+            if let Some(mut g) = lane.try_lock() {
+                return match &mut *g {
+                    Lane::Minato(l) => self.step_minato(l),
+                    Lane::Ordered(l) => self.step_ordered(l),
+                };
             }
         }
-        true
-    };
-    loop {
-        if rt.is_shutdown() {
-            return;
-        }
-        match rt.fast_q.pop_timeout(rt.cfg.starvation_wait) {
-            Ok(Some(p)) => {
-                reorder.offer(p.meta.seq, p);
-                reorder.drain_ready(&mut ready);
-                if !push_ready(&mut ready, &mut batch) {
-                    return;
+        // Every lane is held by another worker already assembling.
+        StepOutcome::Idle
+    }
+
+    /// Flushes each lane's leftovers (partial batch; in ordered mode
+    /// also samples parked behind permanent error gaps) and closes the
+    /// batch queues. On the shutdown path the queues are already closed
+    /// and the flush emits fail harmlessly — matching the pre-refactor
+    /// workers, which skipped the flush entirely on shutdown.
+    fn finish(&self) {
+        let rt = &*self.rt;
+        for lane in &self.lanes {
+            let mut g = lane.lock();
+            match &mut *g {
+                Lane::Minato(l) => {
+                    if !rt.cfg.drop_last && !l.batch.is_empty() {
+                        let _ = emit_batch(rt, &mut l.batch);
+                    }
+                }
+                Lane::Ordered(l) => {
+                    let mut remaining = l.reorder.drain_remaining();
+                    let mut closed = false;
+                    for p in remaining.drain(..) {
+                        l.batch.push(p);
+                        if l.batch.len() >= rt.cfg.batch_size && !emit_batch(rt, &mut l.batch) {
+                            closed = true;
+                            break;
+                        }
+                    }
+                    if !closed && !rt.cfg.drop_last && !l.batch.is_empty() {
+                        let _ = emit_batch(rt, &mut l.batch);
+                    }
                 }
             }
-            Ok(None) => continue,
-            Err(_) => break, // Closed and drained.
+        }
+        for q in &rt.batch_qs {
+            q.close();
         }
     }
-    // Samples lost to errors leave permanent gaps; flush what is parked.
-    let mut remaining = reorder.drain_remaining();
-    if !push_ready(&mut remaining, &mut batch) {
-        return;
+}
+
+/// Runs the batch role to completion on the calling thread — the
+/// single-worker reference driver used by unit tests (production goes
+/// through the executor pool).
+#[cfg(test)]
+pub(crate) fn batch_worker<D: Dataset>(rt: Arc<Runtime<D>>) {
+    let step = BatchStep::new(rt);
+    loop {
+        if let StepOutcome::Exhausted = RoleStep::step(&step) {
+            break;
+        }
     }
-    if !rt.cfg.drop_last && !batch.is_empty() {
-        let _ = emit_batch(rt, &mut batch);
-    }
+    step.finish();
 }
 
 #[cfg(test)]
 mod tests {
-    // The worker bodies are exercised end-to-end through `MinatoLoader`
+    // The role handlers are exercised end-to-end through `MinatoLoader`
     // in `loader.rs` tests and the crate's integration tests; unit tests
     // here cover the pieces with no loader dependency.
     use super::*;
@@ -627,6 +918,7 @@ mod tests {
     use crate::dataset::{EpochSampler, VecDataset};
     use crate::queue::WakeupPolicy;
     use crate::scheduler::SchedulerConfig;
+    use minato_exec::ExecConfig;
     use std::thread;
 
     fn mini_cfg() -> LoaderConfig {
@@ -656,10 +948,11 @@ mod tests {
             cache_policy: crate::cache::EvictionPolicy::CostAware,
             cache_shards: 8,
             pool_budget_bytes: 0,
+            executor: crate::loader::ExecutorConfig::Fixed,
         }
     }
 
-    /// A runtime with no spawned threads: tests drive the worker bodies
+    /// A runtime with no spawned threads: tests drive the role handlers
     /// directly against hand-fed queues.
     fn mini_runtime(cfg: LoaderConfig) -> Arc<Runtime<VecDataset<u32>>> {
         Arc::new(Runtime {
@@ -677,10 +970,10 @@ mod tests {
             slow_q: MinatoQueue::new("slow", cfg.queue_capacity),
             temp_q: MinatoQueue::new("temp", cfg.queue_capacity),
             batch_qs: vec![MinatoQueue::new("batch[0]", cfg.prefetch_factor)],
-            gate: crate::scheduler::WorkerGate::new(cfg.initial_workers),
-            loaders_live: AtomicUsize::new(0),
-            slow_live: AtomicUsize::new(0),
-            batchers_live: AtomicUsize::new(1),
+            exec: ExecHandle::new(ExecConfig::fixed(0)),
+            exec_roles: OnceLock::new(),
+            exec_owned: true,
+            batch_help: OnceLock::new(),
             in_flight: AtomicUsize::new(0),
             source_drained: AtomicBool::new(false),
             cpu_meter: UtilizationMeter::new(1),
@@ -776,6 +1069,33 @@ mod tests {
             assert_eq!(got.len(), 1);
         }
         assert_eq!(rt.batch_qs[0].len(), 1, "stalled queue untouched");
+    }
+
+    /// A slow step with an empty-but-open temp queue reports idle (so an
+    /// elastic worker re-bids) and exhausted once it closes.
+    #[test]
+    fn slow_step_reports_idle_then_exhausted() {
+        let rt = mini_runtime(mini_cfg());
+        let step = SlowStep::new(Arc::clone(&rt), Duration::from_millis(1));
+        assert_eq!(RoleStep::step(&step), StepOutcome::Idle);
+        rt.temp_q.close();
+        assert_eq!(RoleStep::step(&step), StepOutcome::Exhausted);
+        assert!(!rt.slow_q.is_closed(), "finish, not step, closes slow_q");
+        step.finish();
+        assert!(rt.slow_q.is_closed());
+    }
+
+    /// The batch role's lanes cap its concurrency: a second worker
+    /// stepping while the only lane is held reports idle instead of
+    /// corrupting the partial batch.
+    #[test]
+    fn batch_step_single_lane_excludes_second_worker() {
+        let rt = mini_runtime(mini_cfg());
+        let step = Arc::new(BatchStep::new(Arc::clone(&rt)));
+        assert_eq!(step.lane_count(), 1);
+        let held = step.lanes[0].lock();
+        assert_eq!(RoleStep::step(&*step), StepOutcome::Idle);
+        drop(held);
     }
 
     #[test]

@@ -1,0 +1,964 @@
+//! # minato-exec — the elastic role-fluid executor
+//!
+//! One pool of worker threads serves every stage of a loader pipeline.
+//! Each stage is a **role** — an implementation of [`RoleStep`] that
+//! performs one bounded unit of work per call (a ticket chunk, one
+//! slow-resume burst, one batch-assembly pass). Workers *bid* for a role
+//! at safe points (step boundaries), guided by a per-role **budget**
+//! vector that a scheduler updates at runtime, so capacity migrates to
+//! whichever stage is the bottleneck within one refresh interval.
+//!
+//! Two execution modes:
+//!
+//! * **Fixed** ([`ExecConfig::fixed`]) — every role owns a static slice
+//!   of the pool (`RoleSpec::threads`); a worker never leaves its role
+//!   and parks when its rank exceeds the role's budget. This reproduces
+//!   a classic dedicated-thread runtime (loader workers gated by an
+//!   active limit, dedicated slow/batch workers) exactly, and is the
+//!   baseline arm of the `exec_elastic` ablation.
+//! * **Elastic** ([`ExecConfig::elastic`]) — workers re-bid after every
+//!   lease, preferring roles with a budget deficit and *stealing* into
+//!   roles at/over budget when nothing else has work. Per-role
+//!   occupancy, steal, and role-switch counters make the migration
+//!   observable ([`ExecStats`]).
+//!
+//! Roles can be registered dynamically, so one pool can serve several
+//! loaders as tenants ([`SharedExecutor`]): each tenant registers its
+//! roles, budgets are set per role, and a finished tenant's roles are
+//! pruned while the pool keeps running for the others.
+//!
+//! ## Lifecycle of a role
+//!
+//! ```text
+//!          bid/claim            step() -> Progress | Idle
+//!  [idle] ----------> [leased] ---------------------------.
+//!    ^                    |                               |
+//!    |   lease ends       | step() -> Exhausted           |
+//!    '--------------------+<------------------------------'
+//!                         v
+//!                    [exhausted] --(last occupant leaves)--> finish()
+//! ```
+//!
+//! `finish` runs exactly once, after the role is exhausted and its last
+//! occupant has left — the natural place for close-cascade duties
+//! (closing the queues the role fed). A step may still be invoked
+//! concurrently with or after `finish` in rare races (a worker that
+//! claimed the role just before it was marked exhausted); implementations
+//! must tolerate that by returning [`StepOutcome::Exhausted`].
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// What one call to [`RoleStep::step`] accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// Work was done; the worker keeps the role until its lease ends.
+    Progress,
+    /// No work is available right now (the role's source is open but
+    /// empty). The worker releases the role and bids elsewhere.
+    Idle,
+    /// The role can never produce work again (source closed and
+    /// drained, or shutdown observed). The executor marks the role
+    /// exhausted and calls [`RoleStep::finish`] once the last occupant
+    /// leaves.
+    Exhausted,
+}
+
+/// One pipeline stage runnable by any pool worker.
+///
+/// A step must be *bounded*: claim one chunk of work, process it, and
+/// return. Long blocking waits belong inside the step only when bounded
+/// (e.g. a 1 ms starvation wait); unbounded blocking would pin a worker
+/// to a role and defeat re-bidding.
+pub trait RoleStep: Send + Sync {
+    /// Perform one bounded unit of work.
+    fn step(&self) -> StepOutcome;
+
+    /// Final flush/close duties; called exactly once after the role is
+    /// exhausted and its last occupant has left (see the module docs
+    /// for the rare step-after-finish race implementations must
+    /// tolerate).
+    fn finish(&self) {}
+}
+
+/// A role registration: the step body plus its scheduling parameters.
+pub struct RoleSpec {
+    /// Display name (`"fast"`, `"slow"`, `"batch"`, ...).
+    pub name: String,
+    /// The step body.
+    pub step: Arc<dyn RoleStep>,
+    /// Initial budget: how many workers the scheduler wants in this
+    /// role. Updated at runtime via [`ExecHandle::set_budget`].
+    pub budget: usize,
+    /// Dedicated thread count in fixed mode (ignored in elastic mode).
+    pub threads: usize,
+    /// Hard cap on concurrent occupants (elastic mode), independent of
+    /// budget — e.g. a batch role with N assembly lanes caps at N.
+    /// `None` = unlimited.
+    pub max_concurrency: Option<usize>,
+}
+
+/// Executor pool configuration.
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// Pool size.
+    pub threads: usize,
+    /// Elastic (role-fluid, work-stealing) vs fixed (static binding).
+    pub elastic: bool,
+    /// Bounded park when a worker finds no runnable work. Budget
+    /// changes, new registrations, and shutdown wake parked workers
+    /// immediately; the timeout only bounds the latency of work
+    /// arriving through a queue.
+    pub idle_wait: Duration,
+    /// Steps a worker runs in one lease before re-bidding (the
+    /// safe-point cadence). Larger leases amortize bidding overhead;
+    /// smaller leases migrate capacity faster.
+    pub steps_per_lease: usize,
+    /// Workers exit when every registered role has finished (true for
+    /// a loader-owned pool; false for a long-lived shared pool that
+    /// parks between tenants).
+    pub exit_when_drained: bool,
+    /// Thread-name prefix (`"{prefix}-{id}"`).
+    pub name_prefix: String,
+}
+
+impl ExecConfig {
+    /// Fixed-mode pool: roles own static thread slices.
+    pub fn fixed(threads: usize) -> ExecConfig {
+        ExecConfig {
+            threads,
+            elastic: false,
+            idle_wait: Duration::from_millis(1),
+            steps_per_lease: 1,
+            exit_when_drained: true,
+            name_prefix: "minato-exec".into(),
+        }
+    }
+
+    /// Elastic-mode pool: workers re-bid for roles between leases.
+    pub fn elastic(threads: usize) -> ExecConfig {
+        ExecConfig {
+            elastic: true,
+            ..ExecConfig::fixed(threads)
+        }
+    }
+}
+
+/// Stable identifier of a registered role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RoleId(u64);
+
+struct RoleState {
+    id: RoleId,
+    name: String,
+    step: Arc<dyn RoleStep>,
+    budget: AtomicUsize,
+    max_concurrency: usize,
+    fixed_threads: usize,
+    occupancy: AtomicUsize,
+    steps: AtomicU64,
+    steals: AtomicU64,
+    switches_in: AtomicU64,
+    exhausted: AtomicBool,
+    finished: AtomicBool,
+}
+
+impl RoleState {
+    fn is_finished(&self) -> bool {
+        self.finished.load(Ordering::Acquire)
+    }
+
+    fn snapshot(&self) -> RoleStatsSnapshot {
+        RoleStatsSnapshot {
+            id: self.id,
+            name: self.name.clone(),
+            budget: self.budget.load(Ordering::Relaxed),
+            occupancy: self.occupancy.load(Ordering::Relaxed),
+            steps: self.steps.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            switches_in: self.switches_in.load(Ordering::Relaxed),
+            exhausted: self.exhausted.load(Ordering::Acquire),
+        }
+    }
+}
+
+/// Point-in-time view of one role's scheduling state.
+#[derive(Debug, Clone)]
+pub struct RoleStatsSnapshot {
+    /// The role's id.
+    pub id: RoleId,
+    /// The role's display name.
+    pub name: String,
+    /// Current budget (scheduler target).
+    pub budget: usize,
+    /// Workers currently leased to the role.
+    pub occupancy: usize,
+    /// Total steps that made progress.
+    pub steps: u64,
+    /// Progressing leases claimed at/over budget (work stolen into the
+    /// role).
+    pub steals: u64,
+    /// Times a worker switched into this role from a different one.
+    pub switches_in: u64,
+    /// Whether the role can ever produce work again.
+    pub exhausted: bool,
+}
+
+/// Point-in-time view of the executor.
+#[derive(Debug, Clone)]
+pub struct ExecStats {
+    /// Pool size.
+    pub threads: usize,
+    /// Whether the pool is role-fluid.
+    pub elastic: bool,
+    /// Per-role counters.
+    pub roles: Vec<RoleStatsSnapshot>,
+    /// Total cross-role moves by any worker.
+    pub role_switches: u64,
+    /// Total progressing leases claimed at/over budget.
+    pub steals: u64,
+}
+
+impl ExecStats {
+    /// The snapshot for the role named `name`, if present.
+    pub fn role(&self, name: &str) -> Option<&RoleStatsSnapshot> {
+        self.roles.iter().find(|r| r.name == name)
+    }
+}
+
+struct Shared {
+    cfg: ExecConfig,
+    roles: Mutex<Vec<Arc<RoleState>>>,
+    /// Bumped on register/prune/finish so workers refresh their role
+    /// snapshot.
+    generation: AtomicU64,
+    next_role_id: AtomicU64,
+    shutdown: AtomicBool,
+    spawned: AtomicBool,
+    idle_lock: Mutex<()>,
+    idle_cv: Condvar,
+    total_switches: AtomicU64,
+    total_steals: AtomicU64,
+}
+
+impl Shared {
+    fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    fn bump_generation(&self) {
+        self.generation.fetch_add(1, Ordering::Release);
+    }
+
+    fn park(&self, wait: Duration) {
+        let mut g = self.idle_lock.lock();
+        // Re-check under the lock: a wake between the caller's check and
+        // this wait must not be lost.
+        if self.is_shutdown() {
+            return;
+        }
+        self.idle_cv.wait_for(&mut g, wait);
+    }
+
+    fn wake_all(&self) {
+        let _g = self.idle_lock.lock();
+        self.idle_cv.notify_all();
+    }
+
+    /// Decrement `role`'s occupancy; the last occupant of an exhausted
+    /// role runs `finish` exactly once.
+    fn leave_role(&self, role: &RoleState) {
+        if role.occupancy.fetch_sub(1, Ordering::AcqRel) == 1
+            && role.exhausted.load(Ordering::Acquire)
+            && role
+                .finished
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+        {
+            role.step.finish();
+            self.bump_generation();
+            self.wake_all();
+        }
+    }
+
+    /// Marks a role exhausted from outside (tenant retirement). If no
+    /// worker currently occupies it, `finish` runs inline.
+    fn retire_role(&self, role: &RoleState) {
+        role.exhausted.store(true, Ordering::Release);
+        if role.occupancy.load(Ordering::Acquire) == 0
+            && role
+                .finished
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+        {
+            role.step.finish();
+            self.bump_generation();
+        }
+        self.wake_all();
+    }
+}
+
+/// Cloneable control handle: register roles, adjust budgets, read
+/// stats, signal shutdown.
+///
+/// Create the handle first, hand clones to whatever needs control
+/// (runtime state, monitors), then [`ExecHandle::spawn`] the pool once
+/// the initial roles are registered.
+#[derive(Clone)]
+pub struct ExecHandle {
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for ExecHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecHandle")
+            .field("threads", &self.shared.cfg.threads)
+            .field("elastic", &self.shared.cfg.elastic)
+            .finish()
+    }
+}
+
+impl ExecHandle {
+    /// Creates the control handle for a (not yet spawned) pool.
+    pub fn new(cfg: ExecConfig) -> ExecHandle {
+        ExecHandle {
+            shared: Arc::new(Shared {
+                cfg,
+                roles: Mutex::new(Vec::new()),
+                generation: AtomicU64::new(0),
+                next_role_id: AtomicU64::new(0),
+                shutdown: AtomicBool::new(false),
+                spawned: AtomicBool::new(false),
+                idle_lock: Mutex::new(()),
+                idle_cv: Condvar::new(),
+                total_switches: AtomicU64::new(0),
+                total_steals: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Pool configuration.
+    pub fn config(&self) -> &ExecConfig {
+        &self.shared.cfg
+    }
+
+    /// Registers roles (before or after spawn), pruning roles that
+    /// already finished. Returns the new roles' ids in spec order.
+    pub fn register(&self, specs: Vec<RoleSpec>) -> Vec<RoleId> {
+        let mut roles = self.shared.roles.lock();
+        roles.retain(|r| !r.is_finished());
+        let ids: Vec<RoleId> = specs
+            .into_iter()
+            .map(|s| {
+                let id = RoleId(self.shared.next_role_id.fetch_add(1, Ordering::Relaxed));
+                roles.push(Arc::new(RoleState {
+                    id,
+                    name: s.name,
+                    step: s.step,
+                    budget: AtomicUsize::new(s.budget),
+                    max_concurrency: s.max_concurrency.unwrap_or(usize::MAX),
+                    fixed_threads: s.threads,
+                    occupancy: AtomicUsize::new(0),
+                    steps: AtomicU64::new(0),
+                    steals: AtomicU64::new(0),
+                    switches_in: AtomicU64::new(0),
+                    exhausted: AtomicBool::new(false),
+                    finished: AtomicBool::new(false),
+                }));
+                id
+            })
+            .collect();
+        drop(roles);
+        self.shared.bump_generation();
+        self.shared.wake_all();
+        ids
+    }
+
+    /// Spawns the pool threads. Call once, after registering the
+    /// initial roles (fixed mode binds threads to roles at spawn).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice.
+    pub fn spawn(&self) -> std::io::Result<Executor> {
+        assert!(
+            !self.shared.spawned.swap(true, Ordering::AcqRel),
+            "executor pool already spawned"
+        );
+        let mut handles = Vec::with_capacity(self.shared.cfg.threads);
+        for id in 0..self.shared.cfg.threads {
+            let shared = Arc::clone(&self.shared);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("{}-{id}", self.shared.cfg.name_prefix))
+                    .spawn(move || worker_loop(&shared, id))?,
+            );
+        }
+        Ok(Executor {
+            shared: Arc::clone(&self.shared),
+            handles,
+        })
+    }
+
+    /// Sets `role`'s budget and wakes parked workers so the change
+    /// takes effect within one bid.
+    pub fn set_budget(&self, role: RoleId, n: usize) {
+        if let Some(r) = self.find(role) {
+            r.budget.store(n, Ordering::Release);
+        }
+        self.shared.wake_all();
+    }
+
+    /// `role`'s current budget (0 if unknown/pruned).
+    pub fn budget(&self, role: RoleId) -> usize {
+        self.find(role)
+            .map(|r| r.budget.load(Ordering::Acquire))
+            .unwrap_or(0)
+    }
+
+    /// Marks the given roles exhausted (tenant retirement / hard stop):
+    /// no new leases; `finish` runs once each drains its occupants.
+    pub fn retire(&self, ids: &[RoleId]) {
+        let roles: Vec<Arc<RoleState>> = self.shared.roles.lock().clone();
+        for r in roles.iter().filter(|r| ids.contains(&r.id)) {
+            self.shared.retire_role(r);
+        }
+    }
+
+    /// Whether every role in `ids` has finished (pruned roles count as
+    /// finished).
+    pub fn roles_finished(&self, ids: &[RoleId]) -> bool {
+        let roles = self.shared.roles.lock();
+        ids.iter().all(|id| {
+            roles
+                .iter()
+                .find(|r| r.id == *id)
+                .map(|r| r.is_finished())
+                .unwrap_or(true)
+        })
+    }
+
+    /// Signals full pool shutdown: workers exit at their next safe
+    /// point without draining.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.wake_all();
+    }
+
+    /// Whether shutdown was signalled.
+    pub fn is_shutdown(&self) -> bool {
+        self.shared.is_shutdown()
+    }
+
+    /// Snapshot of every registered role.
+    pub fn stats(&self) -> ExecStats {
+        let roles = self.shared.roles.lock();
+        ExecStats {
+            threads: self.shared.cfg.threads,
+            elastic: self.shared.cfg.elastic,
+            roles: roles.iter().map(|r| r.snapshot()).collect(),
+            role_switches: self.shared.total_switches.load(Ordering::Relaxed),
+            steals: self.shared.total_steals.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Snapshot filtered to `ids` (a tenant's view of a shared pool).
+    pub fn stats_for(&self, ids: &[RoleId]) -> ExecStats {
+        let mut s = self.stats();
+        s.roles.retain(|r| ids.contains(&r.id));
+        s
+    }
+
+    fn find(&self, id: RoleId) -> Option<Arc<RoleState>> {
+        self.shared
+            .roles
+            .lock()
+            .iter()
+            .find(|r| r.id == id)
+            .cloned()
+    }
+}
+
+/// Owns the pool threads. [`Executor::join`] (or drop) joins them;
+/// workers exit on [`ExecHandle::shutdown`] or, with
+/// [`ExecConfig::exit_when_drained`], when every role has finished.
+pub struct Executor {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Executor {
+    /// A control handle to this pool.
+    pub fn handle(&self) -> ExecHandle {
+        ExecHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Joins every pool thread (idempotent). Worker panics are
+    /// contained: a panicked worker's damage is already recorded by its
+    /// role; joining must not propagate into the caller's drop path.
+    pub fn join(&mut self) {
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        // Without an explicit shutdown the workers of a non-draining
+        // pool would park forever; dropping the owner is that signal.
+        if !self.shared.cfg.exit_when_drained {
+            self.handle().shutdown();
+        }
+        self.join();
+    }
+}
+
+fn worker_loop(shared: &Shared, id: usize) {
+    if shared.cfg.elastic {
+        elastic_loop(shared, id);
+    } else {
+        fixed_loop(shared, id);
+    }
+}
+
+/// Fixed mode: thread `id` is bound to the role owning its slot (spec
+/// order, `RoleSpec::threads` wide) and never migrates. A thread whose
+/// rank within the role exceeds the budget parks until the budget rises
+/// — the classic scaling gate that parks the highest ranks first.
+fn fixed_loop(shared: &Shared, id: usize) {
+    let snapshot: Vec<Arc<RoleState>> = shared.roles.lock().clone();
+    let mut base = 0usize;
+    let mut mine = None;
+    for r in &snapshot {
+        if id < base + r.fixed_threads {
+            mine = Some((Arc::clone(r), id - base));
+            break;
+        }
+        base += r.fixed_threads;
+    }
+    let Some((role, rank)) = mine else {
+        return; // Pool larger than the roles' slices: spare thread.
+    };
+    while !shared.is_shutdown() {
+        if role.exhausted.load(Ordering::Acquire) || role.is_finished() {
+            break;
+        }
+        if rank >= role.budget.load(Ordering::Acquire) {
+            // Parked by the scheduler; budget raises wake us.
+            shared.park(Duration::from_millis(50));
+            continue;
+        }
+        role.occupancy.fetch_add(1, Ordering::AcqRel);
+        let out = role.step.step();
+        match out {
+            StepOutcome::Progress => {
+                role.steps.fetch_add(1, Ordering::Relaxed);
+            }
+            StepOutcome::Idle => {} // The step waited internally.
+            StepOutcome::Exhausted => {
+                role.exhausted.store(true, Ordering::Release);
+            }
+        }
+        shared.leave_role(&role);
+        if out == StepOutcome::Exhausted {
+            break;
+        }
+    }
+}
+
+/// Elastic mode: between leases a worker re-bids, preferring the role
+/// with the largest budget deficit and stealing into at-budget roles
+/// when nothing else has work.
+fn elastic_loop(shared: &Shared, _id: usize) {
+    let mut snapshot: Vec<Arc<RoleState>> = Vec::new();
+    let mut snap_gen = u64::MAX;
+    let mut current: Option<RoleId> = None;
+    while !shared.is_shutdown() {
+        let gen = shared.generation.load(Ordering::Acquire);
+        if gen != snap_gen {
+            snapshot = shared.roles.lock().clone();
+            snap_gen = gen;
+        }
+        let mut live: Vec<&Arc<RoleState>> = snapshot
+            .iter()
+            .filter(|r| !r.exhausted.load(Ordering::Acquire) && !r.is_finished())
+            .collect();
+        if live.is_empty() {
+            if shared.cfg.exit_when_drained
+                && !snapshot.is_empty()
+                && snapshot.iter().all(|r| r.is_finished())
+            {
+                break;
+            }
+            current = None;
+            shared.park(shared.cfg.idle_wait);
+            continue;
+        }
+        // Largest deficit first; the current role wins ties so a steady
+        // worker does not ping-pong between equally-starved roles.
+        live.sort_by_key(|r| {
+            let deficit = r
+                .budget
+                .load(Ordering::Relaxed)
+                .saturating_sub(r.occupancy.load(Ordering::Relaxed));
+            (std::cmp::Reverse(deficit), current != Some(r.id))
+        });
+        let mut progressed = false;
+        for role in live {
+            if shared.is_shutdown() {
+                break;
+            }
+            let budget = role.budget.load(Ordering::Acquire);
+            let prev_occ = role.occupancy.fetch_add(1, Ordering::AcqRel);
+            if prev_occ >= role.max_concurrency {
+                // Back off through `leave_role`, not a bare decrement:
+                // the real occupant may have marked the role exhausted
+                // and already left, which makes this claimer the last
+                // occupant — and thus responsible for `finish`.
+                shared.leave_role(role);
+                continue;
+            }
+            let stealing = prev_occ >= budget;
+            let mut lease_progress = false;
+            for _ in 0..shared.cfg.steps_per_lease.max(1) {
+                if shared.is_shutdown() {
+                    break;
+                }
+                match role.step.step() {
+                    StepOutcome::Progress => {
+                        lease_progress = true;
+                        role.steps.fetch_add(1, Ordering::Relaxed);
+                    }
+                    StepOutcome::Idle => break,
+                    StepOutcome::Exhausted => {
+                        role.exhausted.store(true, Ordering::Release);
+                        break;
+                    }
+                }
+            }
+            shared.leave_role(role);
+            if lease_progress {
+                if current != Some(role.id) {
+                    role.switches_in.fetch_add(1, Ordering::Relaxed);
+                    shared.total_switches.fetch_add(1, Ordering::Relaxed);
+                }
+                if stealing {
+                    role.steals.fetch_add(1, Ordering::Relaxed);
+                    shared.total_steals.fetch_add(1, Ordering::Relaxed);
+                }
+                current = Some(role.id);
+                progressed = true;
+                break;
+            }
+        }
+        if !progressed {
+            current = None;
+            shared.park(shared.cfg.idle_wait);
+        }
+    }
+}
+
+/// A long-lived elastic pool shared by several loaders (tenants).
+///
+/// Cloning shares the same pool; the last clone dropped shuts the pool
+/// down and joins its threads. Tenants register roles through
+/// [`SharedExecutor::handle`] (loader builders do this automatically)
+/// and set per-role budgets independently — the pool arbitrates by
+/// budget deficit, so a tenant whose stage falls behind pulls workers
+/// from tenants with idle budget.
+#[derive(Clone)]
+pub struct SharedExecutor {
+    handle: ExecHandle,
+    _pool: Arc<Mutex<Option<Executor>>>,
+}
+
+impl std::fmt::Debug for SharedExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedExecutor")
+            .field("threads", &self.handle.config().threads)
+            .finish()
+    }
+}
+
+impl SharedExecutor {
+    /// Spawns a shared elastic pool of `threads` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or a worker thread cannot be spawned.
+    pub fn new(threads: usize) -> SharedExecutor {
+        assert!(threads > 0, "shared pool needs at least one thread");
+        let mut cfg = ExecConfig::elastic(threads);
+        cfg.exit_when_drained = false;
+        cfg.name_prefix = "minato-shared".into();
+        let handle = ExecHandle::new(cfg);
+        let pool = handle.spawn().expect("spawn shared pool");
+        SharedExecutor {
+            handle,
+            _pool: Arc::new(Mutex::new(Some(pool))),
+        }
+    }
+
+    /// The pool's control handle.
+    pub fn handle(&self) -> &ExecHandle {
+        &self.handle
+    }
+
+    /// Pool size.
+    pub fn threads(&self) -> usize {
+        self.handle.config().threads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    /// A role that counts down `work` steps, then reports exhausted.
+    struct CountdownRole {
+        left: AtomicUsize,
+        done: AtomicUsize,
+        finishes: AtomicUsize,
+        step_cost: Duration,
+    }
+
+    impl CountdownRole {
+        fn new(work: usize) -> Arc<CountdownRole> {
+            Self::with_cost(work, Duration::ZERO)
+        }
+
+        fn with_cost(work: usize, step_cost: Duration) -> Arc<CountdownRole> {
+            Arc::new(CountdownRole {
+                left: AtomicUsize::new(work),
+                done: AtomicUsize::new(0),
+                finishes: AtomicUsize::new(0),
+                step_cost,
+            })
+        }
+    }
+
+    impl RoleStep for CountdownRole {
+        fn step(&self) -> StepOutcome {
+            let mut cur = self.left.load(Ordering::Acquire);
+            loop {
+                if cur == 0 {
+                    return StepOutcome::Exhausted;
+                }
+                match self
+                    .left
+                    .compare_exchange(cur, cur - 1, Ordering::AcqRel, Ordering::Acquire)
+                {
+                    Ok(_) => {
+                        if !self.step_cost.is_zero() {
+                            std::thread::sleep(self.step_cost);
+                        }
+                        self.done.fetch_add(1, Ordering::Relaxed);
+                        return StepOutcome::Progress;
+                    }
+                    Err(now) => cur = now,
+                }
+            }
+        }
+
+        fn finish(&self) {
+            self.finishes.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn spec(name: &str, step: Arc<dyn RoleStep>, budget: usize, threads: usize) -> RoleSpec {
+        RoleSpec {
+            name: name.into(),
+            step,
+            budget,
+            threads,
+            max_concurrency: None,
+        }
+    }
+
+    #[test]
+    fn fixed_pool_drains_roles_and_exits() {
+        let a = CountdownRole::new(100);
+        let b = CountdownRole::new(50);
+        let h = ExecHandle::new(ExecConfig::fixed(3));
+        h.register(vec![spec("a", a.clone(), 2, 2), spec("b", b.clone(), 1, 1)]);
+        let mut pool = h.spawn().unwrap();
+        pool.join();
+        assert_eq!(a.done.load(Ordering::Relaxed), 100);
+        assert_eq!(b.done.load(Ordering::Relaxed), 50);
+        assert_eq!(a.finishes.load(Ordering::Relaxed), 1, "finish runs once");
+        assert_eq!(b.finishes.load(Ordering::Relaxed), 1);
+        let stats = h.stats();
+        assert!(stats.role("a").unwrap().exhausted);
+        assert_eq!(stats.steals, 0, "fixed mode never steals");
+    }
+
+    #[test]
+    fn fixed_budget_parks_high_ranks() {
+        // Budget 0: both "a" threads park; the role makes no progress
+        // until the budget rises.
+        let a = CountdownRole::new(64);
+        let h = ExecHandle::new(ExecConfig::fixed(2));
+        let ids = h.register(vec![spec("a", a.clone(), 0, 2)]);
+        let mut pool = h.spawn().unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(a.done.load(Ordering::Relaxed), 0, "budget 0 must park");
+        h.set_budget(ids[0], 2);
+        pool.join();
+        assert_eq!(a.done.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn elastic_pool_steals_into_busy_role() {
+        // Role "big" has far more work than its budget of 1 warrants;
+        // the other workers' role drains instantly, so they must steal.
+        let big = CountdownRole::with_cost(400, Duration::from_micros(200));
+        let small = CountdownRole::new(1);
+        let h = ExecHandle::new(ExecConfig::elastic(4));
+        h.register(vec![
+            spec("small", small.clone(), 3, 0),
+            spec("big", big.clone(), 1, 0),
+        ]);
+        let mut pool = h.spawn().unwrap();
+        pool.join();
+        assert_eq!(big.done.load(Ordering::Relaxed), 400);
+        let stats = h.stats();
+        let b = stats.role("big").unwrap();
+        assert!(
+            b.steals > 0,
+            "workers over budget must have stolen into the busy role: {stats:?}"
+        );
+        assert!(stats.role_switches > 0);
+    }
+
+    #[test]
+    fn max_concurrency_caps_occupancy() {
+        // A role capped at 1 occupant: concurrent steps would double-
+        // count; the cap makes `step` effectively single-threaded.
+        struct ExclusiveRole {
+            inside: AtomicUsize,
+            max_seen: AtomicUsize,
+            left: AtomicUsize,
+        }
+        impl RoleStep for ExclusiveRole {
+            fn step(&self) -> StepOutcome {
+                let now = self.inside.fetch_add(1, Ordering::AcqRel) + 1;
+                self.max_seen.fetch_max(now, Ordering::AcqRel);
+                std::thread::sleep(Duration::from_micros(200));
+                self.inside.fetch_sub(1, Ordering::AcqRel);
+                if self
+                    .left
+                    .fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| v.checked_sub(1))
+                    == Err(0)
+                {
+                    return StepOutcome::Exhausted;
+                }
+                StepOutcome::Progress
+            }
+        }
+        let role = Arc::new(ExclusiveRole {
+            inside: AtomicUsize::new(0),
+            max_seen: AtomicUsize::new(0),
+            left: AtomicUsize::new(200),
+        });
+        let h = ExecHandle::new(ExecConfig::elastic(4));
+        h.register(vec![RoleSpec {
+            name: "exclusive".into(),
+            step: role.clone(),
+            budget: 4,
+            threads: 0,
+            max_concurrency: Some(1),
+        }]);
+        let mut pool = h.spawn().unwrap();
+        pool.join();
+        assert_eq!(
+            role.max_seen.load(Ordering::Relaxed),
+            1,
+            "cap must keep the role single-occupant"
+        );
+    }
+
+    #[test]
+    fn shutdown_stops_workers_without_draining() {
+        let a = CountdownRole::new(usize::MAX); // Endless work.
+        let h = ExecHandle::new(ExecConfig::elastic(2));
+        h.register(vec![spec("a", a.clone(), 2, 0)]);
+        let mut pool = h.spawn().unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+        h.shutdown();
+        pool.join(); // Must return promptly.
+        assert!(a.done.load(Ordering::Relaxed) < usize::MAX);
+    }
+
+    #[test]
+    fn shared_pool_serves_tenants_registered_after_spawn() {
+        let shared = SharedExecutor::new(3);
+        // No roles yet: workers park. Register a tenant and it drains.
+        let a = CountdownRole::new(500);
+        let ids = shared
+            .handle()
+            .register(vec![spec("tenant-a", a.clone(), 3, 0)]);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !shared.handle().roles_finished(&ids) {
+            assert!(std::time::Instant::now() < deadline, "tenant never drained");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(a.done.load(Ordering::Relaxed), 500);
+        assert_eq!(a.finishes.load(Ordering::Relaxed), 1);
+        // A second tenant reuses the same (still live) pool; the first
+        // tenant's finished roles are pruned at registration.
+        let b = CountdownRole::new(300);
+        let ids_b = shared
+            .handle()
+            .register(vec![spec("tenant-b", b.clone(), 3, 0)]);
+        while !shared.handle().roles_finished(&ids_b) {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "tenant b never drained"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(b.done.load(Ordering::Relaxed), 300);
+        let stats = shared.handle().stats();
+        assert!(
+            stats.role("tenant-a").is_none(),
+            "finished tenant roles are pruned on the next registration"
+        );
+        drop(shared); // Joins the pool without hanging.
+    }
+
+    #[test]
+    fn retire_finishes_an_idle_role_inline() {
+        let a = CountdownRole::new(0);
+        let h = ExecHandle::new(ExecConfig::elastic(1));
+        let mut cfg_pool = {
+            let ids = h.register(vec![spec("a", a.clone(), 0, 0)]);
+            // Budget 0 and no deficit: the role may never be stepped.
+            h.retire(&ids);
+            assert!(h.roles_finished(&ids));
+            assert_eq!(a.finishes.load(Ordering::Relaxed), 1);
+            h.spawn().unwrap()
+        };
+        cfg_pool.join();
+    }
+
+    #[test]
+    fn budget_readback_and_unknown_roles() {
+        let h = ExecHandle::new(ExecConfig::elastic(1));
+        let ids = h.register(vec![spec("a", CountdownRole::new(0), 5, 0)]);
+        assert_eq!(h.budget(ids[0]), 5);
+        h.set_budget(ids[0], 9);
+        assert_eq!(h.budget(ids[0]), 9);
+        assert_eq!(h.budget(RoleId(999)), 0);
+        assert!(
+            h.roles_finished(&[RoleId(999)]),
+            "unknown roles count finished"
+        );
+    }
+}

@@ -3,6 +3,7 @@ pub use minato_baselines as baselines;
 pub use minato_cache as cache;
 pub use minato_core as core;
 pub use minato_data as data;
+pub use minato_exec as exec;
 pub use minato_metrics as metrics;
 pub use minato_nn as nn;
 pub use minato_sim as sim;

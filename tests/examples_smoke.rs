@@ -242,3 +242,39 @@ fn pooled_hot_path_flow() {
     assert!(ps.recycled > 0, "recycle loop must turn: {ps:?}");
     assert!(ps.hits > 0, "steady state must reuse buffers: {ps:?}");
 }
+
+/// `examples/shared_executor.rs`: two loaders as tenants of one shared
+/// role-fluid pool; both must deliver fully and the pool must survive
+/// tenant churn.
+#[test]
+fn shared_executor_flow() {
+    use minato::core::loader::ExecutorConfig;
+    let pool = SharedExecutor::new(4);
+    let run = |pool: SharedExecutor, n: u32, slow_every: u32| {
+        let dataset = VecDataset::new((0..n).collect::<Vec<_>>());
+        let pipeline = Pipeline::new(vec![fn_transform("augment", move |x: u32| {
+            if x.is_multiple_of(slow_every) {
+                std::thread::sleep(Duration::from_millis(4));
+            } else {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            Ok(x)
+        })]);
+        let loader = MinatoLoader::builder(dataset, pipeline)
+            .batch_size(8)
+            .initial_workers(2)
+            .max_workers(2)
+            .slow_workers(1)
+            .timeout_policy(TimeoutPolicy::Fixed(Duration::from_millis(1)))
+            .executor(ExecutorConfig::Shared(pool))
+            .build()
+            .expect("tenant builds");
+        loader.iter().map(|b| b.len()).sum::<usize>()
+    };
+    let p2 = pool.clone();
+    let handle = std::thread::spawn(move || run(p2, 48, 4));
+    assert_eq!(run(pool.clone(), 64, 8), 64);
+    assert_eq!(handle.join().expect("tenant thread"), 48);
+    // A follow-up tenant reuses the still-live pool.
+    assert_eq!(run(pool, 32, 8), 32);
+}
