@@ -205,6 +205,25 @@ impl LoadBalancer {
         &self.profiler
     }
 
+    /// Restores checkpointed estimator state into a fresh balancer.
+    ///
+    /// Counters are seeded so `slow_fraction` carries over; under the
+    /// adaptive policy the published cutoff is restored too, and
+    /// `refreshed_through` is advanced past the seeded completions so
+    /// the restored timeout is not immediately recomputed from an empty
+    /// profile window (`refresh_now` with no records is a no-op, so the
+    /// restored value holds until real samples refill the window).
+    /// Fixed/Disabled policies define their own timeout and only take
+    /// the counters.
+    pub fn restore(&self, timeout_ns: u64, completions: u64, flagged_slow: u64) {
+        self.completions.add(completions);
+        self.flagged_slow.add(flagged_slow);
+        if matches!(self.cfg.policy, TimeoutPolicy::Adaptive { .. }) && timeout_ns > 0 {
+            self.timeout_ns.store(timeout_ns, Ordering::Relaxed);
+            self.refreshed_through.store(completions, Ordering::Relaxed);
+        }
+    }
+
     fn maybe_refresh(&self) {
         let TimeoutPolicy::Adaptive { .. } = self.cfg.policy else {
             return;
@@ -362,6 +381,33 @@ mod tests {
         assert!((lb.slow_fraction() - 0.5).abs() < 1e-9);
         assert_eq!(lb.completions(), 4);
         assert_eq!(lb.flagged_slow(), 2);
+    }
+
+    #[test]
+    fn restore_reinstates_adaptive_state() {
+        let lb = LoadBalancer::paper_default();
+        lb.restore(5_000_000, 40, 10);
+        assert_eq!(lb.current_timeout(), Some(Duration::from_nanos(5_000_000)));
+        assert_eq!(lb.completions(), 40);
+        assert_eq!(lb.flagged_slow(), 10);
+        assert!((lb.slow_fraction() - 0.25).abs() < 1e-9);
+        // With an empty profile window the refresh is a no-op and the
+        // restored cutoff holds.
+        lb.refresh_now();
+        assert_eq!(lb.current_timeout(), Some(Duration::from_nanos(5_000_000)));
+        // A zero timeout (checkpoint taken in the optimistic phase)
+        // restores counters only.
+        let lb = LoadBalancer::paper_default();
+        lb.restore(0, 7, 0);
+        assert_eq!(lb.current_timeout(), None);
+        assert_eq!(lb.completions(), 7);
+        // Fixed policy keeps its own timeout.
+        let lb = LoadBalancer::new(BalancerConfig {
+            policy: TimeoutPolicy::Fixed(Duration::from_millis(9)),
+            ..Default::default()
+        });
+        lb.restore(1234, 3, 1);
+        assert_eq!(lb.current_timeout(), Some(Duration::from_millis(9)));
     }
 
     /// Regression test for the refresh race: with workers completing

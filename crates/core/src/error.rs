@@ -23,6 +23,8 @@ pub enum LoaderError {
     Shutdown,
     /// Builder configuration was invalid (e.g., zero batch size).
     Config(String),
+    /// A checkpoint could not be produced, parsed, or resumed from.
+    Checkpoint(String),
 }
 
 impl fmt::Display for LoaderError {
@@ -36,6 +38,7 @@ impl fmt::Display for LoaderError {
             }
             LoaderError::Shutdown => write!(f, "loader is shutting down"),
             LoaderError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            LoaderError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
         }
     }
 }
@@ -63,6 +66,9 @@ mod tests {
         assert!(e.to_string().contains("Resize"));
         assert!(LoaderError::Shutdown.to_string().contains("shutting down"));
         assert!(LoaderError::Config("x".into()).to_string().contains("x"));
+        assert!(LoaderError::Checkpoint("stale".into())
+            .to_string()
+            .contains("checkpoint error: stale"));
     }
 
     #[test]

@@ -56,8 +56,10 @@
 pub mod balancer;
 pub mod batch;
 pub mod cache;
+pub mod checkpoint;
 pub mod dataset;
 pub mod error;
+pub mod fault;
 pub mod loader;
 pub mod pool;
 pub mod profiler;
@@ -73,8 +75,13 @@ pub mod prelude {
     pub use crate::balancer::{BalancerConfig, LoadBalancer, TimeoutPolicy};
     pub use crate::batch::{Batch, Prepared, SampleMeta};
     pub use crate::cache::{CacheStats, ClonedSampleCache, EvictionPolicy, SampleCache};
+    pub use crate::checkpoint::{
+        BalancerCheckpoint, CacheSummary, DeliveryLog, LoaderCheckpoint, ResumeSampler,
+        CHECKPOINT_VERSION,
+    };
     pub use crate::dataset::{Dataset, EpochSampler, FnDataset, Sampler, VecDataset};
     pub use crate::error::{LoaderError, Result};
+    pub use crate::fault::{FaultAction, FaultInjector, FaultSite, FaultStats};
     pub use crate::loader::{
         ErrorPolicy, ExecutorConfig, LoaderConfig, MinatoLoader, MinatoLoaderBuilder,
     };

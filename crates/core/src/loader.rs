@@ -26,17 +26,23 @@
 use crate::balancer::{BalancerConfig, LoadBalancer, TimeoutPolicy};
 use crate::batch::{Batch, TransferHook};
 use crate::cache::{CacheConfig, ClonedSampleCache, EvictionPolicy, SampleCache, SampleWeigher};
+use crate::checkpoint::{
+    BalancerCheckpoint, CacheSummary, DeliveryLog, LoaderCheckpoint, ResumeSampler,
+    CHECKPOINT_VERSION,
+};
 use crate::dataset::{Dataset, EpochSampler, Sampler};
 use crate::error::{LoaderError, Result};
+use crate::fault::FaultInjector;
 use crate::pool::{PoolRecycler, PoolSet, Reclaim, SampleRecycler};
 use crate::queue::{MinatoQueue, WakeupPolicy};
 use crate::scheduler::{RoleBudgets, SchedulerConfig, WorkerScheduler};
 use crate::stats::{LoaderStats, MonitorTrace};
 use crate::transform::Pipeline;
-use crate::worker::{BatchStep, ExecRoles, FastStep, Runtime, SlowStep};
+use crate::worker::{BatchStep, ExecRoles, FastStep, FaultCounters, Runtime, SlowStep};
 use minato_exec::{ExecConfig, ExecHandle, Executor, RoleSpec, SharedExecutor};
 use minato_metrics::{Counter, UtilizationMeter};
 use parking_lot::Mutex;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
@@ -142,6 +148,10 @@ pub struct LoaderConfig {
     /// slices, one elastic role-fluid pool, or a shared multi-loader
     /// pool).
     pub executor: ExecutorConfig,
+    /// Track delivered sequence numbers so [`MinatoLoader::checkpoint`]
+    /// can snapshot progress (off by default — the delivery log costs
+    /// one short lock acquisition per popped batch).
+    pub checkpointing: bool,
 }
 
 /// Builder for [`MinatoLoader`]. All knobs default to the paper's
@@ -159,6 +169,8 @@ pub struct MinatoLoaderBuilder<D: Dataset> {
     /// the `D::Sample: Clone + Sync` requirement scoped to callers that
     /// actually enable the cache.
     cache_factory: Option<CacheFactory<D>>,
+    resume: Option<LoaderCheckpoint>,
+    injector: Option<Arc<dyn FaultInjector>>,
 }
 
 type CacheFactory<D> = Box<
@@ -181,6 +193,8 @@ impl<D: Dataset> MinatoLoaderBuilder<D> {
             cache_factory: None,
             pool_set: None,
             recycler: None,
+            resume: None,
+            injector: None,
             cfg: LoaderConfig {
                 batch_size: 1,
                 num_gpus: 1,
@@ -208,6 +222,7 @@ impl<D: Dataset> MinatoLoaderBuilder<D> {
                 cache_shards: 8,
                 pool_budget_bytes: 0,
                 executor: ExecutorConfig::Fixed,
+                checkpointing: false,
             },
         }
     }
@@ -358,6 +373,42 @@ impl<D: Dataset> MinatoLoaderBuilder<D> {
     /// joins an external multi-loader pool as a tenant.
     pub fn executor(mut self, exec: ExecutorConfig) -> Self {
         self.cfg.executor = exec;
+        self
+    }
+
+    /// Enables checkpoint/resume: the loader tracks delivered sequence
+    /// numbers so [`MinatoLoader::checkpoint`] can snapshot progress at
+    /// a quiescent point. Off by default (the delivery log costs one
+    /// short lock acquisition per popped batch).
+    pub fn checkpoint(mut self, yes: bool) -> Self {
+        self.cfg.checkpointing = yes;
+        self
+    }
+
+    /// Resumes a run from `ckpt` (produced by
+    /// [`MinatoLoader::checkpoint`]): the loader replays the original
+    /// seeded ticket stream minus the seqs the checkpoint records as
+    /// delivered, restores the balancer estimator and the scheduler's
+    /// role budgets, and implies [`checkpoint`](Self::checkpoint). The
+    /// sampler parameters (`epochs`, `shuffle`, `seed`) come from the
+    /// checkpoint, overriding earlier builder calls; batches that were
+    /// in flight (queued but never popped) when the checkpoint was
+    /// taken are re-run, so delivery is exactly-once across the kill.
+    pub fn resume_from(mut self, ckpt: LoaderCheckpoint) -> Self {
+        self.cfg.epochs = ckpt.epochs as usize;
+        self.cfg.shuffle = ckpt.shuffle;
+        self.cfg.seed = ckpt.seed;
+        self.cfg.checkpointing = true;
+        self.resume = Some(ckpt);
+        self
+    }
+
+    /// Installs a fault injector consulted once per sample execution at
+    /// the fast and slow sites — the chaos-testing hook of
+    /// [`crate::fault`]. Injected panics and poisoned samples are
+    /// quarantined and counted in [`LoaderStats::faults`].
+    pub fn fault_injector(mut self, inj: Arc<dyn FaultInjector>) -> Self {
+        self.injector = Some(inj);
         self
     }
 
@@ -555,22 +606,60 @@ impl<D: Dataset> MinatoLoaderBuilder<D> {
                 ));
             }
         }
+        if let Some(ck) = &self.resume {
+            if ck.version != CHECKPOINT_VERSION {
+                return Err(LoaderError::Checkpoint(format!(
+                    "checkpoint version {} unsupported (expected {CHECKPOINT_VERSION})",
+                    ck.version
+                )));
+            }
+            if ck.dataset_len != self.dataset.len() as u64 {
+                return Err(LoaderError::Checkpoint(format!(
+                    "checkpoint was taken over {} samples but the dataset has {}",
+                    ck.dataset_len,
+                    self.dataset.len()
+                )));
+            }
+            let total = ck.total_tickets();
+            if ck.watermark > total || ck.delivered_above.iter().any(|&s| s >= total) {
+                return Err(LoaderError::Checkpoint(
+                    "checkpoint records deliveries beyond the run's ticket range".into(),
+                ));
+            }
+        }
         let cache = if self.cfg.cache_budget_bytes > 0 {
             self.cache_factory
                 .map(|make| make(&self.cfg, self.cache_weigher))
         } else {
             None
         };
-        MinatoLoader::start(
-            self.dataset,
-            self.pipeline,
-            self.cfg,
-            self.transfer_hook,
+        MinatoLoader::start(LoaderParts {
+            dataset: self.dataset,
+            pipeline: self.pipeline,
+            cfg: self.cfg,
+            transfer_hook: self.transfer_hook,
             cache,
-            self.pool_set,
-            self.recycler,
-        )
+            pools: self.pool_set,
+            recycler: self.recycler,
+            resume: self.resume,
+            injector: self.injector,
+        })
     }
+}
+
+/// Everything the builder hands to [`MinatoLoader::start`] once the
+/// configuration has been validated and deferred pieces (the cache)
+/// constructed.
+struct LoaderParts<D: Dataset> {
+    dataset: D,
+    pipeline: Pipeline<D::Sample>,
+    cfg: LoaderConfig,
+    transfer_hook: Option<Arc<dyn TransferHook<D::Sample>>>,
+    cache: Option<Arc<dyn SampleCache<D::Sample>>>,
+    pools: Option<Arc<PoolSet>>,
+    recycler: Option<Arc<dyn SampleRecycler<D::Sample>>>,
+    resume: Option<LoaderCheckpoint>,
+    injector: Option<Arc<dyn FaultInjector>>,
 }
 
 /// The MinatoLoader runtime handle.
@@ -616,6 +705,31 @@ fn initial_budgets(
     RoleBudgets { fast, slow, batch }
 }
 
+/// Clamps checkpointed role budgets into the resumed topology — the
+/// restart may run on fewer threads than the run that took the
+/// checkpoint, and a stale budget must not oversubscribe the pool.
+fn restore_budgets(
+    saved: RoleBudgets,
+    fresh: RoleBudgets,
+    elastic: bool,
+    threads: usize,
+    cfg: &LoaderConfig,
+) -> RoleBudgets {
+    if !elastic {
+        // Fixed topology: only the fast gate is scheduler-driven; slow
+        // and batch slices are sized by the config, not the budget.
+        return RoleBudgets {
+            fast: saved.fast.clamp(1, cfg.max_workers),
+            ..fresh
+        };
+    }
+    let batch = saved.batch.clamp(1, threads);
+    let avail = threads.saturating_sub(batch);
+    let slow = saved.slow.min(avail);
+    let fast = saved.fast.min(avail.saturating_sub(slow));
+    RoleBudgets { fast, slow, batch }
+}
+
 impl<D: Dataset> MinatoLoader<D> {
     /// Starts building a loader over `dataset` with `pipeline` applied to
     /// every sample.
@@ -623,32 +737,45 @@ impl<D: Dataset> MinatoLoader<D> {
         MinatoLoaderBuilder::new(dataset, pipeline)
     }
 
-    fn start(
-        dataset: D,
-        pipeline: Pipeline<D::Sample>,
-        mut cfg: LoaderConfig,
-        transfer_hook: Option<Arc<dyn TransferHook<D::Sample>>>,
-        cache: Option<Arc<dyn SampleCache<D::Sample>>>,
-        pools: Option<Arc<PoolSet>>,
-        recycler: Option<Arc<dyn SampleRecycler<D::Sample>>>,
-    ) -> Result<Self> {
+    fn start(parts: LoaderParts<D>) -> Result<Self> {
+        let LoaderParts {
+            dataset,
+            pipeline,
+            mut cfg,
+            transfer_hook,
+            cache,
+            pools,
+            recycler,
+            resume,
+            injector,
+        } = parts;
         // The scheduler's pool bounds must describe the threads actually
         // spawned: the builder's `max_workers` is authoritative. (The
         // default SchedulerConfig is sized from `available_parallelism`,
         // which may be smaller than an explicit `max_workers` override.)
         cfg.scheduler.max_workers = cfg.max_workers;
         cfg.scheduler.min_workers = cfg.scheduler.min_workers.clamp(1, cfg.max_workers);
-        let sampler: Arc<dyn Sampler> = Arc::new(EpochSampler::new(
-            dataset.len(),
-            cfg.epochs,
-            cfg.shuffle,
-            cfg.seed,
-        ));
+        // Resuming replays the original seeded ticket stream, minus the
+        // seqs the checkpoint records as already delivered.
+        let base_sampler = EpochSampler::new(dataset.len(), cfg.epochs, cfg.shuffle, cfg.seed);
+        let sampler: Arc<dyn Sampler> = match &resume {
+            Some(ck) => Arc::new(ResumeSampler::new(base_sampler, ck)),
+            None => Arc::new(base_sampler),
+        };
         let balancer = LoadBalancer::new(BalancerConfig {
             policy: cfg.timeout_policy,
             warmup_samples: cfg.warmup_samples,
             ..BalancerConfig::default()
         });
+        if let Some(ck) = &resume {
+            // Reinstate the learned timeout and estimator counters so
+            // the resumed run skips the optimistic warm-up phase.
+            balancer.restore(
+                ck.balancer.timeout_ns,
+                ck.balancer.completions,
+                ck.balancer.flagged_slow,
+            );
+        }
         // In order-preserving mode every sample is fast; avoid budgeting
         // slow workers that would idle forever.
         let slow_workers = if matches!(cfg.timeout_policy, TimeoutPolicy::Disabled) {
@@ -712,6 +839,14 @@ impl<D: Dataset> MinatoLoader<D> {
             batches_out: Counter::new(),
             errors: Counter::new(),
             first_error: Mutex::new(None),
+            recent_errors: Mutex::new(VecDeque::new()),
+            faults: FaultCounters::new(),
+            delivered: Mutex::new(match &resume {
+                Some(ck) => DeliveryLog::seeded(ck.watermark, ck.delivered_above.iter().copied()),
+                None => DeliveryLog::new(),
+            }),
+            checkpoint_pause: AtomicBool::new(false),
+            injector,
             shutdown: AtomicBool::new(false),
             started_at: Instant::now(),
             transfer_hook,
@@ -743,7 +878,10 @@ impl<D: Dataset> MinatoLoader<D> {
         } else {
             Duration::from_millis(25)
         };
-        let budgets = initial_budgets(&cfg, slow_workers, elastic, exec.config().threads);
+        let mut budgets = initial_budgets(&cfg, slow_workers, elastic, exec.config().threads);
+        if let Some(ck) = &resume {
+            budgets = restore_budgets(ck.budgets, budgets, elastic, exec.config().threads, &cfg);
+        }
         let ids = exec.register(vec![
             RoleSpec {
                 name: "fast".into(),
@@ -821,7 +959,102 @@ impl<D: Dataset> MinatoLoader<D> {
     /// Pops the next batch for `gpu`, blocking; `None` once training data
     /// is exhausted.
     pub fn next_batch(&self, gpu: usize) -> Option<Batch<D::Sample>> {
-        self.rt.batch_qs.get(gpu)?.pop()
+        let batch = self.rt.batch_qs.get(gpu)?.pop()?;
+        if self.rt.cfg.checkpointing {
+            // The delivery log records seqs at the pop, not the enqueue:
+            // a batch sitting in a queue when the process dies was never
+            // delivered, so resume must re-run it.
+            let mut log = self.rt.delivered.lock();
+            for m in &batch.meta {
+                log.record(m.seq);
+            }
+        }
+        Some(batch)
+    }
+
+    /// Captures a crash-safe snapshot of loader progress at a quiescent
+    /// point, for [`MinatoLoaderBuilder::resume_from`].
+    ///
+    /// The call parks the fast role at its step boundary (the same
+    /// safe-point rendezvous elastic workers use to re-bid roles), waits
+    /// briefly for in-flight samples to drain into queues, snapshots the
+    /// delivery log plus balancer/budget/cache state, and resumes the
+    /// pipeline. Requires [`MinatoLoaderBuilder::checkpoint`].
+    ///
+    /// Batches already queued but not yet popped are *not* recorded —
+    /// they re-run after a resume, preserving exactly-once delivery to
+    /// consumers across kill/restart.
+    pub fn checkpoint(&self) -> Result<LoaderCheckpoint> {
+        let rt = &self.rt;
+        if !rt.cfg.checkpointing {
+            return Err(LoaderError::Checkpoint(
+                "checkpointing is disabled; enable it with MinatoLoaderBuilder::checkpoint".into(),
+            ));
+        }
+        rt.checkpoint_pause.store(true, Ordering::Release);
+        let quiesce = Instant::now();
+        while rt.in_flight.load(Ordering::Acquire) > 0
+            && quiesce.elapsed() < Duration::from_millis(250)
+        {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let (watermark, delivered_above) = {
+            let log = rt.delivered.lock();
+            (log.watermark(), log.above())
+        };
+        let budgets = rt
+            .exec_roles
+            .get()
+            .map(|roles| RoleBudgets {
+                fast: rt.exec.budget(roles.fast),
+                slow: rt.exec.budget(roles.slow),
+                batch: rt.exec.budget(roles.batch),
+            })
+            .unwrap_or(RoleBudgets {
+                fast: rt.cfg.initial_workers,
+                slow: rt.cfg.slow_workers,
+                batch: rt.cfg.batch_workers,
+            });
+        let cache = rt
+            .cache
+            .as_ref()
+            .map(|c| {
+                let s = c.stats();
+                CacheSummary {
+                    entries: s.entries,
+                    bytes: s.bytes,
+                }
+            })
+            .unwrap_or_default();
+        let ckpt = LoaderCheckpoint {
+            version: CHECKPOINT_VERSION,
+            dataset_len: rt.dataset.len() as u64,
+            epochs: rt.cfg.epochs as u64,
+            shuffle: rt.cfg.shuffle,
+            seed: rt.cfg.seed,
+            watermark,
+            delivered_above,
+            balancer: BalancerCheckpoint {
+                timeout_ns: rt
+                    .balancer
+                    .current_timeout()
+                    .map(|d| d.as_nanos() as u64)
+                    .unwrap_or(0),
+                completions: rt.balancer.completions(),
+                flagged_slow: rt.balancer.flagged_slow(),
+            },
+            budgets,
+            cache,
+        };
+        rt.checkpoint_pause.store(false, Ordering::Release);
+        Ok(ckpt)
+    }
+
+    /// The most recent per-sample errors (dataset, transform, poison,
+    /// caught panics), oldest first — a bounded ring of the last 16, so
+    /// a long fault burst cannot grow memory without bound.
+    pub fn recent_errors(&self) -> Vec<LoaderError> {
+        self.rt.recent_errors.lock().iter().cloned().collect()
     }
 
     /// Current statistics snapshot.
@@ -835,6 +1068,7 @@ impl<D: Dataset> MinatoLoader<D> {
             batches_done: rt.batches_out.get(),
             bytes_done: rt.bytes_out.get(),
             errors: rt.errors.get(),
+            faults: rt.faults.snapshot(),
             fast_queue_len: rt.fast_q.len(),
             slow_queue_len: rt.slow_q.len(),
             temp_queue_len: rt.temp_q.len(),
@@ -1027,6 +1261,11 @@ fn monitor_loop<D: Dataset>(
             t.role_mix[0].push(now, budgets.fast as f64);
             t.role_mix[1].push(now, budgets.slow as f64);
             t.role_mix[2].push(now, budgets.batch as f64);
+            let f = rt.faults.snapshot();
+            t.fault_counts[0].push(now, f.panics as f64);
+            t.fault_counts[1].push(now, f.poisoned as f64);
+            t.fault_counts[2].push(now, f.quarantined as f64);
+            t.fault_counts[3].push(now, f.rerouted as f64);
         }
 
         if rt.cfg.adaptive_workers {

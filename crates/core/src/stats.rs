@@ -1,6 +1,7 @@
 //! Loader statistics snapshots and monitor traces.
 
 use crate::cache::CacheStats;
+use crate::fault::FaultStats;
 use crate::pool::PoolSetStats;
 use minato_exec::ExecStats;
 use minato_metrics::{Summary, TimeSeries};
@@ -21,6 +22,9 @@ pub struct LoaderStats {
     pub bytes_done: u64,
     /// Dataset/transform errors skipped (with `ErrorPolicy::Skip`).
     pub errors: u64,
+    /// Fault-containment counters: panics caught, samples poisoned,
+    /// samples quarantined, batches rerouted around wedged consumers.
+    pub faults: FaultStats,
     /// Current fast-queue occupancy.
     pub fast_queue_len: usize,
     /// Current slow-queue occupancy.
@@ -88,6 +92,10 @@ pub struct MonitorTrace {
     /// the scheduler's role-budget vector migrated capacity between
     /// stages. Constant series on a fixed executor.
     pub role_mix: [TimeSeries; 3],
+    /// Cumulative fault counters over time (`[panics, poisoned,
+    /// quarantined, rerouted]`) — flat at zero on a healthy run, so a
+    /// step in any series timestamps when a fault burst hit.
+    pub fault_counts: [TimeSeries; 4],
 }
 
 impl MonitorTrace {
@@ -106,6 +114,12 @@ impl MonitorTrace {
                 TimeSeries::new("role_fast"),
                 TimeSeries::new("role_slow"),
                 TimeSeries::new("role_batch"),
+            ],
+            fault_counts: [
+                TimeSeries::new("fault_panics"),
+                TimeSeries::new("fault_poisoned"),
+                TimeSeries::new("fault_quarantined"),
+                TimeSeries::new("fault_rerouted"),
             ],
         }
     }
@@ -133,5 +147,6 @@ mod tests {
         assert!(t.pool_hit_pct.is_empty());
         assert!(t.pool_bytes.is_empty());
         assert!(t.role_mix.iter().all(|s| s.is_empty()));
+        assert!(t.fault_counts.iter().all(|s| s.is_empty()));
     }
 }

@@ -33,9 +33,90 @@
 
 use crate::error::Result;
 use minato_pool::PoolSet;
+use parking_lot::Mutex;
 use std::cell::Cell;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Per-sample record of pool scratch a transform holds right now.
+///
+/// A transform that panics between `acquire_*` and `recycle_*` unwinds
+/// past the recycle call, and the pool's byte budget stays debited
+/// forever — enough panics and the pool stops serving buffers at all.
+/// The ledger notes every pool-served acquisition (by capacity) and
+/// forgets it on recycle; whatever is still outstanding when the worker
+/// catches the panic is *repaid* to the pool by
+/// [`ScratchLedger::repay`], restoring the budget to what a panic-free
+/// run would leave.
+#[derive(Debug, Default)]
+pub struct ScratchLedger {
+    f32_caps: Mutex<Vec<usize>>,
+    u8_caps: Mutex<Vec<usize>>,
+}
+
+impl ScratchLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> ScratchLedger {
+        ScratchLedger::default()
+    }
+
+    fn note(list: &Mutex<Vec<usize>>, cap: usize) {
+        list.lock().push(cap);
+    }
+
+    /// Removes the entry matching `cap` (or the most recent one — a
+    /// transform may have grown the buffer past its acquired capacity).
+    fn settle(list: &Mutex<Vec<usize>>, cap: usize) {
+        let mut caps = list.lock();
+        match caps.iter().rposition(|&c| c == cap) {
+            Some(i) => {
+                caps.swap_remove(i);
+            }
+            None => {
+                caps.pop();
+            }
+        }
+    }
+
+    fn note_f32(&self, cap: usize) {
+        Self::note(&self.f32_caps, cap);
+    }
+
+    fn settle_f32(&self, cap: usize) {
+        Self::settle(&self.f32_caps, cap);
+    }
+
+    fn note_u8(&self, cap: usize) {
+        Self::note(&self.u8_caps, cap);
+    }
+
+    fn settle_u8(&self, cap: usize) {
+        Self::settle(&self.u8_caps, cap);
+    }
+
+    /// Buffers currently acquired and not yet recycled.
+    pub fn outstanding(&self) -> usize {
+        self.f32_caps.lock().len() + self.u8_caps.lock().len()
+    }
+
+    /// Returns every outstanding buffer's capacity to `pools` (the
+    /// original allocations were lost to the unwinding stack, so
+    /// equivalent fresh capacity is recycled in their place — the pool
+    /// only cares about capacity, not contents). Returns how many
+    /// buffers were repaid.
+    pub fn repay(&self, pools: &PoolSet) -> usize {
+        let mut repaid = 0;
+        for cap in self.f32_caps.lock().drain(..) {
+            pools.f32s().recycle(Vec::with_capacity(cap));
+            repaid += 1;
+        }
+        for cap in self.u8_caps.lock().drain(..) {
+            pools.u8s().recycle(Vec::with_capacity(cap));
+            repaid += 1;
+        }
+        repaid
+    }
+}
 
 /// Pecan-style classification of a transform's effect on sample volume
 /// (§2.1: AutoOrder moves deflationary steps earlier, inflationary later).
@@ -87,6 +168,9 @@ pub struct TransformCtx {
     /// Deadlines are monotone: once observed expired, stay expired
     /// without further clock reads.
     expired_latch: Cell<bool>,
+    /// Ledger of pool scratch held by the running sample, so the worker
+    /// can repay it if the transform panics; `None` when unpooled.
+    scratch: Option<Arc<ScratchLedger>>,
 }
 
 impl TransformCtx {
@@ -112,6 +196,7 @@ impl TransformCtx {
             last_read_polls: Cell::new(0),
             granted_stride: Cell::new(1),
             expired_latch: Cell::new(false),
+            scratch: None,
         }
     }
 
@@ -147,6 +232,14 @@ impl TransformCtx {
         self
     }
 
+    /// Returns a copy that records pool-served acquisitions in
+    /// `ledger`, letting the worker repay un-recycled scratch after a
+    /// panic (see [`ScratchLedger`]).
+    pub fn with_scratch(mut self, ledger: Arc<ScratchLedger>) -> TransformCtx {
+        self.scratch = Some(ledger);
+        self
+    }
+
     /// Returns a copy polling the clock every `n`-th
     /// [`TransformCtx::expired`] call (`n >= 1`; default
     /// [`TransformCtx::DEFAULT_POLL_STRIDE`]).
@@ -169,6 +262,11 @@ impl TransformCtx {
     /// [`Transform::apply_mut`].
     pub fn in_place(&self) -> bool {
         self.in_place
+    }
+
+    /// The scratch ledger, when panic repayment is armed.
+    pub fn scratch(&self) -> Option<&Arc<ScratchLedger>> {
+        self.scratch.as_ref()
     }
 
     /// Whether the deadline has passed — amortized: most calls only
@@ -262,7 +360,13 @@ impl TransformCtx {
     /// the allocation it replaces.
     pub fn acquire_f32(&self, len: usize) -> Vec<f32> {
         match self.pool() {
-            Some(p) => p.f32s().acquire_filled(len, 0.0),
+            Some(p) => {
+                let buf = p.f32s().acquire_filled(len, 0.0);
+                if let Some(ledger) = &self.scratch {
+                    ledger.note_f32(buf.capacity());
+                }
+                buf
+            }
             None => vec![0.0; len],
         }
     }
@@ -270,6 +374,9 @@ impl TransformCtx {
     /// Returns an `f32` buffer to the pool (dropped when unpooled).
     pub fn recycle_f32(&self, buf: Vec<f32>) {
         if let Some(p) = self.pool() {
+            if let Some(ledger) = &self.scratch {
+                ledger.settle_f32(buf.capacity());
+            }
             p.f32s().recycle(buf);
         }
     }
@@ -282,6 +389,9 @@ impl TransformCtx {
         match self.pool() {
             Some(p) => {
                 let mut buf = p.f32s().acquire(src.len());
+                if let Some(ledger) = &self.scratch {
+                    ledger.note_f32(buf.capacity());
+                }
                 buf.extend_from_slice(src);
                 buf
             }
@@ -293,7 +403,13 @@ impl TransformCtx {
     /// [`TransformCtx::acquire_f32`]).
     pub fn acquire_u8(&self, len: usize) -> Vec<u8> {
         match self.pool() {
-            Some(p) => p.u8s().acquire_filled(len, 0),
+            Some(p) => {
+                let buf = p.u8s().acquire_filled(len, 0);
+                if let Some(ledger) = &self.scratch {
+                    ledger.note_u8(buf.capacity());
+                }
+                buf
+            }
             None => vec![0; len],
         }
     }
@@ -301,6 +417,9 @@ impl TransformCtx {
     /// Returns a `u8` buffer to the pool (dropped when unpooled).
     pub fn recycle_u8(&self, buf: Vec<u8>) {
         if let Some(p) = self.pool() {
+            if let Some(ledger) = &self.scratch {
+                ledger.settle_u8(buf.capacity());
+            }
             p.u8s().recycle(buf);
         }
     }
@@ -865,6 +984,35 @@ mod tests {
         let again = ctx.acquire_f32_from(&[3.0; 100]);
         assert_eq!(again, vec![3.0f32; 100]);
         assert!(pools.stats().f32s.hits >= 1, "second acquire reuses");
+    }
+
+    #[test]
+    fn scratch_ledger_repays_unrecycled_buffers() {
+        let pools = Arc::new(PoolSet::new(1 << 20));
+        let ledger = Arc::new(ScratchLedger::new());
+        let ctx = TransformCtx::unbounded()
+            .with_pool(Arc::clone(&pools))
+            .with_scratch(Arc::clone(&ledger));
+        // Recycled scratch settles its ledger entry.
+        let buf = ctx.acquire_f32(64);
+        assert_eq!(ledger.outstanding(), 1);
+        ctx.recycle_f32(buf);
+        assert_eq!(ledger.outstanding(), 0);
+        let baseline = pools.stats().f32s.bytes + pools.stats().u8s.bytes;
+        // A "panicking" transform acquires and never recycles: the
+        // buffers vanish with the unwinding stack (dropped here), and
+        // only the ledger knows what the pool is still owed.
+        let lost_f32 = ctx.acquire_f32(64);
+        let lost_u8 = ctx.acquire_u8(256);
+        drop((lost_f32, lost_u8));
+        assert_eq!(ledger.outstanding(), 2);
+        assert_eq!(ledger.repay(&pools), 2);
+        assert_eq!(ledger.outstanding(), 0);
+        let repaid = pools.stats().f32s.bytes + pools.stats().u8s.bytes;
+        assert!(
+            repaid >= baseline,
+            "repay must restore pool bytes ({repaid} < {baseline})"
+        );
     }
 
     /// In-place doubler whose first execution interrupts after restoring

@@ -25,19 +25,26 @@
 use crate::balancer::LoadBalancer;
 use crate::batch::{Batch, Prepared, ReorderBuffer, SampleMeta, TransferHook};
 use crate::cache::SampleCache;
+use crate::checkpoint::DeliveryLog;
 use crate::dataset::{Dataset, Sampler};
 use crate::error::LoaderError;
+use crate::fault::{FaultAction, FaultInjector, FaultSite, FaultStats};
 use crate::loader::{ErrorPolicy, LoaderConfig};
 use crate::pool::{PoolSet, SampleRecycler};
 use crate::profiler::SampleRecord;
 use crate::queue::{Closed, MinatoQueue, PopResult, TryPutError, TryReserveError};
-use crate::transform::{Pipeline, PipelineRun, TransformCtx};
+use crate::transform::{Pipeline, PipelineRun, ScratchLedger, TransformCtx};
 use minato_exec::{ExecHandle, RoleId, RoleStep, StepOutcome};
 use minato_metrics::{Counter, UtilizationMeter};
 use parking_lot::Mutex;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock, Weak};
 use std::time::{Duration, Instant};
+
+/// Bound on the `recent_errors` ring: enough to see a fault *burst*,
+/// small enough that a pathological run cannot grow memory unboundedly.
+pub(crate) const RECENT_ERRORS_CAP: usize = 16;
 
 /// A sample parked mid-pipeline after a timeout (temp-queue entry).
 #[derive(Debug)]
@@ -47,6 +54,86 @@ pub(crate) struct Deferred<S> {
     pub meta: SampleMeta,
     /// Foreground preprocessing time already spent before deferral.
     pub spent: Duration,
+    /// Pool-scratch ledger carried over from the foreground run, so a
+    /// panic during background completion repays what the *whole*
+    /// sample still holds, not just what the resume acquired.
+    pub scratch: Option<Arc<ScratchLedger>>,
+}
+
+/// Live fault counters ([`FaultStats`] is their snapshot).
+pub(crate) struct FaultCounters {
+    pub panics: Counter,
+    pub poisoned: Counter,
+    pub quarantined: Counter,
+    pub rerouted: Counter,
+}
+
+impl FaultCounters {
+    pub(crate) fn new() -> FaultCounters {
+        FaultCounters {
+            panics: Counter::new(),
+            poisoned: Counter::new(),
+            quarantined: Counter::new(),
+            rerouted: Counter::new(),
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> FaultStats {
+        FaultStats {
+            panics: self.panics.get(),
+            poisoned: self.poisoned.get(),
+            quarantined: self.quarantined.get(),
+            rerouted: self.rerouted.get(),
+        }
+    }
+}
+
+/// Repays un-recycled pool scratch when a sample execution unwinds.
+///
+/// Armed by [`Runtime::guarded_ctx`] around every pipeline run that has
+/// a pool attached; the success paths call [`ScratchGuard::disarm`], so
+/// the `Drop` impl only fires when the run panicked or errored out —
+/// exactly the paths that lose their buffers to the unwinding stack.
+struct ScratchGuard {
+    pools: Option<Arc<PoolSet>>,
+    ledger: Option<Arc<ScratchLedger>>,
+    armed: bool,
+}
+
+impl ScratchGuard {
+    /// Guard for an unpooled run: nothing to repay.
+    fn disabled() -> ScratchGuard {
+        ScratchGuard {
+            pools: None,
+            ledger: None,
+            armed: false,
+        }
+    }
+
+    /// Defuses the guard (the run completed; its buffers live on in the
+    /// sample) and hands the ledger back for deferred runs to carry.
+    fn disarm(&mut self) -> Option<Arc<ScratchLedger>> {
+        self.armed = false;
+        self.ledger.take()
+    }
+}
+
+impl Drop for ScratchGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            if let (Some(pools), Some(ledger)) = (&self.pools, &self.ledger) {
+                ledger.repay(pools);
+            }
+        }
+    }
+}
+
+/// Extracts a human-readable message from a caught panic payload.
+fn panic_payload_msg(p: Box<dyn std::any::Any + Send>) -> String {
+    p.downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| p.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "opaque panic payload".into())
 }
 
 /// The loader's role ids on its executor pool, set once at build time.
@@ -119,6 +206,23 @@ pub(crate) struct Runtime<D: Dataset> {
     pub batches_out: Counter,
     pub errors: Counter,
     pub first_error: Mutex<Option<LoaderError>>,
+    /// Ring of the most recent errors (cap [`RECENT_ERRORS_CAP`]), so a
+    /// burst of *distinct* faults stays observable — `first_error` alone
+    /// keeps only the oldest and every later fault vanishes.
+    pub recent_errors: Mutex<VecDeque<LoaderError>>,
+    /// Fault-containment counters snapshot into `LoaderStats.faults`.
+    pub faults: FaultCounters,
+    /// Seqs delivered to consumers; only populated when
+    /// `cfg.checkpointing` is on (recorded by `next_batch`).
+    pub delivered: Mutex<DeliveryLog>,
+    /// Safe-point rendezvous for `MinatoLoader::checkpoint()`: while
+    /// set, fast-role steps idle at their step boundary (the same
+    /// boundary elastic workers re-bid roles at) instead of claiming
+    /// new tickets, quiescing the claim pipeline.
+    pub checkpoint_pause: AtomicBool,
+    /// Deterministic fault oracle for the chaos suite; `None` (the
+    /// production default) costs one branch per sample.
+    pub injector: Option<Arc<dyn FaultInjector>>,
     pub shutdown: AtomicBool,
     pub started_at: Instant,
     /// Optional device-transfer prefetch hook (§4.3's CUDA stream).
@@ -126,8 +230,16 @@ pub(crate) struct Runtime<D: Dataset> {
 }
 
 impl<D: Dataset> Runtime<D> {
-    pub(crate) fn record_error(&self, err: LoaderError) {
+    /// Shared bookkeeping for any quarantined sample: error counter,
+    /// bounded recent-errors ring, first-error slot, fail-fast policy.
+    fn note_error(&self, err: LoaderError) {
         self.errors.incr();
+        let mut ring = self.recent_errors.lock();
+        if ring.len() == RECENT_ERRORS_CAP {
+            ring.pop_front();
+        }
+        ring.push_back(err.clone());
+        drop(ring);
         let mut slot = self.first_error.lock();
         if slot.is_none() {
             *slot = Some(err);
@@ -136,6 +248,21 @@ impl<D: Dataset> Runtime<D> {
         if self.cfg.error_policy == ErrorPolicy::Fail {
             self.initiate_shutdown();
         }
+    }
+
+    /// Records a sample quarantined by a clean error (dataset failure,
+    /// transform error, poisoned sample).
+    pub(crate) fn record_error(&self, err: LoaderError) {
+        self.faults.poisoned.incr();
+        self.faults.quarantined.incr();
+        self.note_error(err);
+    }
+
+    /// Records a sample quarantined by a caught panic.
+    pub(crate) fn record_panic(&self, err: LoaderError) {
+        self.faults.panics.incr();
+        self.faults.quarantined.incr();
+        self.note_error(err);
     }
 
     /// Requests a full stop: queues close, pool workers wake and exit
@@ -160,16 +287,35 @@ impl<D: Dataset> Runtime<D> {
         self.shutdown.load(Ordering::Acquire)
     }
 
-    /// Builds the per-run transform context: optional deadline, plus the
-    /// buffer pools (which engage in-place execution) when pooling is on.
-    fn transform_ctx(&self, timeout: Option<Duration>) -> TransformCtx {
+    /// Builds the per-run transform context — optional deadline, plus
+    /// the buffer pools (which engage in-place execution) when pooling
+    /// is on — paired with a [`ScratchGuard`] that repays un-recycled
+    /// pool scratch if the run unwinds. `ledger` carries a deferred
+    /// sample's existing ledger into its background resume; fresh runs
+    /// pass `None` and get a new one.
+    fn guarded_ctx(
+        &self,
+        timeout: Option<Duration>,
+        ledger: Option<Arc<ScratchLedger>>,
+    ) -> (TransformCtx, ScratchGuard) {
         let ctx = match timeout {
             Some(t) => TransformCtx::with_deadline(Instant::now() + t),
             None => TransformCtx::unbounded(),
         };
         match &self.pools {
-            Some(p) => ctx.with_pool(Arc::clone(p)),
-            None => ctx,
+            Some(p) => {
+                let ledger = ledger.unwrap_or_else(|| Arc::new(ScratchLedger::new()));
+                let ctx = ctx
+                    .with_pool(Arc::clone(p))
+                    .with_scratch(Arc::clone(&ledger));
+                let guard = ScratchGuard {
+                    pools: Some(Arc::clone(p)),
+                    ledger: Some(ledger),
+                    armed: true,
+                };
+                (ctx, guard)
+            }
+            None => (ctx, ScratchGuard::disabled()),
         }
     }
 
@@ -213,19 +359,34 @@ impl<D: Dataset> Runtime<D> {
         // Same panic containment as the foreground path: the close
         // cascade depends on every step reaching its exit accounting.
         let (resume_at, partial) = (d.resume_at, d.partial);
-        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            self.pipeline
-                .run_ctx(resume_at, partial, self.transform_ctx(None))
-        }))
-        .unwrap_or_else(|_| {
+        let (index, seq) = (d.meta.index, d.meta.seq);
+        let (ctx, mut guard) = self.guarded_ctx(None, d.scratch);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if let Some(inj) = &self.injector {
+                match inj.decide(FaultSite::Slow, index, seq) {
+                    FaultAction::Panic => panic!("injected background fault at seq {seq}"),
+                    FaultAction::Poison => {
+                        return Err(LoaderError::Transform {
+                            name: "poisoned".into(),
+                            msg: format!("injected poison at seq {seq}"),
+                        })
+                    }
+                    FaultAction::None => {}
+                }
+            }
+            self.pipeline.run_ctx(resume_at, partial, ctx)
+        }));
+        let panicked = caught.is_err();
+        let run = caught.unwrap_or_else(|p| {
             Err(LoaderError::Transform {
                 name: "panicked".into(),
-                msg: "background transform panicked".into(),
+                msg: panic_payload_msg(p),
             })
         });
         self.slow_meter.add_busy(t0.elapsed());
         match run {
             Ok(PipelineRun::Completed { value, elapsed }) => {
+                guard.disarm();
                 let total = d.spent + elapsed;
                 let meta = SampleMeta {
                     preprocess: total,
@@ -260,7 +421,13 @@ impl<D: Dataset> Runtime<D> {
                 None
             }
             Err(e) => {
-                self.record_error(e);
+                // The guard's drop repays pool scratch the unwinding
+                // (or error-propagating) run never recycled.
+                if panicked {
+                    self.record_panic(e);
+                } else {
+                    self.record_error(e);
+                }
                 None
             }
         }
@@ -377,6 +544,14 @@ impl<D: Dataset> RoleStep for FastStep<D> {
         if rt.is_shutdown() {
             return StepOutcome::Exhausted;
         }
+        // Checkpoint rendezvous: idle at the step boundary (where an
+        // elastic worker would re-bid its role anyway) instead of
+        // claiming tickets, so `MinatoLoader::checkpoint()` can observe
+        // a quiescent claim pipeline. Samples already claimed keep
+        // flowing; only new claims stop.
+        if rt.checkpoint_pause.load(Ordering::Acquire) {
+            return StepOutcome::Idle;
+        }
         let chunk = rt.cfg.ticket_chunk.max(1);
         // Claim accounting: raise `in_flight` *before* taking tickets so
         // a concurrent worker observing the drained sampler cannot close
@@ -438,27 +613,38 @@ impl<D: Dataset> RoleStep for FastStep<D> {
             // pipeline: the in-flight claim has to be released either
             // way, so the whole per-sample step runs under
             // `catch_unwind` and a panic degrades to a recorded error
-            // for this sample.
-            let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // for this sample. The guard repays pool scratch the
+            // unwinding run never recycled.
+            let timeout = rt.balancer.current_timeout();
+            let (ctx, mut guard) = rt.guarded_ctx(timeout, None);
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if let Some(inj) = &rt.injector {
+                    match inj.decide(FaultSite::Fast, ticket.index, ticket.seq) {
+                        FaultAction::Panic => panic!("injected fault at seq {}", ticket.seq),
+                        FaultAction::Poison => {
+                            return Err(LoaderError::Transform {
+                                name: "poisoned".into(),
+                                msg: format!("injected poison at seq {}", ticket.seq),
+                            })
+                        }
+                        FaultAction::None => {}
+                    }
+                }
                 let raw = rt.dataset.load(ticket.index)?;
-                let timeout = rt.balancer.current_timeout();
-                rt.pipeline.run_ctx(0, raw, rt.transform_ctx(timeout))
-            }))
-            .unwrap_or_else(|p| {
-                let msg = p
-                    .downcast_ref::<&str>()
-                    .map(|s| s.to_string())
-                    .or_else(|| p.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "opaque panic payload".into());
+                rt.pipeline.run_ctx(0, raw, ctx)
+            }));
+            let panicked = caught.is_err();
+            let run = caught.unwrap_or_else(|p| {
                 Err(LoaderError::Transform {
                     name: "panicked".into(),
-                    msg,
+                    msg: panic_payload_msg(p),
                 })
             });
             let bytes = rt.dataset.size_hint_bytes(ticket.index).unwrap_or(0);
             rt.cpu_meter.add_busy(t0.elapsed());
             match run {
                 Ok(PipelineRun::Completed { value, elapsed }) => {
+                    guard.disarm();
                     let meta = SampleMeta {
                         index: ticket.index,
                         epoch: ticket.epoch,
@@ -500,6 +686,10 @@ impl<D: Dataset> RoleStep for FastStep<D> {
                         resume_at,
                         meta,
                         spent: elapsed,
+                        // The partial sample still owns its pool
+                        // scratch: hand the ledger to the background
+                        // resume instead of repaying.
+                        scratch: guard.disarm(),
                     };
                     // A full temp queue means the slow stage is behind —
                     // publish the buffered fast samples first (they'd
@@ -518,7 +708,11 @@ impl<D: Dataset> RoleStep for FastStep<D> {
                     }
                 }
                 Err(e) => {
-                    rt.record_error(e);
+                    if panicked {
+                        rt.record_panic(e);
+                    } else {
+                        rt.record_error(e);
+                    }
                     rt.in_flight.fetch_sub(1, Ordering::SeqCst);
                 }
             }
@@ -655,6 +849,17 @@ fn emit_batch<D: Dataset>(rt: &Runtime<D>, batch: &mut Batch<D::Sample>) -> bool
             Err(TryReserveError::Closed) => return false,
         }
     };
+    // Delivered while another GPU's queue sat full: this batch was
+    // routed *around* a saturated (possibly wedged) consumer — the
+    // fault stats surface how often delivery had to dodge a stall.
+    if rt
+        .batch_qs
+        .iter()
+        .enumerate()
+        .any(|(g, q)| g != gpu && q.len() >= q.capacity())
+    {
+        rt.faults.rerouted.incr();
+    }
     // Prefetch to the device before the consumer asks (§4.3).
     if let Some(hook) = &rt.transfer_hook {
         hook.transfer(&full, gpu);
@@ -949,6 +1154,7 @@ mod tests {
             cache_shards: 8,
             pool_budget_bytes: 0,
             executor: crate::loader::ExecutorConfig::Fixed,
+            checkpointing: false,
         }
     }
 
@@ -983,6 +1189,11 @@ mod tests {
             batches_out: Counter::new(),
             errors: Counter::new(),
             first_error: Mutex::new(None),
+            recent_errors: Mutex::new(VecDeque::new()),
+            faults: FaultCounters::new(),
+            delivered: Mutex::new(DeliveryLog::new()),
+            checkpoint_pause: AtomicBool::new(false),
+            injector: None,
             shutdown: AtomicBool::new(false),
             started_at: Instant::now(),
             transfer_hook: None,
@@ -1112,8 +1323,70 @@ mod tests {
                 bytes: 0,
             },
             spent: Duration::from_millis(3),
+            scratch: None,
         };
         assert_eq!(d.resume_at, 2);
         assert!(d.meta.slow);
+    }
+
+    /// A rerouted batch (full queue skipped, delivered elsewhere) must
+    /// bump the `rerouted` fault counter; plain deliveries must not.
+    #[test]
+    fn emit_batch_counts_reroutes() {
+        let mut cfg = mini_cfg();
+        cfg.num_gpus = 2;
+        cfg.prefetch_factor = 1;
+        cfg.batch_size = 2;
+        let mut rt = mini_runtime(cfg);
+        Arc::get_mut(&mut rt)
+            .expect("sole owner")
+            .batch_qs
+            .push(MinatoQueue::new("batch[1]", 1));
+        let mut b = Batch::with_capacity(2);
+        b.push(prepared(0));
+        assert!(emit_batch(&*rt, &mut b), "plain delivery");
+        assert_eq!(rt.faults.rerouted.get(), 0, "no saturated queue yet");
+        // The first batch's consumer never drains its capacity-1 queue,
+        // so the next delivery dodges a wedged consumer.
+        let mut b = Batch::with_capacity(2);
+        b.push(prepared(1));
+        assert!(emit_batch(&*rt, &mut b));
+        assert_eq!(rt.faults.rerouted.get(), 1, "routed around the stall");
+    }
+
+    /// `recent_errors` is a bounded ring: the cap holds, old entries
+    /// fall out, and distinct later faults stay observable.
+    #[test]
+    fn recent_errors_ring_is_bounded() {
+        let rt = mini_runtime(mini_cfg());
+        for i in 0..(RECENT_ERRORS_CAP + 5) {
+            rt.record_error(LoaderError::Dataset {
+                index: i,
+                msg: "boom".into(),
+            });
+        }
+        let ring = rt.recent_errors.lock();
+        assert_eq!(ring.len(), RECENT_ERRORS_CAP);
+        assert!(
+            matches!(ring.back(), Some(LoaderError::Dataset { index, .. }) if *index == RECENT_ERRORS_CAP + 4),
+            "newest error must be retained"
+        );
+        assert!(
+            matches!(ring.front(), Some(LoaderError::Dataset { index, .. }) if *index == 5),
+            "oldest entries must have fallen out"
+        );
+        drop(ring);
+        assert_eq!(rt.errors.get(), (RECENT_ERRORS_CAP + 5) as u64);
+        assert_eq!(
+            rt.faults.snapshot().quarantined,
+            (RECENT_ERRORS_CAP + 5) as u64
+        );
+        assert!(
+            matches!(
+                &*rt.first_error.lock(),
+                Some(LoaderError::Dataset { index: 0, .. })
+            ),
+            "first_error still pins the first fault"
+        );
     }
 }

@@ -1,0 +1,193 @@
+//! Checkpoint/resume integration tests: the crash-safety contract is
+//! **exactly-once delivery** — kill a run at an arbitrary point, resume
+//! from its checkpoint, and the union of seqs delivered before the kill
+//! and after the resume is every ticket of the run, with no duplicates.
+
+use minato_core::prelude::*;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn build_loader(
+    n: usize,
+    epochs: usize,
+    seed: u64,
+    elastic: bool,
+    resume: Option<LoaderCheckpoint>,
+) -> MinatoLoader<VecDataset<u32>> {
+    let ds = VecDataset::new((0..n as u32).collect::<Vec<_>>());
+    let mut b = MinatoLoader::builder(ds, Pipeline::identity())
+        .batch_size(3)
+        .epochs(epochs)
+        .seed(seed)
+        .initial_workers(2)
+        .max_workers(4)
+        .checkpoint(true);
+    if elastic {
+        b = b.executor(ExecutorConfig::Elastic { threads: 4 });
+    }
+    if let Some(ck) = resume {
+        b = b.resume_from(ck);
+    }
+    b.build().expect("valid configuration")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn kill_and_resume_delivers_exactly_once(
+        n in 8usize..40,
+        epochs in 1usize..4,
+        kill_batches in 0usize..12,
+        seed in 0u64..1000,
+        elastic in any::<bool>(),
+    ) {
+        let total = (n * epochs) as u64;
+
+        // Phase 1: deliver a prefix, checkpoint, "crash". Batches that
+        // were queued but never popped die with the loader.
+        let first = build_loader(n, epochs, seed, elastic, None);
+        let mut pre = Vec::new();
+        for _ in 0..kill_batches {
+            match first.next_batch(0) {
+                Some(b) => pre.extend(b.meta.iter().map(|m| m.seq)),
+                None => break,
+            }
+        }
+        let ckpt = first.checkpoint().expect("checkpointing enabled");
+        drop(first);
+
+        // The checkpoint survives the crash as bytes.
+        let ckpt = LoaderCheckpoint::decode(&ckpt.encode()).expect("round-trip");
+        prop_assert_eq!(ckpt.delivered_count(), pre.len() as u64);
+
+        // Phase 2: resume and drain.
+        let second = build_loader(n, epochs, seed, elastic, Some(ckpt));
+        let mut post = Vec::new();
+        while let Some(b) = second.next_batch(0) {
+            post.extend(b.meta.iter().map(|m| m.seq));
+        }
+
+        let pre_set: BTreeSet<u64> = pre.iter().copied().collect();
+        let post_set: BTreeSet<u64> = post.iter().copied().collect();
+        prop_assert_eq!(pre_set.len(), pre.len());
+        prop_assert_eq!(post_set.len(), post.len());
+        prop_assert!(
+            pre_set.is_disjoint(&post_set),
+            "resume re-delivered checkpointed seqs: {:?}",
+            pre_set.intersection(&post_set).collect::<Vec<_>>()
+        );
+        let union: BTreeSet<u64> = pre_set.union(&post_set).copied().collect();
+        prop_assert_eq!(union, (0..total).collect::<BTreeSet<u64>>());
+    }
+}
+
+#[test]
+fn checkpoint_requires_the_builder_knob() {
+    let ds = VecDataset::new((0..8u32).collect::<Vec<_>>());
+    let loader = MinatoLoader::builder(ds, Pipeline::identity())
+        .batch_size(4)
+        .initial_workers(1)
+        .max_workers(1)
+        .build()
+        .expect("valid configuration");
+    let err = loader.checkpoint().expect_err("knob is off");
+    assert!(matches!(err, LoaderError::Checkpoint(_)), "got: {err:?}");
+}
+
+#[test]
+fn resume_rejects_a_foreign_dataset() {
+    let first = build_loader(20, 1, 9, false, None);
+    let _ = first.next_batch(0);
+    let ckpt = first.checkpoint().expect("checkpointing enabled");
+    drop(first);
+    // Same checkpoint, different dataset length: must refuse to build.
+    let ds = VecDataset::new((0..30u32).collect::<Vec<_>>());
+    let built = MinatoLoader::builder(ds, Pipeline::identity())
+        .batch_size(3)
+        .initial_workers(1)
+        .max_workers(1)
+        .resume_from(ckpt)
+        .build();
+    match built {
+        Err(err) => assert!(matches!(err, LoaderError::Checkpoint(_)), "got: {err:?}"),
+        Ok(_) => panic!("dataset length mismatch must not build"),
+    }
+}
+
+#[test]
+fn resume_rejects_an_unknown_version() {
+    let first = build_loader(10, 1, 0, false, None);
+    let ckpt = first.checkpoint().expect("checkpointing enabled");
+    drop(first);
+    let stale = LoaderCheckpoint {
+        version: CHECKPOINT_VERSION + 1,
+        ..ckpt
+    };
+    let ds = VecDataset::new((0..10u32).collect::<Vec<_>>());
+    let built = MinatoLoader::builder(ds, Pipeline::identity())
+        .resume_from(stale)
+        .build();
+    match built {
+        Err(err) => assert!(matches!(err, LoaderError::Checkpoint(_)), "got: {err:?}"),
+        Ok(_) => panic!("version mismatch must not build"),
+    }
+}
+
+/// The balancer's learned timeout rides the checkpoint: a resumed run
+/// starts with the cutoff already published instead of re-entering the
+/// optimistic warm-up phase.
+#[test]
+fn resume_restores_the_learned_timeout() {
+    let ckpt = LoaderCheckpoint {
+        version: CHECKPOINT_VERSION,
+        dataset_len: 64,
+        epochs: 1,
+        shuffle: false,
+        seed: 0,
+        watermark: 0,
+        delivered_above: Vec::new(),
+        balancer: BalancerCheckpoint {
+            timeout_ns: 5_000_000,
+            completions: 500,
+            flagged_slow: 40,
+        },
+        budgets: RoleBudgets {
+            fast: 2,
+            slow: 1,
+            batch: 1,
+        },
+        cache: CacheSummary::default(),
+    };
+    let ds = VecDataset::new((0..64u32).collect::<Vec<_>>());
+    // Workers block on a gate until the assertion below has run: with
+    // zero new completions the adaptive estimator cannot have refreshed,
+    // so the observed cutoff is exactly the restored one.
+    let gate = Arc::new(AtomicBool::new(false));
+    let g2 = Arc::clone(&gate);
+    let p = Pipeline::new(vec![fn_transform("gate", move |x: u32| {
+        while !g2.load(Ordering::Acquire) {
+            std::thread::sleep(Duration::from_micros(100));
+        }
+        Ok(x)
+    })]);
+    let loader = MinatoLoader::builder(ds, p)
+        .batch_size(8)
+        .initial_workers(2)
+        .max_workers(4)
+        .resume_from(ckpt)
+        .build()
+        .expect("valid configuration");
+    assert_eq!(
+        loader.stats().timeout,
+        Some(Duration::from_millis(5)),
+        "restored cutoff must be live before any new profiling"
+    );
+    gate.store(true, Ordering::Release);
+    let delivered: usize = loader.iter().map(|b| b.len()).sum();
+    assert_eq!(delivered, 64);
+    // Restored estimator counters fold into the run's totals.
+    assert_eq!(loader.stats().samples_done, 500 + 64);
+}

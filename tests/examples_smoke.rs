@@ -278,3 +278,44 @@ fn shared_executor_flow() {
     // A follow-up tenant reuses the still-live pool.
     assert_eq!(run(pool, 32, 8), 32);
 }
+
+/// `examples/resume_after_crash.rs`: checkpoint mid-run, drop the
+/// loader, resume from the serialized bytes; the two halves must be an
+/// exact, duplicate-free partition of the run.
+#[test]
+fn resume_after_crash_flow() {
+    use std::collections::BTreeSet;
+    let n = 40u32;
+    let epochs = 2usize;
+    let build = || {
+        let dataset = VecDataset::new((0..n).collect::<Vec<_>>());
+        MinatoLoader::builder(dataset, Pipeline::identity())
+            .batch_size(4)
+            .epochs(epochs)
+            .seed(7)
+            .initial_workers(2)
+            .max_workers(4)
+            .checkpoint(true)
+    };
+
+    let first = build().build().expect("loader builds");
+    let mut pre = BTreeSet::new();
+    for _ in 0..5 {
+        let batch = first.next_batch(0).expect("early batches exist");
+        pre.extend(batch.meta.iter().map(|m| m.seq));
+    }
+    let bytes = first.checkpoint().expect("checkpointing enabled").encode();
+    drop(first); // The crash.
+
+    let ckpt = LoaderCheckpoint::decode(&bytes).expect("intact bytes");
+    let resumed = build().resume_from(ckpt).build().expect("resume builds");
+    let mut post = BTreeSet::new();
+    while let Some(batch) = resumed.next_batch(0) {
+        post.extend(batch.meta.iter().map(|m| m.seq));
+    }
+
+    assert!(pre.is_disjoint(&post), "resume must not re-deliver");
+    let total = (n as usize * epochs) as u64;
+    let union: BTreeSet<u64> = pre.union(&post).copied().collect();
+    assert_eq!(union, (0..total).collect::<BTreeSet<u64>>());
+}
