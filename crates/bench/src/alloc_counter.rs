@@ -26,27 +26,36 @@ pub struct CountingAlloc;
 // SAFETY: delegates every operation to `System` unchanged; the counter
 // updates are lock-free atomics and never allocate.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: inherits `System::alloc`'s contract verbatim.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        // SAFETY: the caller's layout is forwarded unchanged.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: inherits `System::alloc_zeroed`'s contract verbatim.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        // SAFETY: the caller's layout is forwarded unchanged.
         unsafe { System.alloc_zeroed(layout) }
     }
 
+    // SAFETY: inherits `System::realloc`'s contract verbatim.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         // A grow/shrink pays the allocator once; count it once.
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         ALLOCATED_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        // SAFETY: ptr/layout/new_size come straight from the caller,
+        // who upholds `GlobalAlloc::realloc`'s preconditions.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 
+    // SAFETY: inherits `System::dealloc`'s contract verbatim.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         DEALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: ptr was produced by this allocator with this layout.
         unsafe { System.dealloc(ptr, layout) }
     }
 }

@@ -216,6 +216,7 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
                 let old = (self.rank(e.cost_ns), e.stamp);
                 e.stamp = st.clock;
                 st.clock += 1;
+                // minato-verify: allow(V1) order/map sync is the shard's core invariant; silently tolerating a desync would serve stale eviction state
                 let k = st.order.remove(&old).expect("order and map in sync");
                 st.order.insert((self.rank(e.cost_ns), e.stamp), k);
                 let value = e.value.clone();
@@ -256,6 +257,7 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
             let Some((_, victim)) = st.order.pop_first() else {
                 break; // Unreachable: weight <= shard_budget and bytes = 0.
             };
+            // minato-verify: allow(V1) victim came from `order` under the same shard lock; a miss means corrupted accounting
             let e = st.map.remove(&victim).expect("order and map in sync");
             st.bytes -= e.bytes;
             self.bytes.fetch_sub(e.bytes, Ordering::Relaxed);

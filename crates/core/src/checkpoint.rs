@@ -60,6 +60,7 @@ pub struct CacheSummary {
 
 /// Versioned snapshot of resumable loader state.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[must_use = "a checkpoint is only useful if persisted or resumed from"]
 pub struct LoaderCheckpoint {
     /// Codec version ([`CHECKPOINT_VERSION`]).
     pub version: u32,

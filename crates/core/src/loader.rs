@@ -910,7 +910,11 @@ impl<D: Dataset> MinatoLoader<D> {
             slow: ids[1],
             batch: ids[2],
         };
-        rt.exec_roles.set(roles).expect("roles set once");
+        if rt.exec_roles.set(roles).is_err() {
+            return Err(LoaderError::Config(
+                "executor roles registered twice for one runtime".into(),
+            ));
+        }
         let executor = if exec_owned {
             Some(
                 exec.spawn()
@@ -928,7 +932,7 @@ impl<D: Dataset> MinatoLoader<D> {
             handles.push(
                 std::thread::Builder::new()
                     .name("minato-monitor".into())
-                    .spawn(move || monitor_loop(rt2, trace2, budgets))
+                    .spawn(move || monitor_loop(rt2, trace2, budgets, roles))
                     .map_err(|e| LoaderError::Config(format!("spawn failed: {e}")))?,
             );
         }
@@ -1158,13 +1162,10 @@ fn monitor_loop<D: Dataset>(
     rt: Arc<Runtime<D>>,
     trace: Arc<Mutex<MonitorTrace>>,
     mut budgets: RoleBudgets,
+    roles: ExecRoles,
 ) {
     let mut scheduler = WorkerScheduler::new(rt.cfg.scheduler.clone());
     let interval = rt.cfg.scheduler.interval;
-    let roles = *rt
-        .exec_roles
-        .get()
-        .expect("roles registered before monitor");
     let elastic = rt.exec.config().elastic;
     let slow_enabled = !matches!(rt.cfg.timeout_policy, TimeoutPolicy::Disabled);
     let mut prev_busy = 0u64;

@@ -146,6 +146,7 @@ impl<T> MinatoQueue<T> {
 
     /// Blocking put. Fails with [`Closed`] if the queue was closed (before
     /// or while waiting for space).
+    // minato-verify: hot-path
     pub fn put(&self, item: T) -> Result<(), Closed> {
         match self.policy {
             WakeupPolicy::Condvar => {
@@ -184,6 +185,7 @@ impl<T> MinatoQueue<T> {
     }
 
     /// Non-blocking put.
+    // minato-verify: hot-path
     pub fn try_put(&self, item: T) -> Result<(), TryPutError<T>> {
         let mut g = self.lock_op();
         if g.closed {
@@ -380,6 +382,7 @@ impl<T> MinatoQueue<T> {
 
     /// Blocking pop. Returns `None` only when the queue is closed and
     /// empty.
+    // minato-verify: hot-path
     pub fn pop(&self) -> Option<T> {
         match self.policy {
             WakeupPolicy::Condvar => {
@@ -456,6 +459,7 @@ impl<T> MinatoQueue<T> {
     }
 
     /// Non-blocking pop.
+    // minato-verify: hot-path
     pub fn try_pop(&self) -> PopResult<T> {
         let mut g = self.lock_op();
         if let Some(item) = g.items.pop_front() {
@@ -655,6 +659,7 @@ pub enum TryReserveError {
 /// [`PutReservation::publish`] or drop, so concurrent producers cannot
 /// oversubscribe the queue while the holder works outside the lock.
 #[derive(Debug)]
+#[must_use = "an unpublished reservation holds a capacity slot until dropped"]
 pub struct PutReservation<'a, T> {
     queue: &'a MinatoQueue<T>,
     active: bool,
@@ -697,6 +702,7 @@ impl<T> Drop for PutReservation<'_, T> {
 
 /// Result of [`MinatoQueue::try_pop`].
 #[derive(Debug, PartialEq, Eq)]
+#[must_use = "ignoring the result silently drops a popped item"]
 pub enum PopResult<T> {
     /// An item was dequeued.
     Item(T),

@@ -633,38 +633,37 @@ impl<T: Send + 'static> Pipeline<T> {
     pub fn run_ctx(&self, start_at: usize, input: T, ctx: TransformCtx) -> Result<PipelineRun<T>> {
         let start = Instant::now();
         let in_place = ctx.in_place();
-        // `Option` dance so the by-value fallback can take ownership of
-        // the sample mid-loop while `apply_mut` borrows it in place.
-        let mut value = Some(input);
+        // The sample is owned directly: the by-value fallback moves it
+        // into `apply` and reassigns from the outcome, so every exit path
+        // has the value in hand without an `Option` dance.
+        let mut value = input;
         let mut i = start_at;
         while i < self.steps.len() {
             let step = &self.steps[i];
             let status = if in_place {
-                step.apply_mut(value.as_mut().expect("sample present"), &ctx)?
+                step.apply_mut(&mut value, &ctx)?
             } else {
                 InPlace::ByValue
             };
             let interrupted = match status {
                 InPlace::Done => false,
                 InPlace::Interrupted => true,
-                InPlace::ByValue => {
-                    match step.apply(value.take().expect("sample present"), &ctx)? {
-                        Outcome::Done(v) => {
-                            value = Some(v);
-                            false
-                        }
-                        Outcome::Interrupted(v) => {
-                            value = Some(v);
-                            true
-                        }
+                InPlace::ByValue => match step.apply(value, &ctx)? {
+                    Outcome::Done(v) => {
+                        value = v;
+                        false
                     }
-                }
+                    Outcome::Interrupted(v) => {
+                        value = v;
+                        true
+                    }
+                },
             };
             if interrupted {
                 // The transform bailed out mid-flight; it must be
                 // re-executed from scratch by the background worker.
                 return Ok(PipelineRun::TimedOut {
-                    partial: value.take().expect("sample present"),
+                    partial: value,
                     resume_at: i,
                     elapsed: start.elapsed(),
                 });
@@ -676,14 +675,14 @@ impl<T: Send + 'static> Pipeline<T> {
             // when kernels amortize their polls.
             if i < self.steps.len() && ctx.expired_now() {
                 return Ok(PipelineRun::TimedOut {
-                    partial: value.take().expect("sample present"),
+                    partial: value,
                     resume_at: i,
                     elapsed: start.elapsed(),
                 });
             }
         }
         Ok(PipelineRun::Completed {
-            value: value.take().expect("sample present"),
+            value,
             elapsed: start.elapsed(),
         })
     }

@@ -952,6 +952,7 @@ impl<D: Dataset> BatchStep<D> {
 
     /// One assembly pass of the default mode (one iteration of the
     /// pre-refactor batch-worker loop, semantics unchanged).
+    // minato-verify: hot-path
     fn step_minato(&self, lane: &mut MinatoLane<D>) -> StepOutcome {
         let rt = &*self.rt;
         // Drain in bulk up to the remaining batch budget: fast queue
@@ -965,6 +966,7 @@ impl<D: Dataset> BatchStep<D> {
         } else {
             rt.cfg.batch_size - lane.batch.len()
         };
+        // minato-verify: allow(V2) zero-capacity constructor never touches the heap; the backing allocation happens inside try_pop_many
         let mut pulled = Vec::new();
         if !lane.fast_done {
             match rt.fast_q.try_pop_many(need) {
@@ -1022,6 +1024,7 @@ impl<D: Dataset> BatchStep<D> {
     /// strict sampler order is restored before batching — intentionally
     /// reintroducing head-of-line blocking in exchange for ordering
     /// guarantees.
+    // minato-verify: hot-path
     fn step_ordered(&self, lane: &mut OrderedLane<D>) -> StepOutcome {
         let rt = &*self.rt;
         match rt.fast_q.pop_timeout(rt.cfg.starvation_wait) {

@@ -116,7 +116,11 @@ impl Dist {
                     pick -= w;
                 }
                 // Floating-point slack: fall through to the last component.
-                parts.last().expect("mixture is non-empty").1.sample(rng)
+                // An empty mixture draws 0.0 rather than panicking.
+                match parts.last() {
+                    Some((_, d)) => d.sample(rng),
+                    None => 0.0,
+                }
             }
             Dist::Clamped { inner, lo, hi } => inner.sample(rng).clamp(*lo, *hi),
         }

@@ -698,6 +698,7 @@ impl SharedExecutor {
         cfg.exit_when_drained = false;
         cfg.name_prefix = "minato-shared".into();
         let handle = ExecHandle::new(cfg);
+        // minato-verify: allow(V1) documented panic contract (`# Panics` above); spawn failure here has no caller to report to
         let pool = handle.spawn().expect("spawn shared pool");
         SharedExecutor {
             handle,

@@ -91,7 +91,7 @@ impl Reservoir {
     /// Exact `q`-quantile over the retained window, or `None` if empty.
     pub fn quantile(&self, q: f64) -> Option<f64> {
         let mut sorted = self.ring.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        sorted.sort_by(f64::total_cmp);
         quantile_sorted(&sorted, q)
     }
 

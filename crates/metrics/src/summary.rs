@@ -65,7 +65,7 @@ impl Summary {
         if sorted.is_empty() {
             return Summary::EMPTY;
         }
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        sorted.sort_by(f64::total_cmp);
         let count = sorted.len();
         let sum: f64 = sorted.iter().sum();
         let avg = sum / count as f64;

@@ -173,7 +173,7 @@ impl Mlp {
                     .row(i)
                     .iter()
                     .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+                    .max_by(|a, b| a.1.total_cmp(b.1))
                     .map(|(j, _)| j)
                     .unwrap_or(0)
             })

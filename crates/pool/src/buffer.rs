@@ -138,6 +138,9 @@ pub struct BufferPool<T: Send + 'static> {
     tl_hits: AtomicU64,
     recycled: AtomicU64,
     dropped: AtomicU64,
+    /// Audit mode: [`Recycled`] guards currently outstanding.
+    #[cfg(minato_lock_graph)]
+    audit_guards: AtomicU64,
 }
 
 static NEXT_POOL_ID: AtomicU64 = AtomicU64::new(1);
@@ -238,6 +241,8 @@ impl<T: Send + 'static> BufferPool<T> {
             tl_hits: AtomicU64::new(0),
             recycled: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
+            #[cfg(minato_lock_graph)]
+            audit_guards: AtomicU64::new(0),
         }
     }
 
@@ -264,6 +269,7 @@ impl<T: Send + 'static> BufferPool<T> {
     /// Returns an *empty* buffer with `capacity() >= min_elems`, served
     /// from the free-lists when possible (thread-local fast slot first,
     /// then the striped shared lists) and freshly allocated otherwise.
+    // minato-verify: hot-path (Vec::with_capacity is the pool's one sanctioned allocation)
     pub fn acquire(&self, min_elems: usize) -> Vec<T> {
         if self.enabled() {
             if let Some(ci) = self.class_for_acquire(min_elems) {
@@ -313,8 +319,11 @@ impl<T: Send + 'static> BufferPool<T> {
     /// Acquires a buffer wrapped in an RAII guard that recycles it on
     /// drop.
     pub fn acquire_guard(&self, min_elems: usize) -> Recycled<'_, T> {
+        #[cfg(minato_lock_graph)]
+        self.audit_guards.fetch_add(1, Ordering::AcqRel);
         Recycled {
-            buf: Some(self.acquire(min_elems)),
+            buf: self.acquire(min_elems),
+            detached: false,
             pool: self,
         }
     }
@@ -323,6 +332,7 @@ impl<T: Send + 'static> BufferPool<T> {
     /// largest class its capacity can serve; it is dropped instead when
     /// the pool is disabled, the buffer is smaller than the smallest
     /// class, or accepting it would exceed the class/global byte budget.
+    // minato-verify: hot-path
     pub fn recycle(&self, mut buf: Vec<T>) {
         let cap = buf.capacity();
         if !self.enabled() || cap == 0 {
@@ -380,8 +390,57 @@ impl<T: Send + 'static> BufferPool<T> {
     }
 }
 
+impl<T: Send + 'static> BufferPool<T> {
+    /// Audit-mode teardown check: the byte counters must agree with the
+    /// memory actually resident in the free-lists, and no RAII guard may
+    /// still be outstanding. Catches leaked accounting the steady-state
+    /// counters would silently absorb.
+    #[cfg(minato_lock_graph)]
+    fn audit_at_drop(&mut self) {
+        let outstanding = self.audit_guards.load(Ordering::Acquire);
+        assert!(
+            outstanding == 0,
+            "pool audit (id {}): {} Recycled guard(s) outstanding at pool drop",
+            self.id,
+            outstanding
+        );
+        let mut total = 0u64;
+        for (ci, class) in self.classes.iter().enumerate() {
+            let mut resident = 0u64;
+            for stripe in &class.stripes {
+                for buf in stripe.lock().iter() {
+                    resident += (buf.capacity() * std::mem::size_of::<T>()) as u64;
+                }
+            }
+            let counter = class.bytes.load(Ordering::Acquire);
+            assert!(
+                resident == counter,
+                "pool audit (id {}): class {} ({} elems) counts {} bytes but \
+                 holds {} bytes resident",
+                self.id,
+                ci,
+                class.cap_elems,
+                counter,
+                resident
+            );
+            total += resident;
+        }
+        let global = self.bytes.load(Ordering::Acquire);
+        assert!(
+            total == global,
+            "pool audit (id {}): global counter says {} bytes but classes \
+             hold {} bytes resident",
+            self.id,
+            global,
+            total
+        );
+    }
+}
+
 impl<T: Send + 'static> Drop for BufferPool<T> {
     fn drop(&mut self) {
+        #[cfg(minato_lock_graph)]
+        self.audit_at_drop();
         // Deregister so long-lived threads' fast-slot sweeps (see
         // `tl_put`) can reclaim slots parked under this pool's id.
         LIVE_POOLS.lock().retain(|&id| id != self.id);
@@ -401,8 +460,10 @@ impl<T: Send + 'static> std::fmt::Debug for BufferPool<T> {
 /// RAII handle over a pooled buffer: derefs to the `Vec<T>` and returns
 /// the memory to its pool when dropped. Use [`Recycled::detach`] to keep
 /// the buffer instead.
+#[must_use = "dropping the guard immediately recycles the buffer"]
 pub struct Recycled<'p, T: Send + 'static> {
-    buf: Option<Vec<T>>,
+    buf: Vec<T>,
+    detached: bool,
     pool: &'p BufferPool<T>,
 }
 
@@ -412,7 +473,8 @@ pub type PoolGuard<'p, T> = Recycled<'p, T>;
 impl<T: Send + 'static> Recycled<'_, T> {
     /// Takes the buffer out of the guard; it will *not* be recycled.
     pub fn detach(mut self) -> Vec<T> {
-        self.buf.take().expect("buffer present until drop")
+        self.detached = true;
+        std::mem::take(&mut self.buf)
     }
 }
 
@@ -420,20 +482,22 @@ impl<T: Send + 'static> Deref for Recycled<'_, T> {
     type Target = Vec<T>;
 
     fn deref(&self) -> &Vec<T> {
-        self.buf.as_ref().expect("buffer present until drop")
+        &self.buf
     }
 }
 
 impl<T: Send + 'static> DerefMut for Recycled<'_, T> {
     fn deref_mut(&mut self) -> &mut Vec<T> {
-        self.buf.as_mut().expect("buffer present until drop")
+        &mut self.buf
     }
 }
 
 impl<T: Send + 'static> Drop for Recycled<'_, T> {
     fn drop(&mut self) {
-        if let Some(buf) = self.buf.take() {
-            self.pool.recycle(buf);
+        #[cfg(minato_lock_graph)]
+        self.pool.audit_guards.fetch_sub(1, Ordering::AcqRel);
+        if !self.detached {
+            self.pool.recycle(std::mem::take(&mut self.buf));
         }
     }
 }
@@ -622,5 +686,35 @@ mod tests {
         let s = p.stats();
         assert!(s.bytes <= 64 * 1024);
         assert!(s.hits > 0, "steady-state traffic must reuse buffers");
+    }
+
+    /// Normal traffic — guards, detaches, shared-list round trips —
+    /// must satisfy the drop-time audit.
+    #[cfg(minato_lock_graph)]
+    #[test]
+    fn audit_passes_after_normal_traffic() {
+        let p = shared_pool(1 << 20);
+        let b = p.acquire(100);
+        p.recycle(b);
+        let g = p.acquire_guard(200);
+        drop(g);
+        let g = p.acquire_guard(300);
+        let _kept = g.detach();
+        drop(p); // Audit runs here; a mismatch panics.
+    }
+
+    /// A corrupted byte counter must trip the drop-time audit.
+    #[cfg(minato_lock_graph)]
+    #[test]
+    fn audit_catches_corrupted_counter() {
+        let p = shared_pool(1 << 20);
+        let b = p.acquire(100);
+        p.recycle(b);
+        // Inflate the global counter behind the pool's back.
+        p.bytes.fetch_add(4096, Ordering::AcqRel);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| drop(p)))
+            .expect_err("audit must panic on counter mismatch");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("pool audit"), "unexpected panic: {msg}");
     }
 }

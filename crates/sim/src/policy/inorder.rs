@@ -186,8 +186,12 @@ pub fn simulate_inorder(name: &str, cfg: &SimConfig, dali: Option<DaliSimCfg>) -
                     _ => false,
                 }
             };
-            if can {
-                let b = workers[$w].queue.pop_front().expect("peeked");
+            let popped = if can {
+                workers[$w].queue.pop_front()
+            } else {
+                None
+            };
+            if let Some(b) = popped {
                 workers[$w].current = Some(CurBatch {
                     batch_idx: b,
                     gpu: b % cfg.n_gpus,
@@ -239,13 +243,15 @@ pub fn simulate_inorder(name: &str, cfg: &SimConfig, dali: Option<DaliSimCfg>) -
     while let Some(Reverse((now, _, ev))) = heap.pop() {
         match ev {
             Ev::SampleDone { worker: w } => {
-                let finished = {
-                    let cur = workers[w].current.as_mut().expect("batch in flight");
-                    cur.next_sample += 1;
-                    cur.next_sample >= plan[cur.batch_idx].len()
+                let finished = match workers[w].current.as_mut() {
+                    Some(cur) => {
+                        cur.next_sample += 1;
+                        cur.next_sample >= plan[cur.batch_idx].len()
+                    }
+                    // No batch in flight: a stale event, nothing to do.
+                    None => false,
                 };
-                if finished {
-                    let cur = workers[w].current.take().expect("batch in flight");
+                if let Some(cur) = finished.then(|| workers[w].current.take()).flatten() {
                     let g = cur.gpu;
                     for stats in gpu_state[g].reorder.push(cur.local_idx as u64, cur.stats) {
                         gpu_state[g].ready.push_back((now, stats));

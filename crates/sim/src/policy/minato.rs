@@ -156,21 +156,28 @@ pub fn simulate_minato(name: &str, cfg: &SimConfig, mode: ClassifyMode) -> SimRe
                 fg_active += 1;
                 let profile = wl.sample_profile(sample % wl.n_samples);
                 let read = storage.read($now, sample as u64, profile.raw_bytes);
+                // In Timeout mode a sample is predicted slow exactly when
+                // its total cost exceeds the configured timeout; carry that
+                // timeout with the verdict so the deferral arm below never
+                // has to re-unwrap the option.
+                let slow_timeout = match mode {
+                    ClassifyMode::Timeout => tout_ms.filter(|&t| profile.total_ms > t),
+                    _ => None,
+                };
                 let is_predicted_slow = match mode {
-                    ClassifyMode::Timeout => tout_ms.is_some_and(|t| profile.total_ms > t),
+                    ClassifyMode::Timeout => slow_timeout.is_some(),
                     ClassifyMode::BySize => (profile.raw_bytes as f64) > size_threshold,
                     ClassifyMode::None => false,
                 };
-                match (mode, is_predicted_slow) {
-                    (ClassifyMode::Timeout, true) => {
+                match (mode, is_predicted_slow, slow_timeout) {
+                    (ClassifyMode::Timeout, true, Some(t)) => {
                         // Foreground burns exactly t_out, then defers.
-                        let t = tout_ms.expect("timeout known when classifying");
                         let start = read.ready_at;
                         let end = start + SimDuration::from_ms_f64(t);
                         fg_busy.add(start, end);
                         push_ev!(end, Ev::FgTimedOut { sample });
                     }
-                    (ClassifyMode::BySize, true) => {
+                    (ClassifyMode::BySize, true, _) => {
                         // Admission-time routing: the whole sample runs in
                         // background.
                         in_flight_bg += 1;

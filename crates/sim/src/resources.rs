@@ -45,12 +45,14 @@ impl ServerPool {
 
     /// Submits a task of `dur` at `now`; returns `(start, end)`.
     pub fn submit(&mut self, now: SimTime, dur: SimDuration) -> (SimTime, SimTime) {
-        let (idx, _) = self
-            .free_at
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, t)| **t)
-            .expect("pool is non-empty");
+        // Argmin over free times; the pool is never empty (`new`
+        // asserts, `resize` clamps), so index 0 always exists.
+        let mut idx = 0;
+        for (i, t) in self.free_at.iter().enumerate().skip(1) {
+            if *t < self.free_at[idx] {
+                idx = i;
+            }
+        }
         let start = self.free_at[idx].max(now);
         let end = start + dur;
         self.free_at[idx] = end;
@@ -76,13 +78,14 @@ impl ServerPool {
             self.free_at.push(now);
         }
         while self.free_at.len() > target {
-            // Retire the server that frees last.
-            let (idx, _) = self
-                .free_at
-                .iter()
-                .enumerate()
-                .max_by_key(|(_, t)| **t)
-                .expect("non-empty");
+            // Retire the server that frees last (argmax; the loop guard
+            // keeps the vec non-empty).
+            let mut idx = 0;
+            for (i, t) in self.free_at.iter().enumerate().skip(1) {
+                if *t > self.free_at[idx] {
+                    idx = i;
+                }
+            }
             self.free_at.swap_remove(idx);
         }
     }

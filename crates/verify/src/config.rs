@@ -1,0 +1,245 @@
+//! Configuration files: the documented lock-order list and the
+//! violation allow-list.
+//!
+//! Both files use a small TOML subset — `[[table]]` array headers with
+//! `key = "string"` / `key = integer` pairs and `#` comments — parsed
+//! here directly so the linter stays dependency-free.
+
+use crate::{Rule, Violation};
+use std::collections::{HashMap, HashSet};
+use std::path::Path;
+
+/// One parsed `[[section]]` table: its name and key/value pairs.
+#[derive(Debug, Clone)]
+pub struct TomlTable {
+    /// Section name (the text inside `[[...]]`).
+    pub name: String,
+    /// Line the header appeared on (1-based), for error messages.
+    pub line: usize,
+    /// Key/value pairs; values are unquoted strings.
+    pub values: HashMap<String, String>,
+}
+
+/// Parses the TOML subset used by the `verify/` config files.
+pub fn parse_tables(text: &str, origin: &str) -> Result<Vec<TomlTable>, String> {
+    let mut tables: Vec<TomlTable> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = idx + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
+            tables.push(TomlTable {
+                name: name.trim().to_string(),
+                line: lineno,
+                values: HashMap::new(),
+            });
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("{origin}:{lineno}: expected `key = value`"));
+        };
+        let table = tables
+            .last_mut()
+            .ok_or_else(|| format!("{origin}:{lineno}: key outside any [[table]]"))?;
+        let value = value.trim();
+        let value = value
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .unwrap_or(value);
+        table
+            .values
+            .insert(key.trim().to_string(), value.to_string());
+    }
+    Ok(tables)
+}
+
+/// The documented lock acquisition order and lock-method aliases.
+///
+/// `[[order]]` entries declare that a guard over lock key `outer` may be
+/// held while lock key `inner` is acquired; every other nested blocking
+/// acquisition is a V3 violation. `[[alias]]` entries teach the scanner
+/// that a wrapper method (e.g. `lock_op`) acquires a named lock key.
+#[derive(Debug, Default, Clone)]
+pub struct LockOrder {
+    /// Allowed (outer, inner) key pairs.
+    pub allowed: HashSet<(String, String)>,
+    /// Method name -> lock key it acquires.
+    pub aliases: HashMap<String, String>,
+}
+
+impl LockOrder {
+    /// Loads `verify/lock_order.toml`; a missing file yields an empty
+    /// order (every nested acquisition flags).
+    pub fn load(path: &Path) -> Result<LockOrder, String> {
+        if !path.is_file() {
+            return Ok(LockOrder::default());
+        }
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        Self::parse(&text, &path.display().to_string())
+    }
+
+    /// Parses lock-order TOML text.
+    pub fn parse(text: &str, origin: &str) -> Result<LockOrder, String> {
+        let mut order = LockOrder::default();
+        for table in parse_tables(text, origin)? {
+            match table.name.as_str() {
+                "order" => {
+                    let outer = require(&table, "outer", origin)?;
+                    let inner = require(&table, "inner", origin)?;
+                    require(&table, "reason", origin)?;
+                    order.allowed.insert((outer, inner));
+                }
+                "alias" => {
+                    let method = require(&table, "method", origin)?;
+                    let key = require(&table, "key", origin)?;
+                    order.aliases.insert(method, key);
+                }
+                other => {
+                    return Err(format!(
+                        "{origin}:{}: unknown table [[{other}]]",
+                        table.line
+                    ));
+                }
+            }
+        }
+        Ok(order)
+    }
+
+    /// Whether holding `outer` while acquiring `inner` is documented.
+    pub fn permits(&self, outer: &str, inner: &str) -> bool {
+        self.allowed
+            .contains(&(outer.to_string(), inner.to_string()))
+    }
+}
+
+/// One `verify/allow.toml` suppression entry.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Rule being suppressed.
+    pub rule: Rule,
+    /// Workspace-relative file the suppression applies to.
+    pub file: String,
+    /// Specific line, or `None` for the whole file.
+    pub line: Option<usize>,
+    /// Mandatory justification.
+    pub reason: String,
+}
+
+/// The file-level allow-list (`verify/allow.toml`).
+#[derive(Debug, Default, Clone)]
+pub struct AllowList {
+    /// Entries in file order.
+    pub entries: Vec<AllowEntry>,
+}
+
+impl AllowList {
+    /// Loads `verify/allow.toml`; a missing file yields an empty list.
+    pub fn load(path: &Path) -> Result<AllowList, String> {
+        if !path.is_file() {
+            return Ok(AllowList::default());
+        }
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        Self::parse(&text, &path.display().to_string())
+    }
+
+    /// Parses allow-list TOML text.
+    pub fn parse(text: &str, origin: &str) -> Result<AllowList, String> {
+        let mut list = AllowList::default();
+        for table in parse_tables(text, origin)? {
+            if table.name != "allow" {
+                return Err(format!(
+                    "{origin}:{}: unknown table [[{}]]",
+                    table.line, table.name
+                ));
+            }
+            let rule_id = require(&table, "rule", origin)?;
+            let rule = Rule::parse(&rule_id)
+                .ok_or_else(|| format!("{origin}:{}: unknown rule `{rule_id}`", table.line))?;
+            let line =
+                match table.values.get("line") {
+                    Some(v) => Some(v.parse::<usize>().map_err(|_| {
+                        format!("{origin}:{}: `line` must be an integer", table.line)
+                    })?),
+                    None => None,
+                };
+            list.entries.push(AllowEntry {
+                rule,
+                file: require(&table, "file", origin)?,
+                line,
+                reason: require(&table, "reason", origin)?,
+            });
+        }
+        Ok(list)
+    }
+
+    /// Index of the first entry suppressing `v`, if any.
+    pub fn matches(&self, v: &Violation) -> Option<usize> {
+        self.entries.iter().position(|e| {
+            e.rule == v.rule && e.file == v.file && e.line.is_none_or(|l| l == v.line)
+        })
+    }
+}
+
+fn require(table: &TomlTable, key: &str, origin: &str) -> Result<String, String> {
+    table
+        .values
+        .get(key)
+        .filter(|v| !v.is_empty())
+        .cloned()
+        .ok_or_else(|| {
+            format!(
+                "{origin}:{}: [[{}]] missing required key `{key}`",
+                table.line, table.name
+            )
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_order_and_alias() {
+        let text = r#"
+# comment
+[[order]]
+outer = "state"
+inner = "shard"
+reason = "striped child"
+
+[[alias]]
+method = "lock_op"
+key = "inner"
+"#;
+        let lo = LockOrder::parse(text, "t").unwrap();
+        assert!(lo.permits("state", "shard"));
+        assert!(!lo.permits("shard", "state"));
+        assert_eq!(lo.aliases.get("lock_op").map(String::as_str), Some("inner"));
+    }
+
+    #[test]
+    fn order_requires_reason() {
+        let text = "[[order]]\nouter = \"a\"\ninner = \"b\"\n";
+        assert!(LockOrder::parse(text, "t").is_err());
+    }
+
+    #[test]
+    fn allow_entry_matches_by_file_and_line() {
+        let text =
+            "[[allow]]\nrule = \"V1\"\nfile = \"crates/core/src/x.rs\"\nline = 7\nreason = \"r\"\n";
+        let list = AllowList::parse(text, "t").unwrap();
+        let hit = Violation {
+            file: "crates/core/src/x.rs".into(),
+            line: 7,
+            rule: Rule::V1,
+            msg: String::new(),
+        };
+        assert_eq!(list.matches(&hit), Some(0));
+        let miss = Violation { line: 8, ..hit };
+        assert_eq!(list.matches(&miss), None);
+    }
+}

@@ -1,0 +1,113 @@
+//! `minato-verify` — the workspace invariant linter, as a CI gate.
+//!
+//! ```text
+//! cargo run -p minato-verify              # lint, fail on violations
+//! cargo run -p minato-verify -- --deny-all  # + fail on stale allows
+//! ```
+//!
+//! Exit status: 0 when clean, 1 on violations (or, under `--deny-all`,
+//! on stale allow-list entries, malformed allow comments, or an
+//! allow-list over budget), 2 on usage/configuration errors.
+
+use minato_verify::{lint_workspace, ALLOW_BUDGET};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny_all = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny-all" => deny_all = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "minato-verify [--deny-all] [--root <workspace>]\n\
+                     Lints the workspace against invariant rules V1-V5."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root.map_or_else(find_root, Ok) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("minato-verify: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("minato-verify: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for v in &report.violations {
+        println!("{v}");
+    }
+    for bad in &report.bad_allow_comments {
+        println!("{bad} [malformed allow comment]");
+    }
+    let mut failed = !report.violations.is_empty();
+    if deny_all {
+        for stale in &report.stale_allows {
+            println!("stale allow.toml entry: {stale}");
+        }
+        if report.allow_entries() > ALLOW_BUDGET {
+            println!(
+                "allow-list over budget: {} entries > {ALLOW_BUDGET}",
+                report.allow_entries()
+            );
+        }
+        failed = failed
+            || !report.stale_allows.is_empty()
+            || !report.bad_allow_comments.is_empty()
+            || report.allow_entries() > ALLOW_BUDGET;
+    }
+    println!(
+        "minato-verify: {} files, {} violation(s), {} allow entr{} ({} inline + {} in allow.toml; budget {})",
+        report.files_scanned,
+        report.violations.len(),
+        report.allow_entries(),
+        if report.allow_entries() == 1 { "y" } else { "ies" },
+        report.inline_allows,
+        report.file_allows,
+        ALLOW_BUDGET,
+    );
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Walks up from the current directory to the workspace root — the
+/// first ancestor holding a `verify/` directory next to a `Cargo.toml`.
+fn find_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| format!("cwd: {e}"))?;
+    loop {
+        if dir.join("verify").is_dir() && dir.join("Cargo.toml").is_file() {
+            return Ok(dir);
+        }
+        if !dir.pop() {
+            return Err(
+                "no workspace root found (looked for a `verify/` dir beside Cargo.toml); \
+                 pass --root"
+                    .to_string(),
+            );
+        }
+    }
+}

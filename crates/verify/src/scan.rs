@@ -1,0 +1,238 @@
+//! Line-aware lexical scanner.
+//!
+//! Splits each source line into *code* (string-literal contents blanked,
+//! comments removed) and *comment* text, carrying string/block-comment
+//! state across lines. This is deliberately not a full Rust lexer: the
+//! rules only need to know (a) which tokens are code rather than prose,
+//! and (b) what the comments say (`SAFETY:`, `minato-verify:` markers).
+
+/// One scanned source line.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// Code text with comments stripped and string contents blanked to
+    /// spaces (delimiting quotes retained). Column positions are *not*
+    /// preserved exactly; token adjacency is.
+    pub code: String,
+    /// Concatenated comment text seen on this line (line and block
+    /// comments, including doc comments, without the `//`/`/*` sigils).
+    pub comment: String,
+    /// Whether the raw line is a doc comment (`///` or `//!`).
+    pub doc: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    /// Inside a (possibly nested) block comment.
+    Block(u32),
+    /// Inside a normal string literal.
+    Str,
+    /// Inside a raw string literal with this many `#`s.
+    RawStr(u32),
+}
+
+/// Scans `text` into per-line code/comment views.
+pub fn scan(text: &str) -> Vec<Line> {
+    let mut state = State::Code;
+    let mut out = Vec::new();
+    for raw in text.lines() {
+        let chars: Vec<char> = raw.chars().collect();
+        let mut line = Line {
+            doc: {
+                let t = raw.trim_start();
+                state == State::Code && (t.starts_with("///") || t.starts_with("//!"))
+            },
+            ..Line::default()
+        };
+        let mut i = 0usize;
+        while i < chars.len() {
+            let c = chars[i];
+            match state {
+                State::Code => {
+                    if c == '/' && chars.get(i + 1) == Some(&'/') {
+                        line.comment.extend(&chars[i + 2..]);
+                        break;
+                    } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                        state = State::Block(1);
+                        line.code.push(' ');
+                        i += 2;
+                    } else if c == '"' {
+                        state = State::Str;
+                        line.code.push('"');
+                        i += 1;
+                    } else if (c == 'r' || c == 'b') && is_raw_string_start(&chars, i) {
+                        let mut hashes = 0;
+                        let mut j = i + 1;
+                        if chars.get(j) == Some(&'"') || chars.get(j) == Some(&'#') {
+                        } else {
+                            j += 1; // br"..."
+                        }
+                        while chars.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        state = State::RawStr(hashes);
+                        line.code.push('"');
+                        i = j + 1;
+                    } else if c == 'b' && chars.get(i + 1) == Some(&'"') {
+                        state = State::Str;
+                        line.code.push('"');
+                        i += 2;
+                    } else if c == '\'' {
+                        // Char literal vs lifetime: a char literal closes
+                        // within a couple of characters; a lifetime never
+                        // has a closing quote.
+                        if chars.get(i + 1) == Some(&'\\') {
+                            let close = (i + 2..chars.len().min(i + 8))
+                                .find(|&k| chars[k] == '\'' && chars[k - 1] != '\\');
+                            match close {
+                                Some(k) => {
+                                    for _ in i..=k {
+                                        line.code.push(' ');
+                                    }
+                                    i = k + 1;
+                                }
+                                None => {
+                                    line.code.push(' ');
+                                    i += 1;
+                                }
+                            }
+                        } else if chars.get(i + 2) == Some(&'\'') {
+                            line.code.push_str("   ");
+                            i += 3;
+                        } else {
+                            line.code.push('\'');
+                            i += 1;
+                        }
+                    } else {
+                        line.code.push(c);
+                        i += 1;
+                    }
+                }
+                State::Block(depth) => {
+                    if c == '*' && chars.get(i + 1) == Some(&'/') {
+                        state = if depth == 1 {
+                            State::Code
+                        } else {
+                            State::Block(depth - 1)
+                        };
+                        i += 2;
+                    } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                        state = State::Block(depth + 1);
+                        i += 2;
+                    } else {
+                        line.comment.push(c);
+                        i += 1;
+                    }
+                }
+                State::Str => {
+                    if c == '\\' {
+                        line.code.push(' ');
+                        if i + 1 < chars.len() {
+                            line.code.push(' ');
+                        }
+                        i += 2;
+                    } else if c == '"' {
+                        state = State::Code;
+                        line.code.push('"');
+                        i += 1;
+                    } else {
+                        line.code.push(' ');
+                        i += 1;
+                    }
+                }
+                State::RawStr(hashes) => {
+                    if c == '"' && closes_raw(&chars, i, hashes) {
+                        state = State::Code;
+                        line.code.push('"');
+                        i += 1 + hashes as usize;
+                    } else {
+                        line.code.push(' ');
+                        i += 1;
+                    }
+                }
+            }
+        }
+        out.push(line);
+    }
+    out
+}
+
+/// Whether position `i` (at `r` or `b`) starts a raw string literal and
+/// is not merely an identifier ending in `r`/`b`.
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    let prev_ident = i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_');
+    if prev_ident {
+        return false;
+    }
+    let mut j = i + 1;
+    if chars[i] == 'b' {
+        if chars.get(j) != Some(&'r') {
+            return false;
+        }
+        j += 1;
+    }
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"') && (chars.get(i + 1) == Some(&'"') || j > i + 1)
+}
+
+fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+    (0..hashes as usize).all(|k| chars.get(i + 1 + k) == Some(&'#'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_comments() {
+        let l = &scan("let x = 1; // note .unwrap()")[0];
+        assert!(!l.code.contains("unwrap"));
+        assert!(l.comment.contains("unwrap"));
+    }
+
+    #[test]
+    fn blanks_string_contents() {
+        let l = &scan("let s = \".unwrap()\";")[0];
+        assert!(!l.code.contains("unwrap"));
+        assert!(l.code.contains('"'));
+    }
+
+    #[test]
+    fn block_comment_spans_lines() {
+        let lines = scan("/* a\n.unwrap()\n*/ let y = 2;");
+        assert!(!lines[1].code.contains("unwrap"));
+        assert!(lines[1].comment.contains("unwrap"));
+        assert!(lines[2].code.contains("let y"));
+    }
+
+    #[test]
+    fn char_literal_and_lifetime() {
+        let l = &scan("fn f<'a>(c: char) { if c == '\"' {} }")[0];
+        assert!(l.code.contains("'a"), "lifetime kept: {}", l.code);
+        assert!(!l.code.contains('"'), "char quote blanked: {}", l.code);
+    }
+
+    #[test]
+    fn raw_string_with_hashes() {
+        let lines = scan("let s = r#\"has .unwrap() and \"quotes\"\"#; f()");
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(lines[0].code.contains("f()"));
+    }
+
+    #[test]
+    fn doc_lines_flagged() {
+        let lines = scan("/// docs\npub fn x() {}");
+        assert!(lines[0].doc);
+        assert!(!lines[1].doc);
+    }
+
+    #[test]
+    fn multiline_string_keeps_state() {
+        let lines = scan("let s = \"abc\ndef.unwrap()\";\nlet z = 1;");
+        assert!(!lines[1].code.contains("unwrap"));
+        assert!(lines[2].code.contains("let z"));
+    }
+}

@@ -1,0 +1,26 @@
+//! Clean fixture: every rule stays silent on idiomatic code.
+
+/// Option handling without panics.
+pub fn documented(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}
+
+/// Condvar wait on the held guard is sanctioned (the wait releases the
+/// mutex), and `drop` ends the guard's tracked lifetime.
+pub fn wait_pattern(q: &Queue) {
+    let mut g = q.inner.lock();
+    q.not_empty.wait(&mut g);
+    drop(g);
+}
+
+/// Hot path using the pool's sanctioned preallocation.
+// minato-verify: hot-path
+pub fn hot(n: usize) -> Vec<u8> {
+    Vec::with_capacity(n)
+}
+
+/// Raw pointer read with its safety contract stated.
+pub fn deref(p: *const u8) -> u8 {
+    // SAFETY: the caller guarantees `p` is valid for reads.
+    unsafe { *p }
+}

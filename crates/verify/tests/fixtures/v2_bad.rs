@@ -1,0 +1,4 @@
+// minato-verify: hot-path
+fn assemble() {
+    let v = Vec::new();
+}

@@ -1,0 +1,4 @@
+fn drain(q: &Queue, d: Duration) {
+    let g = q.state.lock();
+    std::thread::sleep(d);
+}

@@ -1,0 +1,3 @@
+fn read(p: *const u8) -> u8 {
+    unsafe { *p }
+}

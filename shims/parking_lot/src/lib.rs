@@ -4,9 +4,152 @@
 //! `Result`; condvar waits take `&mut MutexGuard`). Poisoned std locks
 //! are recovered transparently — a panicking worker must not deadlock
 //! the loader's control plane.
+//!
+//! # Lock-order instrumentation
+//!
+//! Built with `RUSTFLAGS="--cfg minato_lock_graph"`, every `lock()`
+//! records its acquisition site (`#[track_caller]`) in a per-thread
+//! held-lock set and feeds a global lock-order graph. Acquiring lock B
+//! while holding lock A inserts the edge A→B; if the graph already
+//! knows a path B→…→A (some thread acquired them in the reverse
+//! order), the acquisition panics naming both conflicting acquisition
+//! sites — turning a would-be deadlock into a deterministic failure at
+//! the earliest thread to complete the inversion. `try_lock` marks its
+//! guard as held but inserts no edges: a non-blocking acquisition
+//! cannot be the inner edge of a deadlock cycle. Dropping a `Mutex`
+//! purges its node so reused addresses cannot alias old edges.
 
 use std::fmt;
 use std::time::{Duration, Instant};
+
+#[cfg(minato_lock_graph)]
+mod lock_graph {
+    //! Global lock-order graph + per-thread held-lock sets. Internals
+    //! use `std::sync` directly: instrumenting the instrumentation
+    //! would recurse.
+
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+    use std::panic::Location;
+    use std::sync::{Mutex, OnceLock};
+
+    /// Sites recorded for one ordered edge `from → to`: where `from`
+    /// was acquired (and still held) and where `to` was then taken.
+    #[derive(Clone)]
+    struct EdgeSites {
+        held_site: &'static Location<'static>,
+        acq_site: &'static Location<'static>,
+    }
+
+    #[derive(Default)]
+    struct Graph {
+        /// `edges[a][b]` = sites of the first observed a-held→b-acquired.
+        edges: HashMap<usize, HashMap<usize, EdgeSites>>,
+    }
+
+    fn graph() -> &'static Mutex<Graph> {
+        static G: OnceLock<Mutex<Graph>> = OnceLock::new();
+        G.get_or_init(Mutex::default)
+    }
+
+    fn graph_lock() -> std::sync::MutexGuard<'static, Graph> {
+        match graph().lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    thread_local! {
+        /// Locks this thread currently holds, in acquisition order.
+        static HELD: RefCell<Vec<(usize, &'static Location<'static>)>> =
+            const { RefCell::new(Vec::new()) };
+    }
+
+    /// Depth-first search for a path `from → … → to`, returning the
+    /// sites of the path's final edge (the one that lands on `to`).
+    fn find_path(g: &Graph, from: usize, to: usize) -> Option<EdgeSites> {
+        let mut stack = vec![from];
+        let mut seen = vec![from];
+        while let Some(n) = stack.pop() {
+            let Some(next) = g.edges.get(&n) else {
+                continue;
+            };
+            if let Some(sites) = next.get(&to) {
+                return Some(sites.clone());
+            }
+            for &m in next.keys() {
+                if !seen.contains(&m) {
+                    seen.push(m);
+                    stack.push(m);
+                }
+            }
+        }
+        None
+    }
+
+    /// Records a blocking acquisition of the lock at `addr` from
+    /// `site`: checks every held lock for an established reverse
+    /// ordering (panicking with both conflicting sites on inversion),
+    /// inserts the new edges, and pushes the lock onto the held set.
+    pub(crate) fn acquire_blocking(addr: usize, site: &'static Location<'static>) {
+        let held: Vec<(usize, &'static Location<'static>)> = HELD.with(|h| h.borrow().clone());
+        if !held.is_empty() {
+            let mut g = graph_lock();
+            for &(held_addr, held_site) in &held {
+                if held_addr == addr {
+                    continue; // Re-acquisition: std will deadlock regardless.
+                }
+                if let Some(rev) = find_path(&g, addr, held_addr) {
+                    drop(g);
+                    panic!(
+                        "lock-order inversion: acquiring lock {addr:#x} at {site} \
+                         while holding lock {held_addr:#x} acquired at {held_site}, \
+                         but the reverse order is already established \
+                         (acquired at {} while holding the lock acquired at {})",
+                        rev.acq_site, rev.held_site
+                    );
+                }
+                g.edges
+                    .entry(held_addr)
+                    .or_default()
+                    .entry(addr)
+                    .or_insert(EdgeSites {
+                        held_site,
+                        acq_site: site,
+                    });
+            }
+        }
+        acquire_nonblocking(addr, site);
+    }
+
+    /// Records a non-blocking (`try_lock`) acquisition: the lock joins
+    /// the held set (it can be the *outer* lock of an inversion) but
+    /// contributes no edges — a non-blocking attempt cannot deadlock.
+    pub(crate) fn acquire_nonblocking(addr: usize, site: &'static Location<'static>) {
+        let _ = HELD.try_with(|h| h.borrow_mut().push((addr, site)));
+    }
+
+    /// Removes one held entry for `addr` (the most recent, so nested
+    /// same-lock guards in unrelated scopes unwind correctly).
+    pub(crate) fn release(addr: usize) {
+        let _ = HELD.try_with(|h| {
+            let mut held = h.borrow_mut();
+            if let Some(p) = held.iter().rposition(|&(a, _)| a == addr) {
+                held.remove(p);
+            }
+        });
+    }
+
+    /// Purges a dropped mutex's node: its address can be reused by an
+    /// unrelated lock, which must not inherit the old edges.
+    pub(crate) fn purge(addr: usize) {
+        let mut g = graph_lock();
+        g.edges.remove(&addr);
+        for next in g.edges.values_mut() {
+            next.remove(&addr);
+        }
+    }
+}
 
 /// Mutual exclusion primitive. `lock()` never fails.
 pub struct Mutex<T: ?Sized> {
@@ -23,6 +166,22 @@ impl<T> Mutex<T> {
 
     /// Consume the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
+        #[cfg(minato_lock_graph)]
+        {
+            // With the graph enabled `Mutex` has a `Drop` impl, so the
+            // field cannot be moved out directly: purge the node by
+            // hand, then read the field from a `ManuallyDrop` self.
+            self.graph_purge();
+            let this = std::mem::ManuallyDrop::new(self);
+            // SAFETY: `this` is ManuallyDrop, so `inner` is read exactly
+            // once and the (already hand-run) Drop never runs again.
+            let inner = unsafe { std::ptr::read(&this.inner) };
+            return match inner.into_inner() {
+                Ok(v) => v,
+                Err(p) => p.into_inner(),
+            };
+        }
+        #[cfg(not(minato_lock_graph))]
         match self.inner.into_inner() {
             Ok(v) => v,
             Err(p) => p.into_inner(),
@@ -31,24 +190,55 @@ impl<T> Mutex<T> {
 }
 
 impl<T: ?Sized> Mutex<T> {
+    /// Stable address identifying this lock in the lock-order graph.
+    #[cfg(minato_lock_graph)]
+    fn graph_addr(&self) -> usize {
+        &self.inner as *const std::sync::Mutex<T> as *const () as usize
+    }
+
+    /// Drops this lock's node from the lock-order graph.
+    #[cfg(minato_lock_graph)]
+    fn graph_purge(&self) {
+        lock_graph::purge(self.graph_addr());
+    }
+
     /// Acquire the lock, blocking until available.
+    ///
+    /// Under `--cfg minato_lock_graph`, panics instead of deadlocking
+    /// when this acquisition completes a lock-order inversion; the
+    /// message names both conflicting acquisition sites.
+    #[track_caller]
     pub fn lock(&self) -> MutexGuard<'_, T> {
+        // Check/record *before* blocking, so the thread that completes
+        // an inversion panics instead of deadlocking inside std.
+        #[cfg(minato_lock_graph)]
+        lock_graph::acquire_blocking(self.graph_addr(), std::panic::Location::caller());
         let g = match self.inner.lock() {
             Ok(g) => g,
             Err(p) => p.into_inner(),
         };
-        MutexGuard { inner: Some(g) }
+        MutexGuard {
+            inner: Some(g),
+            #[cfg(minato_lock_graph)]
+            addr: self.graph_addr(),
+        }
     }
 
     /// Acquire the lock only if it is free right now.
+    #[track_caller]
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.inner.try_lock() {
-            Ok(g) => Some(MutexGuard { inner: Some(g) }),
-            Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
-                inner: Some(p.into_inner()),
-            }),
-            Err(std::sync::TryLockError::WouldBlock) => None,
-        }
+        let g = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return None,
+        };
+        #[cfg(minato_lock_graph)]
+        lock_graph::acquire_nonblocking(self.graph_addr(), std::panic::Location::caller());
+        Some(MutexGuard {
+            inner: Some(g),
+            #[cfg(minato_lock_graph)]
+            addr: self.graph_addr(),
+        })
     }
 
     /// Mutable access without locking (requires exclusive borrow).
@@ -63,6 +253,13 @@ impl<T: ?Sized> Mutex<T> {
 impl<T: Default> Default for Mutex<T> {
     fn default() -> Self {
         Mutex::new(T::default())
+    }
+}
+
+#[cfg(minato_lock_graph)]
+impl<T: ?Sized> Drop for Mutex<T> {
+    fn drop(&mut self) {
+        self.graph_purge();
     }
 }
 
@@ -82,6 +279,15 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
 /// outside those windows.
 pub struct MutexGuard<'a, T: ?Sized> {
     inner: Option<std::sync::MutexGuard<'a, T>>,
+    #[cfg(minato_lock_graph)]
+    addr: usize,
+}
+
+#[cfg(minato_lock_graph)]
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        lock_graph::release(self.addr);
+    }
 }
 
 impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
