@@ -369,6 +369,7 @@ fn fetch_one<D: Dataset>(
             slow: false,
             preprocess: started.elapsed(),
             bytes,
+            issued_ns: 0,
         },
     }))
 }

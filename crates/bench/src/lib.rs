@@ -11,6 +11,7 @@
 
 pub mod ablations;
 pub mod alloc_counter;
+pub mod bench_all;
 pub mod experiments;
 pub mod fig11_accuracy;
 

@@ -26,6 +26,10 @@ pub struct SampleMeta {
     pub preprocess: Duration,
     /// Raw sample size in bytes when known, else 0.
     pub bytes: u64,
+    /// Nanoseconds since loader start when the ticket was claimed
+    /// (0 when unknown). Feeds the always-on end-to-end delivery
+    /// latency: `next_batch` records `now - issued_ns` per sample.
+    pub issued_ns: u64,
 }
 
 /// A preprocessed sample together with its metadata.
@@ -277,6 +281,7 @@ mod tests {
             slow,
             preprocess: Duration::from_millis(1),
             bytes: 10,
+            issued_ns: 0,
         }
     }
 

@@ -97,4 +97,5 @@ pub mod prelude {
         Transform, TransformCtx,
     };
     pub use minato_exec::{ExecStats, RoleStatsSnapshot, SharedExecutor};
+    pub use minato_trace::{LatencyBreakdown, StageLatency, TraceConfig, TraceStats};
 }

@@ -33,14 +33,18 @@ use crate::checkpoint::{
 use crate::dataset::{Dataset, EpochSampler, Sampler};
 use crate::error::{LoaderError, Result};
 use crate::fault::FaultInjector;
+use crate::pool::AcquireObserver;
 use crate::pool::{PoolRecycler, PoolSet, Reclaim, SampleRecycler};
 use crate::queue::{MinatoQueue, WakeupPolicy};
 use crate::scheduler::{RoleBudgets, SchedulerConfig, WorkerScheduler};
 use crate::stats::{LoaderStats, MonitorTrace};
-use crate::transform::Pipeline;
-use crate::worker::{BatchStep, ExecRoles, FastStep, FaultCounters, Runtime, SlowStep};
+use crate::transform::{Pipeline, StageObserver};
+use crate::worker::{
+    BatchStep, ExecRoles, FastStep, FaultCounters, Runtime, SlowStep, TracerStageObserver, Q_BATCH0,
+};
 use minato_exec::{ExecConfig, ExecHandle, Executor, RoleSpec, SharedExecutor};
-use minato_metrics::{Counter, UtilizationMeter};
+use minato_metrics::{Counter, Reservoir, UtilizationMeter};
+use minato_trace::{Collector, EventKind, TraceConfig, Tracer};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -152,6 +156,10 @@ pub struct LoaderConfig {
     /// can snapshot progress (off by default — the delivery log costs
     /// one short lock acquisition per popped batch).
     pub checkpointing: bool,
+    /// Per-sample lifecycle tracing (off by default — the loader is
+    /// then byte-identical to an untraced build; every record site
+    /// compiles down to one skipped branch).
+    pub trace: TraceConfig,
 }
 
 /// Builder for [`MinatoLoader`]. All knobs default to the paper's
@@ -223,6 +231,7 @@ impl<D: Dataset> MinatoLoaderBuilder<D> {
                 pool_budget_bytes: 0,
                 executor: ExecutorConfig::Fixed,
                 checkpointing: false,
+                trace: TraceConfig::default(),
             },
         }
     }
@@ -382,6 +391,16 @@ impl<D: Dataset> MinatoLoaderBuilder<D> {
     /// short lock acquisition per popped batch).
     pub fn checkpoint(mut self, yes: bool) -> Self {
         self.cfg.checkpointing = yes;
+        self
+    }
+
+    /// Configures per-sample lifecycle tracing (see [`TraceConfig`]).
+    /// Disabled by default; [`TraceConfig::on`] records every lifecycle
+    /// event into per-worker lock-free rings, folds them into the
+    /// stage-latency breakdown of [`LoaderStats::latency`], and retains
+    /// raw events for [`MinatoLoader::export_trace`].
+    pub fn trace(mut self, t: TraceConfig) -> Self {
+        self.cfg.trace = t;
         self
     }
 
@@ -674,6 +693,11 @@ pub struct MinatoLoader<D: Dataset> {
     executor: Option<Executor>,
     handles: Vec<JoinHandle<()>>,
     trace: Arc<Mutex<MonitorTrace>>,
+    /// Event collector of the lifecycle tracer; `Some` iff tracing is
+    /// enabled. Shared with the monitor thread, which drains the rings
+    /// each tick so they cannot silently overflow between `stats()`
+    /// calls.
+    trace_collect: Option<Arc<Mutex<Collector>>>,
     joined: AtomicBool,
 }
 
@@ -821,6 +845,41 @@ impl<D: Dataset> MinatoLoader<D> {
                 MinatoQueue::with_policy(&format!("batch[{g}]"), cfg.prefetch_factor, cfg.wakeup)
             })
             .collect();
+        // One monotonic clock for the whole run: `issued_ns` stamps,
+        // the delivery-latency reservoir, and (when enabled) every
+        // trace event measure against this instant.
+        let started_at = Instant::now();
+        let (tracer, trace_collect) = if cfg.trace.enabled {
+            let workers = if cfg.trace.max_workers > 0 {
+                cfg.trace.max_workers
+            } else {
+                // Every pool worker plus per-GPU consumers, the monitor,
+                // and slack for helper threads stepping in.
+                exec.config().threads + cfg.num_gpus + 4
+            };
+            let t = Arc::new(Tracer::new(started_at, workers, cfg.trace.ring_capacity));
+            let stage_names: Vec<String> = pipeline
+                .steps()
+                .iter()
+                .map(|s| s.name().to_string())
+                .collect();
+            let mut queue_names: Vec<String> =
+                vec!["fast_q".into(), "slow_q".into(), "temp_q".into()];
+            queue_names.extend((0..cfg.num_gpus).map(|g| format!("batch_q[{g}]")));
+            let c = Arc::new(Mutex::new(Collector::new(
+                stage_names,
+                queue_names,
+                cfg.trace.export_events,
+            )));
+            (Some(t), Some(c))
+        } else {
+            (None, None)
+        };
+        // Pool acquisitions report hit/miss through the first observer
+        // installed on the set (first-setter-wins on shared pools).
+        if let (Some(t), Some(p)) = (&tracer, &pools) {
+            p.set_observer(Arc::new(TracerPoolObserver(Arc::clone(t))));
+        }
         let rt = Arc::new(Runtime {
             fast_q: MinatoQueue::with_policy("fast", cfg.queue_capacity, cfg.wakeup),
             slow_q: MinatoQueue::with_policy("slow", cfg.queue_capacity, cfg.wakeup),
@@ -848,8 +907,13 @@ impl<D: Dataset> MinatoLoader<D> {
             checkpoint_pause: AtomicBool::new(false),
             injector,
             shutdown: AtomicBool::new(false),
-            started_at: Instant::now(),
+            started_at,
             transfer_hook,
+            stage_obs: tracer
+                .as_ref()
+                .map(|t| Arc::new(TracerStageObserver(Arc::clone(t))) as Arc<dyn StageObserver>),
+            delivery_ms: Mutex::new(Reservoir::new(4096)),
+            tracer: tracer.clone(),
             dataset,
             pipeline,
             sampler,
@@ -915,6 +979,25 @@ impl<D: Dataset> MinatoLoader<D> {
                 "executor roles registered twice for one runtime".into(),
             ));
         }
+        // Role re-bids become RoleSwitch events (arg: 0 fast / 1 slow /
+        // 2 batch / 3 other). Owned pools only: on a shared pool the
+        // observer slot belongs to whichever tenant claims it first,
+        // which would mix foreign tenants' switches into this trace.
+        if let (Some(t), true) = (&tracer, exec_owned) {
+            let t2 = Arc::clone(t);
+            exec.set_switch_observer(Arc::new(move |role| {
+                let arg = if role == roles.fast {
+                    0
+                } else if role == roles.slow {
+                    1
+                } else if role == roles.batch {
+                    2
+                } else {
+                    3
+                };
+                t2.record(EventKind::RoleSwitch, 0, 0, arg, 0);
+            }));
+        }
         let executor = if exec_owned {
             Some(
                 exec.spawn()
@@ -929,10 +1012,11 @@ impl<D: Dataset> MinatoLoader<D> {
         {
             let rt2 = Arc::clone(&rt);
             let trace2 = Arc::clone(&trace);
+            let collect2 = trace_collect.clone();
             handles.push(
                 std::thread::Builder::new()
                     .name("minato-monitor".into())
-                    .spawn(move || monitor_loop(rt2, trace2, budgets, roles))
+                    .spawn(move || monitor_loop(rt2, trace2, collect2, budgets, roles))
                     .map_err(|e| LoaderError::Config(format!("spawn failed: {e}")))?,
             );
         }
@@ -941,6 +1025,7 @@ impl<D: Dataset> MinatoLoader<D> {
             executor,
             handles,
             trace,
+            trace_collect,
             joined: AtomicBool::new(false),
         })
     }
@@ -973,7 +1058,51 @@ impl<D: Dataset> MinatoLoader<D> {
                 log.record(m.seq);
             }
         }
+        // Always-on end-to-end delivery latency (ticket issue → this
+        // pop): one short lock acquisition per batch, like the delivery
+        // log above.
+        let now_ns = self.rt.now_ns();
+        {
+            let mut lat = self.rt.delivery_ms.lock();
+            for m in &batch.meta {
+                lat.record(now_ns.saturating_sub(m.issued_ns) as f64 / 1e6);
+            }
+        }
+        if self.rt.tracer.is_some() {
+            if let Some(m) = batch.meta.first() {
+                self.rt.trace(
+                    EventKind::QueuePop,
+                    m.epoch,
+                    m.seq,
+                    Q_BATCH0 + gpu as u32,
+                    0,
+                );
+            }
+            for m in &batch.meta {
+                self.rt.trace(
+                    EventKind::Delivered,
+                    m.epoch,
+                    m.seq,
+                    gpu as u32,
+                    now_ns.saturating_sub(m.issued_ns),
+                );
+            }
+        }
         Some(batch)
+    }
+
+    /// Renders everything the lifecycle tracer retained so far as a
+    /// Chrome/Perfetto `trace.json` string (open it at
+    /// <https://ui.perfetto.dev>). `None` when tracing is disabled;
+    /// empty `traceEvents` when enabled with `export_events == 0`
+    /// (histograms-only mode).
+    pub fn export_trace(&self) -> Option<String> {
+        let collect = self.trace_collect.as_ref()?;
+        let mut c = collect.lock();
+        if let Some(t) = &self.rt.tracer {
+            c.drain(t);
+        }
+        Some(c.export_chrome_trace())
     }
 
     /// Captures a crash-safe snapshot of loader progress at a quiescent
@@ -1097,6 +1226,15 @@ impl<D: Dataset> MinatoLoader<D> {
                 .unwrap_or(rt.cfg.initial_workers),
             timeout: rt.balancer.current_timeout(),
             preprocess_ms: rt.balancer.profiler().summary_ms(),
+            delivery_ms: rt.delivery_ms.lock().summary(),
+            trace: rt.tracer.as_ref().map(|t| t.stats()),
+            latency: self.trace_collect.as_ref().map(|collect| {
+                let mut c = collect.lock();
+                if let Some(t) = &rt.tracer {
+                    c.drain(t);
+                }
+                c.breakdown()
+            }),
         }
     }
 
@@ -1158,9 +1296,27 @@ impl<D: Dataset> Iterator for BatchIter<'_, D> {
 /// scheduler — as a single fast-gate limit on a fixed executor, as a
 /// role-budget vector on an elastic one — and keeps the balancer's
 /// timeout fresh (§4.3).
+/// Bridges buffer-pool acquire outcomes into trace events. Pool
+/// acquisitions have no sample identity (scratch is shared), so events
+/// carry zero epoch/seq.
+#[derive(Debug)]
+struct TracerPoolObserver(Arc<Tracer>);
+
+impl AcquireObserver for TracerPoolObserver {
+    fn on_acquire(&self, hit: bool) {
+        let kind = if hit {
+            EventKind::PoolHit
+        } else {
+            EventKind::PoolMiss
+        };
+        self.0.record(kind, 0, 0, 0, 0);
+    }
+}
+
 fn monitor_loop<D: Dataset>(
     rt: Arc<Runtime<D>>,
     trace: Arc<Mutex<MonitorTrace>>,
+    collector: Option<Arc<Mutex<Collector>>>,
     mut budgets: RoleBudgets,
     roles: ExecRoles,
 ) {
@@ -1244,6 +1400,17 @@ fn monitor_loop<D: Dataset>(
             (pct, s.bytes as f64)
         });
 
+        // Drain the event rings every tick (so they cannot silently
+        // overflow between stats() calls) and snapshot the running
+        // dropped-event total — loss is never invisible. Done before the
+        // MonitorTrace lock so no two locks are ever held together.
+        let trace_drop_total = if let (Some(tracer), Some(collect)) = (&rt.tracer, &collector) {
+            collect.lock().drain(tracer);
+            Some(tracer.stats().total_dropped() as f64)
+        } else {
+            None
+        };
+
         {
             let mut t = trace.lock();
             t.cpu_pct.push(now, cpu_norm * 100.0);
@@ -1262,6 +1429,9 @@ fn monitor_loop<D: Dataset>(
             t.role_mix[0].push(now, budgets.fast as f64);
             t.role_mix[1].push(now, budgets.slow as f64);
             t.role_mix[2].push(now, budgets.batch as f64);
+            if let Some(dropped) = trace_drop_total {
+                t.trace_dropped.push(now, dropped);
+            }
             let f = rt.faults.snapshot();
             t.fault_counts[0].push(now, f.panics as f64);
             t.fault_counts[1].push(now, f.poisoned as f64);

@@ -26,7 +26,7 @@
 //! by-value path and is byte-identical to builds that predate pooling.
 
 pub use minato_pool::{
-    BufferPool, PoolConfig, PoolGuard, PoolSet, PoolSetStats, PoolStats, Reclaim,
+    AcquireObserver, BufferPool, PoolConfig, PoolGuard, PoolSet, PoolSetStats, PoolStats, Reclaim,
 };
 
 use std::sync::Arc;

@@ -5,6 +5,7 @@ use crate::fault::FaultStats;
 use crate::pool::PoolSetStats;
 use minato_exec::ExecStats;
 use minato_metrics::{Summary, TimeSeries};
+use minato_trace::{LatencyBreakdown, TraceStats};
 use std::time::Duration;
 
 /// Point-in-time view of loader state, cheap to take from any thread.
@@ -59,6 +60,17 @@ pub struct LoaderStats {
     pub timeout: Option<Duration>,
     /// Distribution of observed preprocessing times (ms).
     pub preprocess_ms: Summary,
+    /// End-to-end delivery latency (ticket issue → consumer batch pop)
+    /// in milliseconds. Always on — recorded per sample at `next_batch`
+    /// whether or not tracing is enabled.
+    pub delivery_ms: Summary,
+    /// Tracing health (events recorded/dropped per worker ring); `None`
+    /// when tracing is disabled.
+    pub trace: Option<TraceStats>,
+    /// Per-stage latency breakdown (p50/p95/p99 per pipeline step, per
+    /// queue wait, plus end-to-end) folded from trace events; `None`
+    /// when tracing is disabled.
+    pub latency: Option<LatencyBreakdown>,
 }
 
 /// Time series recorded by the monitor thread while the loader runs —
@@ -96,6 +108,11 @@ pub struct MonitorTrace {
     /// quarantined, rerouted]`) — flat at zero on a healthy run, so a
     /// step in any series timestamps when a fault burst hit.
     pub fault_counts: [TimeSeries; 4],
+    /// Cumulative trace events dropped (ring overflow + unassigned
+    /// threads) over time; empty when tracing is disabled, flat at zero
+    /// when every event fit its ring — a step timestamps when overload
+    /// began.
+    pub trace_dropped: TimeSeries,
 }
 
 impl MonitorTrace {
@@ -121,6 +138,7 @@ impl MonitorTrace {
                 TimeSeries::new("fault_quarantined"),
                 TimeSeries::new("fault_rerouted"),
             ],
+            trace_dropped: TimeSeries::new("trace_dropped"),
         }
     }
 }
@@ -148,5 +166,6 @@ mod tests {
         assert!(t.pool_bytes.is_empty());
         assert!(t.role_mix.iter().all(|s| s.is_empty()));
         assert!(t.fault_counts.iter().all(|s| s.is_empty()));
+        assert!(t.trace_dropped.is_empty());
     }
 }

@@ -132,6 +132,22 @@ pub enum CostClass {
     Unknown,
 }
 
+/// Observer of per-step execution inside [`Pipeline::run_ctx`].
+///
+/// Implemented by the tracing layer: `stage_start` fires before a step
+/// executes, `stage_end` after it completes (interrupted steps fire no
+/// `stage_end`; they re-execute later and report then). `Debug` is a
+/// supertrait so contexts carrying an observer stay debug-printable.
+///
+/// Implementations must be cheap and non-blocking: they run on the
+/// per-sample hot path of every worker.
+pub trait StageObserver: Send + Sync + std::fmt::Debug {
+    /// A pipeline step is about to run on the sample `(epoch, seq)`.
+    fn stage_start(&self, step: usize, epoch: u16, seq: u64);
+    /// Step `step` completed on `(epoch, seq)` after `dur`.
+    fn stage_end(&self, step: usize, epoch: u16, seq: u64, dur: Duration);
+}
+
 /// Execution context handed to every transform invocation.
 #[derive(Debug, Clone)]
 pub struct TransformCtx {
@@ -171,6 +187,12 @@ pub struct TransformCtx {
     /// Ledger of pool scratch held by the running sample, so the worker
     /// can repay it if the transform panics; `None` when unpooled.
     scratch: Option<Arc<ScratchLedger>>,
+    /// Per-step observer (tracing); `None` costs a single branch per
+    /// step in [`Pipeline::run_ctx`] and no clock reads.
+    observer: Option<Arc<dyn StageObserver>>,
+    /// Sample identity stamped onto observer callbacks.
+    obs_epoch: u16,
+    obs_seq: u64,
 }
 
 impl TransformCtx {
@@ -197,6 +219,9 @@ impl TransformCtx {
             granted_stride: Cell::new(1),
             expired_latch: Cell::new(false),
             scratch: None,
+            observer: None,
+            obs_epoch: 0,
+            obs_seq: 0,
         }
     }
 
@@ -237,6 +262,22 @@ impl TransformCtx {
     /// panic (see [`ScratchLedger`]).
     pub fn with_scratch(mut self, ledger: Arc<ScratchLedger>) -> TransformCtx {
         self.scratch = Some(ledger);
+        self
+    }
+
+    /// Returns a copy that reports per-step start/end (with the sample's
+    /// `(epoch, seq)` identity) to `observer` during
+    /// [`Pipeline::run_ctx`]. Attaching an observer is an `Arc` clone —
+    /// refcount traffic only, no allocation.
+    pub fn with_observer(
+        mut self,
+        observer: Arc<dyn StageObserver>,
+        epoch: u16,
+        seq: u64,
+    ) -> TransformCtx {
+        self.observer = Some(observer);
+        self.obs_epoch = epoch;
+        self.obs_seq = seq;
         self
     }
 
@@ -640,6 +681,12 @@ impl<T: Send + 'static> Pipeline<T> {
         let mut i = start_at;
         while i < self.steps.len() {
             let step = &self.steps[i];
+            // Observer timing reads the clock only when one is attached,
+            // keeping the unobserved path byte-identical.
+            let step_t0 = ctx.observer.as_ref().map(|obs| {
+                obs.stage_start(i, ctx.obs_epoch, ctx.obs_seq);
+                Instant::now()
+            });
             let status = if in_place {
                 step.apply_mut(&mut value, &ctx)?
             } else {
@@ -662,11 +709,15 @@ impl<T: Send + 'static> Pipeline<T> {
             if interrupted {
                 // The transform bailed out mid-flight; it must be
                 // re-executed from scratch by the background worker.
+                // No `stage_end`: the step will re-run and report then.
                 return Ok(PipelineRun::TimedOut {
                     partial: value,
                     resume_at: i,
                     elapsed: start.elapsed(),
                 });
+            }
+            if let (Some(obs), Some(t0)) = (&ctx.observer, step_t0) {
+                obs.stage_end(i, ctx.obs_epoch, ctx.obs_seq, t0.elapsed());
             }
             i += 1;
             // Deadline check *after* the completed transform: resume

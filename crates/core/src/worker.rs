@@ -33,9 +33,10 @@ use crate::loader::{ErrorPolicy, LoaderConfig};
 use crate::pool::{PoolSet, SampleRecycler};
 use crate::profiler::SampleRecord;
 use crate::queue::{Closed, MinatoQueue, PopResult, TryPutError, TryReserveError};
-use crate::transform::{Pipeline, PipelineRun, ScratchLedger, TransformCtx};
+use crate::transform::{Pipeline, PipelineRun, ScratchLedger, StageObserver, TransformCtx};
 use minato_exec::{ExecHandle, RoleId, RoleStep, StepOutcome};
-use minato_metrics::{Counter, UtilizationMeter};
+use minato_metrics::{Counter, Reservoir, UtilizationMeter};
+use minato_trace::{EventKind, Tracer};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -45,6 +46,36 @@ use std::time::{Duration, Instant};
 /// Bound on the `recent_errors` ring: enough to see a fault *burst*,
 /// small enough that a pathological run cannot grow memory unboundedly.
 pub(crate) const RECENT_ERRORS_CAP: usize = 16;
+
+// Queue ids stamped into trace `QueuePut`/`QueuePop` events. The
+// collector's `queue_names` follow the same order; GPU `g`'s batch
+// queue is `Q_BATCH0 + g`, traced at batch granularity (one event per
+// batch, keyed by its first sample).
+pub(crate) const Q_FAST: u32 = 0;
+pub(crate) const Q_SLOW: u32 = 1;
+pub(crate) const Q_TEMP: u32 = 2;
+pub(crate) const Q_BATCH0: u32 = 3;
+
+/// Bridges per-step [`StageObserver`] callbacks into trace events.
+#[derive(Debug)]
+pub(crate) struct TracerStageObserver(pub(crate) Arc<Tracer>);
+
+impl StageObserver for TracerStageObserver {
+    fn stage_start(&self, step: usize, epoch: u16, seq: u64) {
+        self.0
+            .record(EventKind::StageStart, epoch, seq, step as u32, 0);
+    }
+
+    fn stage_end(&self, step: usize, epoch: u16, seq: u64, dur: Duration) {
+        self.0.record(
+            EventKind::StageEnd,
+            epoch,
+            seq,
+            step as u32,
+            dur.as_nanos() as u64,
+        );
+    }
+}
 
 /// A sample parked mid-pipeline after a timeout (temp-queue entry).
 #[derive(Debug)]
@@ -227,9 +258,51 @@ pub(crate) struct Runtime<D: Dataset> {
     pub started_at: Instant,
     /// Optional device-transfer prefetch hook (§4.3's CUDA stream).
     pub transfer_hook: Option<Arc<dyn TransferHook<D::Sample>>>,
+    /// Lifecycle tracer; `None` when tracing is disabled (the default),
+    /// in which case every record site costs one branch and nothing
+    /// else.
+    pub tracer: Option<Arc<Tracer>>,
+    /// Stage observer attached to transform contexts; `Some` iff
+    /// `tracer` is `Some` (built once at loader start, cloned per
+    /// sample — refcount traffic only).
+    pub(crate) stage_obs: Option<Arc<dyn StageObserver>>,
+    /// Always-on end-to-end delivery latency in milliseconds (ticket
+    /// issue → consumer pop), recorded by `next_batch` under one lock
+    /// acquisition per popped batch.
+    pub delivery_ms: Mutex<Reservoir>,
 }
 
 impl<D: Dataset> Runtime<D> {
+    /// Records one trace event when tracing is enabled; a single branch
+    /// otherwise. Epochs beyond `u16::MAX` saturate (the event word
+    /// packs the epoch into 16 bits).
+    // minato-verify: hot-path
+    #[inline]
+    pub(crate) fn trace(&self, kind: EventKind, epoch: usize, seq: u64, arg: u32, dur_ns: u64) {
+        if let Some(t) = &self.tracer {
+            t.record(kind, epoch.min(u16::MAX as usize) as u16, seq, arg, dur_ns);
+        }
+    }
+
+    /// Records one queue event per sample in `items` (used for bulk
+    /// put/pop sites, so the disabled path stays a single branch).
+    // minato-verify: hot-path
+    fn trace_queue(&self, kind: EventKind, qid: u32, items: &[Prepared<D::Sample>]) {
+        if self.tracer.is_some() {
+            for p in items {
+                self.trace(kind, p.meta.epoch, p.meta.seq, qid, 0);
+            }
+        }
+    }
+
+    /// Nanoseconds since loader start — the clock `issued_ns` and the
+    /// tracer share.
+    // minato-verify: hot-path
+    #[inline]
+    pub(crate) fn now_ns(&self) -> u64 {
+        self.started_at.elapsed().as_nanos() as u64
+    }
+
     /// Shared bookkeeping for any quarantined sample: error counter,
     /// bounded recent-errors ring, first-error slot, fail-fast policy.
     fn note_error(&self, err: LoaderError) {
@@ -292,15 +365,24 @@ impl<D: Dataset> Runtime<D> {
     /// is on — paired with a [`ScratchGuard`] that repays un-recycled
     /// pool scratch if the run unwinds. `ledger` carries a deferred
     /// sample's existing ledger into its background resume; fresh runs
-    /// pass `None` and get a new one.
+    /// pass `None` and get a new one. `epoch`/`seq` identify the sample
+    /// on stage-observer callbacks when tracing is enabled.
     fn guarded_ctx(
         &self,
         timeout: Option<Duration>,
         ledger: Option<Arc<ScratchLedger>>,
+        epoch: usize,
+        seq: u64,
     ) -> (TransformCtx, ScratchGuard) {
         let ctx = match timeout {
             Some(t) => TransformCtx::with_deadline(Instant::now() + t),
             None => TransformCtx::unbounded(),
+        };
+        let ctx = match &self.stage_obs {
+            Some(obs) => {
+                ctx.with_observer(Arc::clone(obs), epoch.min(u16::MAX as usize) as u16, seq)
+            }
+            None => ctx,
         };
         match &self.pools {
             Some(p) => {
@@ -360,7 +442,8 @@ impl<D: Dataset> Runtime<D> {
         // cascade depends on every step reaching its exit accounting.
         let (resume_at, partial) = (d.resume_at, d.partial);
         let (index, seq) = (d.meta.index, d.meta.seq);
-        let (ctx, mut guard) = self.guarded_ctx(None, d.scratch);
+        let epoch = d.meta.epoch;
+        let (ctx, mut guard) = self.guarded_ctx(None, d.scratch, epoch, seq);
         let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             if let Some(inj) = &self.injector {
                 match inj.decide(FaultSite::Slow, index, seq) {
@@ -392,6 +475,13 @@ impl<D: Dataset> Runtime<D> {
                     preprocess: total,
                     ..d.meta
                 };
+                self.trace(
+                    EventKind::SlowResume,
+                    epoch,
+                    seq,
+                    resume_at as u32,
+                    elapsed.as_nanos() as u64,
+                );
                 self.balancer.on_slow_complete(&SampleRecord {
                     total,
                     per_transform: Vec::new(),
@@ -423,6 +513,7 @@ impl<D: Dataset> Runtime<D> {
             Err(e) => {
                 // The guard's drop repays pool scratch the unwinding
                 // (or error-propagating) run never recycled.
+                self.trace(EventKind::FaultHit, epoch, seq, u32::from(panicked), 0);
                 if panicked {
                     self.record_panic(e);
                 } else {
@@ -439,7 +530,9 @@ impl<D: Dataset> Runtime<D> {
     fn help_slow_once(&self) -> bool {
         match self.temp_q.try_pop() {
             PopResult::Item(d) => {
+                self.trace(EventKind::QueuePop, d.meta.epoch, d.meta.seq, Q_TEMP, 0);
                 if let Some(p) = self.complete_one(d) {
+                    self.trace(EventKind::QueuePut, p.meta.epoch, p.meta.seq, Q_SLOW, 0);
                     let _ = self.push_slow_completed(vec![p]);
                 }
                 true
@@ -578,6 +671,10 @@ impl<D: Dataset> RoleStep for FastStep<D> {
                 return true;
             }
             let n = buf.len();
+            // Record-once-before-retry: the put event fires here, not
+            // inside `publish_fast`'s backpressure loop, so retries
+            // never inflate event counts.
+            rt.trace_queue(EventKind::QueuePut, Q_FAST, buf);
             let ok = rt.publish_fast(std::mem::take(buf)).is_ok();
             rt.in_flight.fetch_sub(n, Ordering::SeqCst);
             ok
@@ -588,12 +685,15 @@ impl<D: Dataset> RoleStep for FastStep<D> {
                 break;
             }
             processed += 1;
+            let issued_ns = rt.now_ns();
+            rt.trace(EventKind::TicketClaimed, ticket.epoch, ticket.seq, 0, 0);
             // Cross-epoch cache: a hit skips load + preprocessing and
             // rides the fast path with its ticket's epoch/seq. It must
             // not reach the balancer — a ~0 ms "completion" would drag
             // the adaptive P75 timeout toward zero.
             if let Some(cache) = rt.cache.as_deref() {
                 if let Some(hit) = cache.lookup(ticket.index) {
+                    rt.trace(EventKind::CacheHit, ticket.epoch, ticket.seq, 0, 0);
                     fast_buf.push(Prepared {
                         sample: hit.sample,
                         meta: SampleMeta {
@@ -603,10 +703,12 @@ impl<D: Dataset> RoleStep for FastStep<D> {
                             slow: false,
                             preprocess: Duration::ZERO,
                             bytes: hit.bytes,
+                            issued_ns,
                         },
                     });
                     continue; // Stays in flight until the chunk flush.
                 }
+                rt.trace(EventKind::CacheMiss, ticket.epoch, ticket.seq, 0, 0);
             }
             let t0 = Instant::now();
             // A panicking dataset or transform must not wedge the
@@ -616,7 +718,7 @@ impl<D: Dataset> RoleStep for FastStep<D> {
             // for this sample. The guard repays pool scratch the
             // unwinding run never recycled.
             let timeout = rt.balancer.current_timeout();
-            let (ctx, mut guard) = rt.guarded_ctx(timeout, None);
+            let (ctx, mut guard) = rt.guarded_ctx(timeout, None, ticket.epoch, ticket.seq);
             let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 if let Some(inj) = &rt.injector {
                     match inj.decide(FaultSite::Fast, ticket.index, ticket.seq) {
@@ -652,6 +754,7 @@ impl<D: Dataset> RoleStep for FastStep<D> {
                         slow: false,
                         preprocess: elapsed,
                         bytes,
+                        issued_ns,
                     };
                     rt.balancer.on_fast_complete(&SampleRecord {
                         total: elapsed,
@@ -680,7 +783,18 @@ impl<D: Dataset> RoleStep for FastStep<D> {
                         slow: true,
                         preprocess: elapsed, // Updated on background completion.
                         bytes,
+                        issued_ns,
                     };
+                    // Defer + temp-queue put, recorded once before the
+                    // routing retries below.
+                    rt.trace(
+                        EventKind::SlowDefer,
+                        ticket.epoch,
+                        ticket.seq,
+                        resume_at as u32,
+                        elapsed.as_nanos() as u64,
+                    );
+                    rt.trace(EventKind::QueuePut, ticket.epoch, ticket.seq, Q_TEMP, 0);
                     let deferred = Deferred {
                         partial,
                         resume_at,
@@ -708,6 +822,13 @@ impl<D: Dataset> RoleStep for FastStep<D> {
                     }
                 }
                 Err(e) => {
+                    rt.trace(
+                        EventKind::FaultHit,
+                        ticket.epoch,
+                        ticket.seq,
+                        u32::from(panicked),
+                        0,
+                    );
                     if panicked {
                         rt.record_panic(e);
                     } else {
@@ -780,12 +901,20 @@ impl<D: Dataset> RoleStep for SlowStep<D> {
             Ok(v) => v,
             Err(Closed) => return StepOutcome::Exhausted, // Closed and drained.
         };
+        if rt.tracer.is_some() {
+            for d in &deferred {
+                rt.trace(EventKind::QueuePop, d.meta.epoch, d.meta.seq, Q_TEMP, 0);
+            }
+        }
         let mut done: Vec<Prepared<D::Sample>> = Vec::with_capacity(deferred.len());
         for d in deferred {
             if rt.is_shutdown() {
                 return StepOutcome::Exhausted;
             }
             if let Some(p) = rt.complete_one(d) {
+                // Record-once-before-retry: backpressure re-puts below
+                // must not duplicate the event.
+                rt.trace(EventKind::QueuePut, p.meta.epoch, p.meta.seq, Q_SLOW, 0);
                 done.push(p);
                 // Publish immediately if the slow queue has room;
                 // on back-pressure keep accumulating (bounded by the
@@ -830,6 +959,9 @@ fn emit_batch<D: Dataset>(rt: &Runtime<D>, batch: &mut Batch<D::Sample>) -> bool
     let full = std::mem::replace(batch, rt.new_batch());
     let samples = full.len() as u64;
     let bytes = full.bytes();
+    // Batch queues are traced at batch granularity, keyed by the first
+    // sample (captured here: `publish` consumes the batch).
+    let first = full.meta.first().map(|m| (m.epoch, m.seq));
     let mut order: Vec<usize> = (0..rt.batch_qs.len()).collect();
     let (gpu, slot) = 'deliver: loop {
         order.sort_unstable_by_key(|&g| rt.batch_qs[g].len());
@@ -866,6 +998,10 @@ fn emit_batch<D: Dataset>(rt: &Runtime<D>, batch: &mut Batch<D::Sample>) -> bool
     }
     if slot.publish(full).is_err() {
         return false; // Closed while transferring: shutting down.
+    }
+    if let Some((epoch, seq)) = first {
+        rt.trace(EventKind::BatchEmit, epoch, seq, gpu as u32, 0);
+        rt.trace(EventKind::QueuePut, epoch, seq, Q_BATCH0 + gpu as u32, 0);
     }
     rt.samples_out.add(samples);
     rt.bytes_out.add(bytes);
@@ -968,6 +1104,7 @@ impl<D: Dataset> BatchStep<D> {
         };
         // minato-verify: allow(V2) zero-capacity constructor never touches the heap; the backing allocation happens inside try_pop_many
         let mut pulled = Vec::new();
+        let mut pulled_q = Q_FAST;
         if !lane.fast_done {
             match rt.fast_q.try_pop_many(need) {
                 Ok(items) => pulled = items,
@@ -976,7 +1113,10 @@ impl<D: Dataset> BatchStep<D> {
         }
         if pulled.is_empty() && !lane.slow_done {
             match rt.slow_q.try_pop_many(need) {
-                Ok(items) => pulled = items,
+                Ok(items) => {
+                    pulled = items;
+                    pulled_q = Q_SLOW;
+                }
                 Err(Closed) => lane.slow_done = true,
             }
         }
@@ -987,13 +1127,22 @@ impl<D: Dataset> BatchStep<D> {
             // Not enough samples yet: wait briefly on whichever side can
             // still produce (Algorithm 1 line 28; the paper sleeps 10 ms,
             // the wait is configurable and condvar-backed by default).
-            let waited = if !lane.fast_done {
-                rt.fast_q.pop_many_timeout(need, rt.cfg.starvation_wait)
+            let (waited, waited_q) = if !lane.fast_done {
+                (
+                    rt.fast_q.pop_many_timeout(need, rt.cfg.starvation_wait),
+                    Q_FAST,
+                )
             } else {
-                rt.slow_q.pop_many_timeout(need, rt.cfg.starvation_wait)
+                (
+                    rt.slow_q.pop_many_timeout(need, rt.cfg.starvation_wait),
+                    Q_SLOW,
+                )
             };
             match waited {
-                Ok(items) => pulled = items,
+                Ok(items) => {
+                    pulled = items;
+                    pulled_q = waited_q;
+                }
                 Err(Closed) => {
                     if !lane.fast_done {
                         lane.fast_done = true;
@@ -1003,6 +1152,7 @@ impl<D: Dataset> BatchStep<D> {
                 }
             }
         }
+        rt.trace_queue(EventKind::QueuePop, pulled_q, &pulled);
         let progressed = !pulled.is_empty();
         for p in pulled {
             lane.batch.push(p);
@@ -1029,6 +1179,7 @@ impl<D: Dataset> BatchStep<D> {
         let rt = &*self.rt;
         match rt.fast_q.pop_timeout(rt.cfg.starvation_wait) {
             Ok(Some(p)) => {
+                rt.trace(EventKind::QueuePop, p.meta.epoch, p.meta.seq, Q_FAST, 0);
                 lane.reorder.offer(p.meta.seq, p);
                 lane.reorder.drain_ready(&mut lane.ready);
                 for p in lane.ready.drain(..) {
@@ -1158,6 +1309,7 @@ mod tests {
             pool_budget_bytes: 0,
             executor: crate::loader::ExecutorConfig::Fixed,
             checkpointing: false,
+            trace: minato_trace::TraceConfig::default(),
         }
     }
 
@@ -1200,6 +1352,9 @@ mod tests {
             shutdown: AtomicBool::new(false),
             started_at: Instant::now(),
             transfer_hook: None,
+            tracer: None,
+            stage_obs: None,
+            delivery_ms: Mutex::new(Reservoir::new(64)),
             cfg,
         })
     }
@@ -1214,6 +1369,7 @@ mod tests {
                 slow: true,
                 preprocess: Duration::ZERO,
                 bytes: 0,
+                issued_ns: 0,
             },
         }
     }
@@ -1324,6 +1480,7 @@ mod tests {
                 slow: true,
                 preprocess: Duration::ZERO,
                 bytes: 0,
+                issued_ns: 0,
             },
             spent: Duration::from_millis(3),
             scratch: None,

@@ -48,7 +48,7 @@
 
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -242,6 +242,9 @@ struct Shared {
     idle_cv: Condvar,
     total_switches: AtomicU64,
     total_steals: AtomicU64,
+    /// Invoked (outside any lock) each time a worker switches into a
+    /// role it was not running; set once, first setter wins.
+    switch_observer: OnceLock<Arc<dyn Fn(RoleId) + Send + Sync>>,
 }
 
 impl Shared {
@@ -336,6 +339,7 @@ impl ExecHandle {
                 idle_cv: Condvar::new(),
                 total_switches: AtomicU64::new(0),
                 total_steals: AtomicU64::new(0),
+                switch_observer: OnceLock::new(),
             }),
         }
     }
@@ -410,6 +414,15 @@ impl ExecHandle {
             r.budget.store(n, Ordering::Release);
         }
         self.shared.wake_all();
+    }
+
+    /// Installs a callback invoked each time a worker switches into a
+    /// role it was not previously running (elastic mode's cross-role
+    /// moves). Called from worker threads outside any executor lock, so
+    /// it must be cheap and non-blocking. First setter wins; later
+    /// calls are ignored.
+    pub fn set_switch_observer(&self, f: Arc<dyn Fn(RoleId) + Send + Sync>) {
+        let _ = self.shared.switch_observer.set(f);
     }
 
     /// `role`'s current budget (0 if unknown/pruned).
@@ -647,6 +660,9 @@ fn elastic_loop(shared: &Shared, _id: usize) {
                 if current != Some(role.id) {
                     role.switches_in.fetch_add(1, Ordering::Relaxed);
                     shared.total_switches.fetch_add(1, Ordering::Relaxed);
+                    if let Some(obs) = shared.switch_observer.get() {
+                        obs(role.id);
+                    }
                 }
                 if stealing {
                     role.steals.fetch_add(1, Ordering::Relaxed);

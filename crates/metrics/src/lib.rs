@@ -13,6 +13,8 @@
 //!   by the worker scheduler (paper Formula 2),
 //! * [`Histogram`] — fixed-bucket distribution used for batch-composition
 //!   analysis (Figure 11b),
+//! * [`LogHistogram`] — power-of-two-bucketed latency distribution the
+//!   `minato-trace` collector folds lifecycle events into,
 //! * [`table`] — plain-text table/CSV rendering for the experiment
 //!   harnesses.
 //!
@@ -23,6 +25,7 @@
 pub mod counter;
 pub mod ewma;
 pub mod histogram;
+pub mod loghist;
 pub mod meter;
 pub mod reservoir;
 pub mod summary;
@@ -32,6 +35,7 @@ pub mod timeseries;
 pub use counter::{Counter, RateMeter};
 pub use ewma::{Ewma, MovingAverage};
 pub use histogram::Histogram;
+pub use loghist::LogHistogram;
 pub use meter::UtilizationMeter;
 pub use reservoir::Reservoir;
 pub use summary::Summary;

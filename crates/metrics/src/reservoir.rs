@@ -177,6 +177,44 @@ mod tests {
     }
 
     #[test]
+    fn empty_reservoir_quantiles_and_summary() {
+        let r = Reservoir::new(8);
+        assert_eq!(r.quantile(0.0), None);
+        assert_eq!(r.quantile(0.5), None);
+        assert_eq!(r.quantile(1.0), None);
+        let s = r.summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(r.fraction_above(0.0), 0.0);
+    }
+
+    #[test]
+    fn single_sample_quantiles_collapse_to_it() {
+        let mut r = Reservoir::new(8);
+        r.record(42.0);
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(r.quantile(q), Some(42.0), "q={q}");
+        }
+        let s = r.summary();
+        assert_eq!((s.count, s.median, s.p99), (1, 42.0, 42.0));
+    }
+
+    #[test]
+    fn saturated_window_keeps_exact_quantiles_over_recent_values() {
+        // Fill far past capacity: quantiles must be exact over exactly
+        // the last `capacity` observations, with eviction in FIFO order.
+        let mut r = Reservoir::new(100);
+        for v in 0..1000 {
+            r.record(v as f64);
+        }
+        assert_eq!(r.len(), 100);
+        assert_eq!(r.total_seen(), 1000);
+        assert_eq!(r.quantile(0.0), Some(900.0));
+        assert_eq!(r.quantile(1.0), Some(999.0));
+        // Window is [900, 999]: type-7 median is 949.5.
+        assert_eq!(r.quantile(0.5), Some(949.5));
+    }
+
+    #[test]
     fn window_quantile_tracks_drift() {
         // Workload drift: early samples fast, later samples slow. A small
         // window must track the recent (slow) regime.

@@ -182,6 +182,22 @@ mod tests {
     }
 
     #[test]
+    fn monotonic_invariant_under_monitor_style_appends() {
+        // The loader's monitor thread appends with a strictly advancing
+        // clock; downsampling and equal timestamps must both preserve
+        // the monotonic invariant the trace series rely on.
+        let mut ts = TimeSeries::new("x");
+        for i in 0..50 {
+            ts.push(i as f64 * 0.5, (i % 7) as f64);
+        }
+        ts.push(24.5, 0.0); // Equal timestamps are still monotonic.
+        assert!(ts.is_monotonic());
+        assert!(ts.downsample(8).is_monotonic());
+        ts.push(0.25, 1.0);
+        assert!(!ts.is_monotonic(), "regressing time must be flagged");
+    }
+
+    #[test]
     fn time_weighted_mean_weights_by_interval() {
         let mut ts = TimeSeries::new("x");
         // Value 0 for 9s, then value 100 for 1s (final sample has no span).

@@ -21,6 +21,20 @@ use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Observer of acquire outcomes, for per-event tracing layered on top of
+/// the pool's own counters.
+///
+/// Called synchronously from [`BufferPool::acquire`] on every
+/// resolution — `hit = true` when the buffer came from a free-list
+/// (thread-local fast slot or shared stripe), `false` on a fresh
+/// allocation. Implementations run on the hot path and must be cheap,
+/// non-blocking, and allocation-free.
+pub trait AcquireObserver: Send + Sync {
+    /// One acquire resolved; `hit` is whether pooled memory served it.
+    fn on_acquire(&self, hit: bool);
+}
 
 /// Configuration of one [`BufferPool`].
 #[derive(Debug, Clone)]
@@ -138,6 +152,8 @@ pub struct BufferPool<T: Send + 'static> {
     tl_hits: AtomicU64,
     recycled: AtomicU64,
     dropped: AtomicU64,
+    /// Per-acquire observer (tracing); set once, first setter wins.
+    observer: OnceLock<Arc<dyn AcquireObserver>>,
     /// Audit mode: [`Recycled`] guards currently outstanding.
     #[cfg(minato_lock_graph)]
     audit_guards: AtomicU64,
@@ -241,8 +257,25 @@ impl<T: Send + 'static> BufferPool<T> {
             tl_hits: AtomicU64::new(0),
             recycled: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
+            observer: OnceLock::new(),
             #[cfg(minato_lock_graph)]
             audit_guards: AtomicU64::new(0),
+        }
+    }
+
+    /// Installs an [`AcquireObserver`] notified on every acquire. First
+    /// setter wins; later calls are ignored (the slot is write-once so
+    /// the hot path needs no lock to read it).
+    pub fn set_observer(&self, obs: Arc<dyn AcquireObserver>) {
+        let _ = self.observer.set(obs);
+    }
+
+    /// Notifies the observer, if any, of one acquire outcome.
+    // minato-verify: hot-path
+    #[inline]
+    fn observe(&self, hit: bool) {
+        if let Some(obs) = self.observer.get() {
+            obs.on_acquire(hit);
         }
     }
 
@@ -277,6 +310,7 @@ impl<T: Send + 'static> BufferPool<T> {
                     if let Some(buf) = tl_take::<T>(self.id, ci) {
                         self.hits.fetch_add(1, Ordering::Relaxed);
                         self.tl_hits.fetch_add(1, Ordering::Relaxed);
+                        self.observe(true);
                         return buf;
                     }
                 }
@@ -291,16 +325,19 @@ impl<T: Send + 'static> BufferPool<T> {
                         self.bytes.fetch_sub(sz, Ordering::AcqRel);
                         class.bytes.fetch_sub(sz, Ordering::AcqRel);
                         self.hits.fetch_add(1, Ordering::Relaxed);
+                        self.observe(true);
                         return buf;
                     }
                 }
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                self.observe(false);
                 // Allocate at class granularity so the buffer stays
                 // eligible for this class when it comes back.
                 return Vec::with_capacity(class.cap_elems);
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        self.observe(false);
         Vec::with_capacity(min_elems)
     }
 

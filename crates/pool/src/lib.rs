@@ -28,5 +28,5 @@
 mod buffer;
 mod set;
 
-pub use buffer::{BufferPool, PoolConfig, PoolGuard, PoolStats, Recycled};
+pub use buffer::{AcquireObserver, BufferPool, PoolConfig, PoolGuard, PoolStats, Recycled};
 pub use set::{PoolSet, PoolSetStats, Reclaim};

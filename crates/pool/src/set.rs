@@ -1,7 +1,8 @@
 //! The typed pool bundle the loader threads through its hot path, and
 //! the [`Reclaim`] trait closing the recycle loop on the consumer side.
 
-use crate::buffer::{BufferPool, PoolConfig, PoolStats};
+use crate::buffer::{AcquireObserver, BufferPool, PoolConfig, PoolStats};
+use std::sync::Arc;
 
 /// The buffer pools a preprocessing pipeline draws from: one for `f32`
 /// payloads (pixels, voxels, waveforms, feature matrices) and one for
@@ -55,6 +56,14 @@ impl PoolSet {
     /// The `u8` buffer pool.
     pub fn u8s(&self) -> &BufferPool<u8> {
         &self.u8s
+    }
+
+    /// Installs an [`AcquireObserver`] on both member pools (tracing
+    /// sees every acquire regardless of element type). First setter
+    /// wins per pool; later calls are ignored.
+    pub fn set_observer(&self, obs: Arc<dyn AcquireObserver>) {
+        self.f32s.set_observer(Arc::clone(&obs));
+        self.u8s.set_observer(obs);
     }
 
     /// Counter snapshot across both pools.

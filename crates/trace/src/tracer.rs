@@ -1,0 +1,257 @@
+//! The recording façade: per-thread ring claiming and event stamping.
+//!
+//! A [`Tracer`] owns a fixed pool of [`EventRing`]s, one per recording
+//! thread. Threads claim a ring lazily on their first record via
+//! thread-local state; the claim (which may allocate) happens once per
+//! thread per tracer, off the steady-state path. After that, recording
+//! is: read a thread-local cell, stamp a monotonic timestamp, pack four
+//! words, push — no locks, no allocation.
+
+use crate::event::{Event, EventKind};
+use crate::ring::EventRing;
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Per-worker recorded/dropped counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerTrace {
+    /// Events successfully published into this worker's ring.
+    pub recorded: u64,
+    /// Events rejected because this worker's ring was full.
+    pub dropped: u64,
+}
+
+/// Snapshot of tracing health: how much was recorded and, crucially,
+/// how much was silently lost (ring overflow or ring exhaustion).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// One entry per ring, indexed by worker id.
+    pub workers: Vec<WorkerTrace>,
+    /// Sum of `workers[..].recorded`.
+    pub recorded: u64,
+    /// Sum of `workers[..].dropped` (ring-full drops).
+    pub dropped: u64,
+    /// Events dropped because more threads tried to record than there
+    /// are rings.
+    pub unassigned_drops: u64,
+}
+
+impl TraceStats {
+    /// Every event that was lost, for the overload series and the "no
+    /// silent loss" invariant.
+    pub fn total_dropped(&self) -> u64 {
+        self.dropped + self.unassigned_drops
+    }
+}
+
+static NEXT_TRACER_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Fast path: the ring this thread last used, keyed by tracer id.
+    /// `usize::MAX` marks "no ring available for this tracer".
+    static LAST_RING: Cell<(u64, usize)> = const { Cell::new((0, usize::MAX)) };
+    /// All (tracer id, ring) claims this thread holds; consulted when
+    /// the thread alternates between tracers.
+    static CLAIMED_RINGS: RefCell<Vec<(u64, usize)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Lock-free event recorder shared by every instrumented thread of one
+/// loader.
+///
+/// Timestamps are nanoseconds since the tracer's `origin` instant, so
+/// every event of a run shares one monotonic clock.
+#[derive(Debug)]
+pub struct Tracer {
+    id: u64,
+    origin: Instant,
+    rings: Box<[EventRing]>,
+    claimed: AtomicU64,
+    unassigned_drops: AtomicU64,
+}
+
+impl Tracer {
+    /// Creates a tracer with `workers` rings of `ring_capacity` events
+    /// each (both clamped to sane minimums), timestamping relative to
+    /// `origin`.
+    pub fn new(origin: Instant, workers: usize, ring_capacity: usize) -> Tracer {
+        let workers = workers.clamp(1, 256);
+        Tracer {
+            id: NEXT_TRACER_ID.fetch_add(1, Ordering::Relaxed),
+            origin,
+            rings: (0..workers)
+                .map(|_| EventRing::new(ring_capacity))
+                .collect(),
+            claimed: AtomicU64::new(0),
+            unassigned_drops: AtomicU64::new(0),
+        }
+    }
+
+    /// Nanoseconds elapsed since the tracer's origin.
+    // minato-verify: hot-path
+    pub fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+
+    /// The shared time origin (loader start), for stamping timestamps
+    /// taken outside the tracer.
+    pub fn origin(&self) -> Instant {
+        self.origin
+    }
+
+    /// Records one event with a fresh timestamp. Lock- and
+    /// allocation-free after the calling thread's first record.
+    // minato-verify: hot-path
+    pub fn record(&self, kind: EventKind, epoch: u16, seq: u64, arg: u32, dur_ns: u64) {
+        let cached = LAST_RING.with(Cell::get);
+        let idx = if cached.0 == self.id {
+            cached.1
+        } else {
+            self.claim_ring()
+        };
+        if idx == usize::MAX {
+            self.unassigned_drops.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let ev = Event {
+            ts_ns: self.now_ns(),
+            kind,
+            worker: idx as u8,
+            epoch,
+            arg,
+            seq,
+            dur_ns,
+        };
+        self.rings[idx].push(ev.pack());
+    }
+
+    /// Cold path: looks up or claims this thread's ring for this tracer
+    /// and caches it in the fast-path cell. Returns `usize::MAX` when
+    /// every ring is already claimed by another thread.
+    #[cold]
+    fn claim_ring(&self) -> usize {
+        let idx = CLAIMED_RINGS.with(|claims| {
+            let mut claims = claims.borrow_mut();
+            if let Some(&(_, idx)) = claims.iter().find(|(id, _)| *id == self.id) {
+                return idx;
+            }
+            let next = self.claimed.fetch_add(1, Ordering::Relaxed) as usize;
+            let idx = if next < self.rings.len() {
+                next
+            } else {
+                usize::MAX
+            };
+            claims.push((self.id, idx));
+            idx
+        });
+        LAST_RING.with(|c| c.set((self.id, idx)));
+        idx
+    }
+
+    /// The per-worker rings, for the collector to drain.
+    pub fn rings(&self) -> &[EventRing] {
+        &self.rings
+    }
+
+    /// Point-in-time recorded/dropped counters.
+    pub fn stats(&self) -> TraceStats {
+        let workers: Vec<WorkerTrace> = self
+            .rings
+            .iter()
+            .map(|r| WorkerTrace {
+                recorded: r.recorded(),
+                dropped: r.dropped(),
+            })
+            .collect();
+        let recorded = workers.iter().map(|w| w.recorded).sum();
+        let dropped = workers.iter().map(|w| w.dropped).sum();
+        TraceStats {
+            workers,
+            recorded,
+            dropped,
+            unassigned_drops: self.unassigned_drops.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_lands_in_the_calling_threads_ring() {
+        let t = Tracer::new(Instant::now(), 4, 64);
+        t.record(EventKind::TicketClaimed, 0, 1, 0, 0);
+        t.record(EventKind::Delivered, 0, 1, 0, 500);
+        let s = t.stats();
+        assert_eq!(s.recorded, 2);
+        assert_eq!(s.total_dropped(), 0);
+        // Both events share one ring (this thread's).
+        assert_eq!(s.workers.iter().filter(|w| w.recorded == 2).count(), 1);
+    }
+
+    #[test]
+    fn threads_claim_distinct_rings() {
+        let t = std::sync::Arc::new(Tracer::new(Instant::now(), 4, 64));
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let t = std::sync::Arc::clone(&t);
+                std::thread::spawn(move || {
+                    for s in 0..10 {
+                        t.record(EventKind::QueuePut, 0, i * 100 + s, 0, 0);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("recorder thread");
+        }
+        let s = t.stats();
+        assert_eq!(s.recorded, 40);
+        assert_eq!(s.workers.iter().filter(|w| w.recorded == 10).count(), 4);
+    }
+
+    #[test]
+    fn ring_exhaustion_counts_unassigned_drops() {
+        let t = std::sync::Arc::new(Tracer::new(Instant::now(), 1, 64));
+        // First claimant takes the only ring ...
+        t.record(EventKind::TicketClaimed, 0, 0, 0, 0);
+        // ... so another thread has nowhere to record.
+        let t2 = std::sync::Arc::clone(&t);
+        std::thread::spawn(move || {
+            t2.record(EventKind::TicketClaimed, 0, 1, 0, 0);
+        })
+        .join()
+        .expect("second thread");
+        let s = t.stats();
+        assert_eq!(s.recorded, 1);
+        assert_eq!(s.unassigned_drops, 1);
+        assert_eq!(s.total_dropped(), 1);
+    }
+
+    #[test]
+    fn one_thread_can_serve_two_tracers() {
+        let a = Tracer::new(Instant::now(), 2, 64);
+        let b = Tracer::new(Instant::now(), 2, 64);
+        for _ in 0..3 {
+            a.record(EventKind::CacheHit, 0, 0, 0, 0);
+            b.record(EventKind::CacheMiss, 0, 0, 0, 0);
+        }
+        assert_eq!(a.stats().recorded, 3);
+        assert_eq!(b.stats().recorded, 3);
+    }
+
+    #[test]
+    fn timestamps_are_monotone_per_thread() {
+        let t = Tracer::new(Instant::now(), 1, 1024);
+        for i in 0..100 {
+            t.record(EventKind::QueuePut, 0, i, 0, 0);
+        }
+        let mut last = 0u64;
+        while let Some(w) = t.rings()[0].pop() {
+            let ev = Event::unpack(w).expect("valid event");
+            assert!(ev.ts_ns >= last);
+            last = ev.ts_ns;
+        }
+    }
+}

@@ -7,3 +7,4 @@ pub use minato_exec as exec;
 pub use minato_metrics as metrics;
 pub use minato_nn as nn;
 pub use minato_sim as sim;
+pub use minato_trace as trace;
