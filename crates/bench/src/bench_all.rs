@@ -9,15 +9,16 @@
 //! folded from the trace — enough to spot a regression in any one
 //! subsystem from the JSON alone.
 //!
-//! The five workloads cover the runtime's distinct regimes:
+//! The six workloads cover the runtime's distinct regimes:
 //!
-//! | workload            | exercises                                     |
-//! |---------------------|-----------------------------------------------|
-//! | `balanced`          | steady fast-path delivery, default timeouts   |
-//! | `slow_heavy`        | timeout classification + background resume    |
-//! | `phase_shift`       | elastic role migration under a moving bottleneck |
-//! | `multi_epoch_cache` | cross-epoch cache hits on later epochs        |
-//! | `multi_tenant`      | two loaders sharing one executor pool         |
+//! | workload             | exercises                                     |
+//! |----------------------|-----------------------------------------------|
+//! | `balanced`           | steady fast-path delivery, default timeouts   |
+//! | `slow_heavy`         | timeout classification + background resume    |
+//! | `phase_shift`        | elastic role migration under a moving bottleneck |
+//! | `multi_epoch_cache`  | cross-epoch cache hits on later epochs        |
+//! | `multi_tenant`       | two loaders sharing one executor pool         |
+//! | `multi_tenant_churn` | admission queueing + promotion on a capacity-limited pool, per-tenant fairness |
 //!
 //! Allocation counts come from the process-global
 //! [`crate::alloc_counter`]; binaries that do not register
@@ -33,12 +34,13 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Every workload `bench_all` knows how to run, in emission order.
-pub const WORKLOADS: [&str; 5] = [
+pub const WORKLOADS: [&str; 6] = [
     "balanced",
     "slow_heavy",
     "phase_shift",
     "multi_epoch_cache",
     "multi_tenant",
+    "multi_tenant_churn",
 ];
 
 /// One workload's distilled measurement — everything that lands in its
@@ -76,6 +78,10 @@ pub struct BenchReport {
     pub cache_hit_rate: Option<f64>,
     /// Buffer-pool hit rate; `None` when pooling is off.
     pub pool_hit_rate: Option<f64>,
+    /// Min/max per-tenant throughput ratio over the concurrently
+    /// admitted tenants (1.0 = perfectly fair); `None` for workloads
+    /// that do not run multiple tenants side by side.
+    pub fairness_ratio: Option<f64>,
     /// Trace events recorded across all rings.
     pub trace_recorded: u64,
     /// Trace events dropped (ring overflow + unassigned threads).
@@ -148,6 +154,10 @@ impl BenchReport {
         match self.pool_hit_rate {
             Some(r) => out.push_str(&format!(",\"pool_hit_rate\":{}", jnum(r))),
             None => out.push_str(",\"pool_hit_rate\":null"),
+        }
+        match self.fairness_ratio {
+            Some(r) => out.push_str(&format!(",\"fairness_ratio\":{}", jnum(r))),
+            None => out.push_str(",\"fairness_ratio\":null"),
         }
         out.push_str(&format!(
             ",\"trace_recorded\":{},\"trace_dropped\":{}",
@@ -238,6 +248,7 @@ fn report_from_stats(
         slow_fraction: stats.slow_fraction,
         cache_hit_rate: stats.cache.as_ref().map(|c| c.hit_rate()),
         pool_hit_rate: stats.pool.as_ref().map(|p| p.combined().hit_rate()),
+        fairness_ratio: None,
         trace_recorded: stats.trace.as_ref().map(|t| t.recorded).unwrap_or(0),
         trace_dropped: stats.trace.as_ref().map(|t| t.total_dropped()).unwrap_or(0),
         stages: breakdown.stages,
@@ -400,6 +411,123 @@ fn run_multi_tenant(smoke: bool) -> BenchReport {
     r
 }
 
+/// One identically shaped tenant loader on a shared pool, used by the
+/// churn workload so per-tenant throughputs are directly comparable.
+fn churn_tenant_loader(
+    pool: &SharedExecutor,
+    per_tenant: u32,
+    traced: bool,
+) -> MinatoLoader<VecDataset<u32>> {
+    let cost_of = |i: u32| {
+        if i.is_multiple_of(10) {
+            Duration::from_millis(2)
+        } else {
+            Duration::from_micros(400)
+        }
+    };
+    let ds = VecDataset::new((0..per_tenant).collect::<Vec<_>>());
+    let pipeline = Pipeline::new(vec![
+        Arc::new(ShapedCost::new(cost_of)) as Arc<dyn Transform<u32>>
+    ]);
+    MinatoLoader::builder(ds, pipeline)
+        .batch_size(8)
+        .shuffle(false)
+        .initial_workers(2)
+        .max_workers(2)
+        .queue_capacity(per_tenant as usize * 2)
+        .timeout_policy(TimeoutPolicy::Fixed(Duration::from_millis(1)))
+        .executor(ExecutorConfig::Shared(pool.clone()))
+        .trace(if traced {
+            TraceConfig::histograms_only()
+        } else {
+            TraceConfig::default()
+        })
+        .build()
+        .expect("valid configuration")
+}
+
+/// Tenant churn on a capacity-limited shared pool: three identical
+/// tenants admit immediately and saturate the declared worker capacity,
+/// and a fourth attaches while they run — it queues behind them and is
+/// promoted when the first departing tenant's budget is reclaimed.
+///
+/// `fairness_ratio` is min/max per-tenant throughput over the three
+/// concurrently admitted tenants; the late tenant is excluded because
+/// it mostly runs after the wave drains. Latency and trace metrics come
+/// from tenant 0; sample counts aggregate all four tenants.
+fn run_multi_tenant_churn(smoke: bool) -> BenchReport {
+    fn drain(l: &MinatoLoader<VecDataset<u32>>) -> (u64, f64) {
+        let t = Instant::now();
+        let n: u64 = l.iter().map(|batch| batch.len() as u64).sum();
+        (n, t.elapsed().as_secs_f64())
+    }
+    let per_tenant: u32 = if smoke { 48 } else { 160 };
+    let pool = SharedExecutor::with_capacity(
+        6,
+        TenantCapacity {
+            max_tenants: 4,
+            max_workers: 6,
+            max_bytes: u64::MAX,
+            lease: Duration::ZERO,
+        },
+    );
+    // The wave: built (and therefore admitted) before any iteration
+    // starts, so the pool's declared worker capacity is already full
+    // when the late tenant asks.
+    let a = churn_tenant_loader(&pool, per_tenant, true);
+    let b = churn_tenant_loader(&pool, per_tenant, false);
+    let c = churn_tenant_loader(&pool, per_tenant, false);
+    let allocs0 = alloc_counter::allocations();
+    let t0 = Instant::now();
+    let tb = std::thread::spawn(move || drain(&b));
+    let tc = std::thread::spawn(move || drain(&c));
+    let pool_late = pool.clone();
+    let td = std::thread::spawn(move || {
+        // Attaches against a saturated pool: queues, then is promoted
+        // when a wave tenant detaches and its budget is reclaimed.
+        let d = churn_tenant_loader(&pool_late, per_tenant, false);
+        drain(&d).0
+    });
+    let mut samples = 0u64;
+    let mut batches = 0u64;
+    let ta = Instant::now();
+    for batch in a.iter() {
+        samples += batch.len() as u64;
+        batches += 1;
+    }
+    let secs_a = ta.elapsed().as_secs_f64();
+    let (samples_b, secs_b) = tb.join().expect("tenant thread must not panic");
+    let (samples_c, secs_c) = tc.join().expect("tenant thread must not panic");
+    let samples_d = td.join().expect("tenant thread must not panic");
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let allocs = alloc_counter::allocations().saturating_sub(allocs0);
+    let thr = |n: u64, secs: f64| n as f64 / secs.max(f64::MIN_POSITIVE);
+    let wave = [
+        thr(samples, secs_a),
+        thr(samples_b, secs_b),
+        thr(samples_c, secs_c),
+    ];
+    let min = wave.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = wave.iter().cloned().fold(0.0f64, f64::max);
+    let mut r = report_from_stats(
+        "multi_tenant_churn",
+        smoke,
+        samples + samples_b + samples_c + samples_d,
+        batches,
+        wall_ms,
+        allocs,
+        &a.stats(),
+    );
+    r.fairness_ratio = Some(if max > 0.0 { min / max } else { 0.0 });
+    // locks/sample from tenant 0's counters over tenant 0's samples.
+    r.locks_per_sample = if samples == 0 {
+        0.0
+    } else {
+        a.stats().queue_lock_acquisitions as f64 / samples as f64
+    };
+    r
+}
+
 /// Runs one named workload. Unknown names return `None`.
 pub fn run_workload(name: &str, smoke: bool) -> Option<BenchReport> {
     match name {
@@ -408,6 +536,7 @@ pub fn run_workload(name: &str, smoke: bool) -> Option<BenchReport> {
         "phase_shift" => Some(run_phase_shift(smoke)),
         "multi_epoch_cache" => Some(run_multi_epoch_cache(smoke)),
         "multi_tenant" => Some(run_multi_tenant(smoke)),
+        "multi_tenant_churn" => Some(run_multi_tenant_churn(smoke)),
         _ => None,
     }
 }
@@ -434,6 +563,7 @@ mod tests {
             slow_fraction: 0.25,
             cache_hit_rate: None,
             pool_hit_rate: Some(0.9),
+            fairness_ratio: Some(0.75),
             trace_recorded: 100,
             trace_dropped: 0,
             stages: vec![StageLatency {
@@ -455,6 +585,7 @@ mod tests {
             Some(json::JsonValue::Null)
         ));
         assert_eq!(v.get("pool_hit_rate").and_then(|p| p.as_f64()), Some(0.9));
+        assert_eq!(v.get("fairness_ratio").and_then(|f| f.as_f64()), Some(0.75));
         let stages = v
             .get("stages")
             .and_then(|s| s.as_array())

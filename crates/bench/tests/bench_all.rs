@@ -31,6 +31,7 @@ fn every_workload_emits_a_parsable_report() {
             "locks_per_sample",
             "cache_hit_rate",
             "pool_hit_rate",
+            "fairness_ratio",
             "trace_recorded",
             "stages",
         ] {
@@ -47,6 +48,15 @@ fn every_workload_emits_a_parsable_report() {
             Some(r.samples as f64)
         );
     }
+}
+
+#[test]
+fn churn_workload_reports_fairness() {
+    let r = run_workload("multi_tenant_churn", true).expect("known workload");
+    let f = r
+        .fairness_ratio
+        .expect("churn workload computes per-tenant fairness");
+    assert!(f > 0.0 && f <= 1.0, "fairness ratio must be in (0, 1]: {f}");
 }
 
 #[test]

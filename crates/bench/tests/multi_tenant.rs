@@ -1,0 +1,179 @@
+//! Live multi-tenant ablations on the shared executor pool, at a
+//! larger scale than the unit-level chaos suite:
+//!
+//! * the isolation fairness floor — one slow-heavy tenant must not
+//!   drag its balanced co-tenants below 80% of their solo throughput
+//!   (release-gated: the floor is a timing assertion);
+//! * tenant-kill delivery invariance — killing one tenant mid-epoch
+//!   leaves a co-tenant's delivery byte-identical to a no-kill run.
+
+use minato_bench::ablations::ShapedCost;
+use minato_core::prelude::*;
+use minato_core::transform::Transform;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One tenant loader over a shaped-cost pipeline on a shared pool. All
+/// tenants carry weight 1, so on an N-tenant pool each one's weighted
+/// share is `threads / N` regardless of its declared worker ask.
+fn tenant_loader(
+    pool: &SharedExecutor,
+    n: u32,
+    workers: usize,
+    cost: fn(u32) -> Duration,
+) -> MinatoLoader<VecDataset<u32>> {
+    let ds = VecDataset::new((0..n).collect::<Vec<_>>());
+    let pipeline = Pipeline::new(vec![
+        Arc::new(ShapedCost::new(cost)) as Arc<dyn Transform<u32>>
+    ]);
+    MinatoLoader::builder(ds, pipeline)
+        .batch_size(8)
+        .shuffle(false)
+        .initial_workers(workers)
+        .max_workers(workers)
+        .queue_capacity(n as usize * 2)
+        .timeout_policy(TimeoutPolicy::Fixed(Duration::from_millis(1)))
+        .executor(ExecutorConfig::Shared(pool.clone()))
+        .build()
+        .expect("valid configuration")
+}
+
+fn balanced_cost(_i: u32) -> Duration {
+    Duration::from_micros(400)
+}
+
+fn slow_heavy_cost(i: u32) -> Duration {
+    if i.is_multiple_of(4) {
+        Duration::from_millis(3)
+    } else {
+        Duration::from_millis(1)
+    }
+}
+
+fn light_cost(_i: u32) -> Duration {
+    Duration::from_micros(50)
+}
+
+/// Drains the loader and returns delivered samples per second.
+fn throughput(l: &MinatoLoader<VecDataset<u32>>) -> f64 {
+    let t = Instant::now();
+    let n: u64 = l.iter().map(|b| b.len() as u64).sum();
+    n as f64 / t.elapsed().as_secs_f64().max(f64::MIN_POSITIVE)
+}
+
+/// One measurement round. Solo baseline: a balanced tenant alone on a
+/// pool sized to the weighted share it would hold under contention
+/// (16 threads / 4 equal-weight tenants = 4). Contended: three balanced
+/// tenants plus one greedy slow-heavy neighbor (double the worker ask,
+/// built last so its budgets are share-clamped from the first tick) on
+/// the full 16-thread pool. Returns the worst contended/solo throughput
+/// ratio over the three co-tenants.
+fn worst_cotenant_ratio(balanced_n: u32, slow_n: u32) -> f64 {
+    let solo = {
+        let pool = SharedExecutor::new(4);
+        let l = tenant_loader(&pool, balanced_n, 2, balanced_cost);
+        throughput(&l)
+    };
+    let pool = SharedExecutor::new(16);
+    let cotenants: Vec<_> = (0..3)
+        .map(|_| tenant_loader(&pool, balanced_n, 2, balanced_cost))
+        .collect();
+    let slow = tenant_loader(&pool, slow_n, 4, slow_heavy_cost);
+    let ts = std::thread::spawn(move || {
+        let _ = slow.iter().map(|b| b.len() as u64).sum::<u64>();
+    });
+    let handles: Vec<_> = cotenants
+        .into_iter()
+        .map(|l| std::thread::spawn(move || throughput(&l)))
+        .collect();
+    let mut worst = f64::INFINITY;
+    for h in handles {
+        let thr = h.join().expect("co-tenant thread must not panic");
+        worst = worst.min(thr / solo.max(f64::MIN_POSITIVE));
+    }
+    ts.join().expect("slow-heavy tenant thread must not panic");
+    worst
+}
+
+/// The paper-style isolation floor: under Elastic+Shared, a slow-heavy
+/// neighbor's demand is clamped to its weighted share, so every
+/// balanced co-tenant keeps at least 80% of the throughput it gets
+/// running alone on a share-sized pool. Best-of-3 to absorb scheduler
+/// noise on loaded CI hosts.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "timing-sensitive fairness floor; run with --release"
+)]
+fn cotenants_keep_80pct_of_solo_throughput_under_slow_heavy_neighbor() {
+    let mut best = 0.0f64;
+    for round in 0..3 {
+        let ratio = worst_cotenant_ratio(240, 160);
+        best = best.max(ratio);
+        if best >= 0.8 {
+            return;
+        }
+        eprintln!("round {round}: worst co-tenant ratio {ratio:.3}");
+    }
+    assert!(
+        best >= 0.8,
+        "best-of-3 worst co-tenant ratio {best:.3} is below the 0.80 isolation floor"
+    );
+}
+
+/// Every delivered sample value of one tenant, sorted — the delivery
+/// fingerprint the kill ablation compares byte-for-byte.
+fn drain_values(loader: &MinatoLoader<VecDataset<u32>>) -> Vec<u32> {
+    let mut vals = Vec::new();
+    let mut it = loader.iter();
+    for b in &mut it {
+        vals.extend(b.samples.iter().copied());
+    }
+    vals.sort_unstable();
+    vals
+}
+
+/// Killing one tenant mid-epoch must leave the co-tenant's delivery
+/// byte-identical to a run where no tenant was killed, with the
+/// departure accounted as a detach-reclaim rather than an eviction.
+#[test]
+fn killing_a_tenant_mid_epoch_leaves_cotenant_delivery_byte_identical() {
+    let n = 256u32;
+    let baseline = {
+        let pool = SharedExecutor::new(6);
+        let peer = tenant_loader(&pool, n, 2, light_cost);
+        let survivor = tenant_loader(&pool, n, 2, light_cost);
+        let _ = drain_values(&peer);
+        drain_values(&survivor)
+    };
+    let pool = SharedExecutor::new(6);
+    let victim = tenant_loader(&pool, n, 2, light_cost);
+    let survivor = tenant_loader(&pool, n, 2, light_cost);
+    let mut popped = 0usize;
+    for _ in 0..8 {
+        if let Some(b) = victim.next_batch(0) {
+            popped += b.len();
+        }
+    }
+    drop(victim); // Mid-epoch shutdown: roles reclaimed, tenant detached.
+    let delivered = drain_values(&survivor);
+    assert!(
+        popped < n as usize,
+        "the victim died before its epoch drained"
+    );
+    assert_eq!(
+        delivered, baseline,
+        "co-tenant delivery must be byte-identical to the no-kill run"
+    );
+    let tenants = survivor
+        .stats()
+        .tenants
+        .expect("shared-pool loaders report tenancy counters");
+    assert_eq!(tenants.admitted, 2, "both tenants were admitted");
+    assert_eq!(tenants.evicted, 0, "a voluntary detach is not an eviction");
+    assert!(
+        tenants.reclaimed >= 1,
+        "the victim's budgets were reclaimed at detach"
+    );
+    assert_eq!(tenants.active, 1, "only the survivor remains");
+}

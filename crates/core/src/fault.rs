@@ -6,9 +6,12 @@
 //! operators exact counts of what the loader survived. A
 //! [`FaultInjector`] installed via
 //! [`MinatoLoaderBuilder::fault_injector`](crate::loader::MinatoLoaderBuilder::fault_injector)
-//! is consulted once per sample execution on both the fast and slow
-//! paths; the loader quarantines whatever the injector breaks and keeps
-//! delivering, surfacing the tally as
+//! is consulted once per sample execution *attempt* on both the fast
+//! and slow paths; a failing sample is re-attempted with exponential
+//! backoff up to the configured retry budget
+//! ([`MinatoLoaderBuilder::retry_budget`](crate::loader::MinatoLoaderBuilder::retry_budget),
+//! default 2) before the loader quarantines it and keeps delivering,
+//! surfacing the tally as
 //! [`LoaderStats::faults`](crate::stats::LoaderStats).
 
 /// Where in the pipeline a fault decision is being made.
@@ -58,6 +61,12 @@ pub struct FaultStats {
     /// Batches that skipped at least one full/wedged consumer queue and
     /// were delivered to another GPU instead.
     pub rerouted: u64,
+    /// Extra execution attempts spent on transiently failing samples
+    /// (each failed attempt below the retry budget counts one).
+    pub retried: u64,
+    /// Samples whose retry budget ran out — every attempt failed, and
+    /// only then was the sample quarantined.
+    pub gave_up: u64,
 }
 
 impl FaultStats {
@@ -81,6 +90,7 @@ mod tests {
     fn stats_default_is_zero() {
         let s = FaultStats::default();
         assert_eq!(s.panics + s.poisoned + s.quarantined + s.rerouted, 0);
+        assert_eq!(s.retried + s.gave_up, 0);
         assert_eq!(s.total_quarantined(), 0);
     }
 }

@@ -34,7 +34,7 @@ use crate::pool::{PoolSet, SampleRecycler};
 use crate::profiler::SampleRecord;
 use crate::queue::{Closed, MinatoQueue, PopResult, TryPutError, TryReserveError};
 use crate::transform::{Pipeline, PipelineRun, ScratchLedger, StageObserver, TransformCtx};
-use minato_exec::{ExecHandle, RoleId, RoleStep, StepOutcome};
+use minato_exec::{ExecHandle, RoleId, RoleStep, StepOutcome, TenantId, TenantRegistry};
 use minato_metrics::{Counter, Reservoir, UtilizationMeter};
 use minato_trace::{EventKind, Tracer};
 use parking_lot::Mutex;
@@ -97,6 +97,8 @@ pub(crate) struct FaultCounters {
     pub poisoned: Counter,
     pub quarantined: Counter,
     pub rerouted: Counter,
+    pub retried: Counter,
+    pub gave_up: Counter,
 }
 
 impl FaultCounters {
@@ -106,6 +108,8 @@ impl FaultCounters {
             poisoned: Counter::new(),
             quarantined: Counter::new(),
             rerouted: Counter::new(),
+            retried: Counter::new(),
+            gave_up: Counter::new(),
         }
     }
 
@@ -115,6 +119,8 @@ impl FaultCounters {
             poisoned: self.poisoned.get(),
             quarantined: self.quarantined.get(),
             rerouted: self.rerouted.get(),
+            retried: self.retried.get(),
+            gave_up: self.gave_up.get(),
         }
     }
 }
@@ -270,6 +276,11 @@ pub(crate) struct Runtime<D: Dataset> {
     /// issue → consumer pop), recorded by `next_batch` under one lock
     /// acquisition per popped batch.
     pub delivery_ms: Mutex<Reservoir>,
+    /// Tenancy binding on a shared pool — the registry this loader is
+    /// admitted to and its tenant id, so shutdown detaches (releasing
+    /// the admission slot) and the monitor heartbeats the lease.
+    /// `None` on owned pools.
+    pub tenant: Option<(Arc<TenantRegistry>, TenantId)>,
 }
 
 impl<D: Dataset> Runtime<D> {
@@ -323,6 +334,18 @@ impl<D: Dataset> Runtime<D> {
         }
     }
 
+    /// Exponential retry backoff before attempt `attempt` (1-based):
+    /// `retry_backoff · 2^(attempt−1)`, capped at 50 ms so a wedged
+    /// sample's retries never stall its worker for long.
+    fn retry_backoff(&self, attempt: u32) {
+        let base = self.cfg.retry_backoff;
+        if base.is_zero() {
+            return;
+        }
+        let factor = 1u32 << attempt.saturating_sub(1).min(6);
+        std::thread::sleep(base.saturating_mul(factor).min(Duration::from_millis(50)));
+    }
+
     /// Records a sample quarantined by a clean error (dataset failure,
     /// transform error, poisoned sample).
     pub(crate) fn record_error(&self, err: LoaderError) {
@@ -352,7 +375,14 @@ impl<D: Dataset> Runtime<D> {
         if self.exec_owned {
             self.exec.shutdown();
         } else if let Some(roles) = self.exec_roles.get() {
-            self.exec.retire(&roles.all());
+            // Shared pool: reclaim (retire + prune + re-bid) instead of
+            // plain retire, so this tenant's lane state and budgets are
+            // gone before co-tenants' next scheduler refresh, then
+            // release the admission slot.
+            self.exec.reclaim(&roles.all());
+            if let Some((registry, id)) = &self.tenant {
+                registry.detach(*id);
+            }
         }
     }
 
@@ -440,32 +470,59 @@ impl<D: Dataset> Runtime<D> {
         let t0 = Instant::now();
         // Same panic containment as the foreground path: the close
         // cascade depends on every step reaching its exit accounting.
-        let (resume_at, partial) = (d.resume_at, d.partial);
+        let resume_at = d.resume_at;
         let (index, seq) = (d.meta.index, d.meta.seq);
         let epoch = d.meta.epoch;
-        let (ctx, mut guard) = self.guarded_ctx(None, d.scratch, epoch, seq);
-        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            if let Some(inj) = &self.injector {
-                match inj.decide(FaultSite::Slow, index, seq) {
-                    FaultAction::Panic => panic!("injected background fault at seq {seq}"),
-                    FaultAction::Poison => {
-                        return Err(LoaderError::Transform {
-                            name: "poisoned".into(),
-                            msg: format!("injected poison at seq {seq}"),
-                        })
+        // Bounded retry: the first attempt resumes the deferred partial
+        // in place; the partial is consumed by a failed run, so each
+        // re-attempt re-executes the whole pipeline from the source.
+        let mut attempt = 0u32;
+        let mut scratch = d.scratch;
+        let mut partial = Some(d.partial);
+        let (run, panicked, mut guard) = loop {
+            let (ctx, guard) = self.guarded_ctx(None, scratch.take(), epoch, seq);
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if let Some(inj) = &self.injector {
+                    match inj.decide(FaultSite::Slow, index, seq) {
+                        FaultAction::Panic => panic!("injected background fault at seq {seq}"),
+                        FaultAction::Poison => {
+                            return Err(LoaderError::Transform {
+                                name: "poisoned".into(),
+                                msg: format!("injected poison at seq {seq}"),
+                            })
+                        }
+                        FaultAction::None => {}
                     }
-                    FaultAction::None => {}
                 }
+                match partial.take() {
+                    Some(p) => self.pipeline.run_ctx(resume_at, p, ctx),
+                    None => {
+                        let raw = self.dataset.load(index)?;
+                        self.pipeline.run_ctx(0, raw, ctx)
+                    }
+                }
+            }));
+            let panicked = caught.is_err();
+            let run = caught.unwrap_or_else(|p| {
+                Err(LoaderError::Transform {
+                    name: "panicked".into(),
+                    msg: panic_payload_msg(p),
+                })
+            });
+            if run.is_err() && (attempt as usize) < self.cfg.retry_budget && !self.is_shutdown() {
+                // The failed attempt's guard drops here, repaying its
+                // un-recycled pool scratch before the re-run.
+                drop(guard);
+                attempt += 1;
+                self.faults.retried.incr();
+                self.retry_backoff(attempt);
+                continue;
             }
-            self.pipeline.run_ctx(resume_at, partial, ctx)
-        }));
-        let panicked = caught.is_err();
-        let run = caught.unwrap_or_else(|p| {
-            Err(LoaderError::Transform {
-                name: "panicked".into(),
-                msg: panic_payload_msg(p),
-            })
-        });
+            break (run, panicked, guard);
+        };
+        if run.is_err() && attempt > 0 {
+            self.faults.gave_up.incr();
+        }
         self.slow_meter.add_busy(t0.elapsed());
         match run {
             Ok(PipelineRun::Completed { value, elapsed }) => {
@@ -718,30 +775,49 @@ impl<D: Dataset> RoleStep for FastStep<D> {
             // for this sample. The guard repays pool scratch the
             // unwinding run never recycled.
             let timeout = rt.balancer.current_timeout();
-            let (ctx, mut guard) = rt.guarded_ctx(timeout, None, ticket.epoch, ticket.seq);
-            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                if let Some(inj) = &rt.injector {
-                    match inj.decide(FaultSite::Fast, ticket.index, ticket.seq) {
-                        FaultAction::Panic => panic!("injected fault at seq {}", ticket.seq),
-                        FaultAction::Poison => {
-                            return Err(LoaderError::Transform {
-                                name: "poisoned".into(),
-                                msg: format!("injected poison at seq {}", ticket.seq),
-                            })
+            // Bounded retry: a transiently failing sample gets up to
+            // `retry_budget` re-attempts with exponential backoff before
+            // the failure is recorded (and the sample quarantined).
+            let mut attempt = 0u32;
+            let (run, panicked, mut guard) = loop {
+                let (ctx, guard) = rt.guarded_ctx(timeout, None, ticket.epoch, ticket.seq);
+                let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    if let Some(inj) = &rt.injector {
+                        match inj.decide(FaultSite::Fast, ticket.index, ticket.seq) {
+                            FaultAction::Panic => panic!("injected fault at seq {}", ticket.seq),
+                            FaultAction::Poison => {
+                                return Err(LoaderError::Transform {
+                                    name: "poisoned".into(),
+                                    msg: format!("injected poison at seq {}", ticket.seq),
+                                })
+                            }
+                            FaultAction::None => {}
                         }
-                        FaultAction::None => {}
                     }
+                    let raw = rt.dataset.load(ticket.index)?;
+                    rt.pipeline.run_ctx(0, raw, ctx)
+                }));
+                let panicked = caught.is_err();
+                let run = caught.unwrap_or_else(|p| {
+                    Err(LoaderError::Transform {
+                        name: "panicked".into(),
+                        msg: panic_payload_msg(p),
+                    })
+                });
+                if run.is_err() && (attempt as usize) < rt.cfg.retry_budget && !rt.is_shutdown() {
+                    // The failed attempt's guard drops here, repaying its
+                    // un-recycled pool scratch before the re-run.
+                    drop(guard);
+                    attempt += 1;
+                    rt.faults.retried.incr();
+                    rt.retry_backoff(attempt);
+                    continue;
                 }
-                let raw = rt.dataset.load(ticket.index)?;
-                rt.pipeline.run_ctx(0, raw, ctx)
-            }));
-            let panicked = caught.is_err();
-            let run = caught.unwrap_or_else(|p| {
-                Err(LoaderError::Transform {
-                    name: "panicked".into(),
-                    msg: panic_payload_msg(p),
-                })
-            });
+                break (run, panicked, guard);
+            };
+            if run.is_err() && attempt > 0 {
+                rt.faults.gave_up.incr();
+            }
             let bytes = rt.dataset.size_hint_bytes(ticket.index).unwrap_or(0);
             rt.cpu_meter.add_busy(t0.elapsed());
             match run {
@@ -1310,6 +1386,9 @@ mod tests {
             executor: crate::loader::ExecutorConfig::Fixed,
             checkpointing: false,
             trace: minato_trace::TraceConfig::default(),
+            retry_budget: 0,
+            retry_backoff: Duration::ZERO,
+            tenant: None,
         }
     }
 
@@ -1355,6 +1434,7 @@ mod tests {
             tracer: None,
             stage_obs: None,
             delivery_ms: Mutex::new(Reservoir::new(64)),
+            tenant: None,
             cfg,
         })
     }

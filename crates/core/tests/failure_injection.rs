@@ -9,6 +9,7 @@
 use minato_core::balancer::TimeoutPolicy;
 use minato_core::pool::PoolConfig;
 use minato_core::prelude::*;
+use proptest::prelude::*;
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -485,11 +486,16 @@ fn panicked_sample_is_not_served_from_cache() {
     }) as Arc<dyn Transform<u32>>]);
     // One worker serializes the ticket stream: epoch 1 finishes (and
     // admits) before any epoch-2 lookup, making cache hits exact.
+    // Retries are disabled: this transform's panic is transient by
+    // construction, and the default budget would recover the sample
+    // before quarantine (covered by `transient_fault_recovers_within_
+    // retry_budget`); here the quarantine path itself is under test.
     let loader = MinatoLoader::builder(ds, p)
         .batch_size(4)
         .epochs(2)
         .initial_workers(1)
         .max_workers(1)
+        .retry_budget(0)
         .cache_budget_bytes(1 << 20)
         .build()
         .expect("valid configuration");
@@ -589,4 +595,253 @@ fn pool_bytes_return_to_baseline_after_panics() {
         panicked.f32s.misses, clean.f32s.misses,
         "a leaked (unrepaid) buffer would force extra allocations"
     );
+}
+
+/// Permanently failing samples exhaust the retry budget with exact
+/// counters: each target burns `retry_budget` extra attempts
+/// (`retried`), gives up once (`gave_up`), and is quarantined once —
+/// delivery and quarantine counts are unchanged from the no-retry
+/// behavior.
+#[test]
+fn chaos_retry_counters_match_injection() {
+    for (mode, exec) in exec_modes() {
+        let n = 40usize;
+        let targets = derive_targets(6, n, 5);
+        let k = targets.len() as u64;
+        let budget = 2u64;
+        let ds = VecDataset::new((0..n as u32).collect::<Vec<_>>());
+        let loader = MinatoLoader::builder(ds, Pipeline::identity())
+            .batch_size(8)
+            .initial_workers(2)
+            .max_workers(4)
+            .retry_budget(budget as usize)
+            .retry_backoff(Duration::from_micros(50))
+            .fault_injector(Arc::new(TargetInjector {
+                site: FaultSite::Fast,
+                action: FaultAction::Panic,
+                targets: targets.clone(),
+            }))
+            .executor(exec)
+            .build()
+            .expect("valid configuration");
+        let delivered: usize = loader.iter().map(|b| b.len()).sum();
+        assert_eq!(delivered, n - targets.len(), "[{mode}]");
+        let f = loader.stats().faults;
+        assert_eq!(f.retried, budget * k, "[{mode}] retry count exact");
+        assert_eq!(f.gave_up, k, "[{mode}] give-up count exact");
+        assert_eq!(f.panics, k, "[{mode}] one quarantine per target");
+        assert_eq!(f.quarantined, k, "[{mode}]");
+    }
+}
+
+/// Transform that panics the *first* time it sees each armed value and
+/// succeeds on any later attempt — a transient fault by construction.
+struct TransientPanicOn {
+    armed: std::sync::Mutex<BTreeSet<u32>>,
+}
+
+impl Transform<u32> for TransientPanicOn {
+    fn name(&self) -> &str {
+        "transient-panic-on"
+    }
+
+    fn apply(&self, x: u32, _ctx: &TransformCtx) -> minato_core::error::Result<Outcome<u32>> {
+        let fire = self
+            .armed
+            .lock()
+            .map(|mut armed| armed.remove(&x))
+            .unwrap_or(false);
+        assert!(!fire, "injected transient panic on {x}");
+        Ok(Outcome::Done(x))
+    }
+}
+
+/// Satellite: a transiently failing sample is recovered by the default
+/// retry budget — full delivery, zero quarantines, and the recovery
+/// visible only in the `retried` counter.
+#[test]
+fn transient_fault_recovers_within_retry_budget() {
+    for (mode, exec) in exec_modes() {
+        let n = 40usize;
+        let targets = derive_targets(7, n, 5);
+        let k = targets.len() as u64;
+        let ds = VecDataset::new((0..n as u32).collect::<Vec<_>>());
+        let p: Pipeline<u32> = Pipeline::new(vec![Arc::new(TransientPanicOn {
+            armed: std::sync::Mutex::new(targets.iter().map(|&i| i as u32).collect()),
+        }) as Arc<dyn Transform<u32>>]);
+        let loader = MinatoLoader::builder(ds, p)
+            .batch_size(8)
+            .initial_workers(2)
+            .max_workers(4)
+            .retry_backoff(Duration::from_micros(50))
+            .executor(exec)
+            .build()
+            .expect("valid configuration");
+        let delivered: usize = loader.iter().map(|b| b.len()).sum();
+        assert_eq!(delivered, n, "[{mode}] every sample recovered");
+        let f = loader.stats().faults;
+        assert_eq!(f.retried, k, "[{mode}] one extra attempt per target");
+        assert_eq!(f.gave_up, 0, "[{mode}] nothing exhausted its budget");
+        assert_eq!(f.panics, 0, "[{mode}] recovered panics are not recorded");
+        assert_eq!(f.quarantined, 0, "[{mode}] nothing quarantined");
+        assert_eq!(loader.stats().errors, 0, "[{mode}]");
+    }
+}
+
+/// Collects every delivered sample value of one tenant, sorted — the
+/// byte-level delivery fingerprint the churn tests compare.
+fn drain_values(loader: &MinatoLoader<VecDataset<u32>>) -> Vec<u32> {
+    let mut vals = Vec::new();
+    let mut it = loader.iter();
+    for b in &mut it {
+        vals.extend(b.samples.iter().copied());
+    }
+    vals.sort_unstable();
+    vals
+}
+
+/// Tenant churn: killing one tenant mid-epoch at a seed-derived point
+/// must leave the co-tenant's delivery byte-identical to a run where no
+/// tenant was killed, and the registry must account the departure
+/// (detach-reclaim) without evicting anyone.
+#[test]
+fn chaos_tenant_kill_mid_epoch_leaves_cotenant_delivery_identical() {
+    let n = 64usize;
+    // Seed-derived kill point: how many batches the victim pops first.
+    let kill_after = *derive_targets(8, 6, 1).iter().next().unwrap();
+    let build = |pool: &SharedExecutor, name: &str| {
+        let ds = VecDataset::new((0..n as u32).collect::<Vec<_>>());
+        MinatoLoader::builder(ds, Pipeline::identity())
+            .batch_size(4)
+            .initial_workers(2)
+            .max_workers(4)
+            .tenant(TenantSpec::new(name))
+            .executor(ExecutorConfig::Shared(pool.clone()))
+            .build()
+            .expect("valid configuration")
+    };
+    // Baseline: two tenants, no kill, survivor drains fully.
+    let baseline = {
+        let pool = SharedExecutor::new(4);
+        let peer = build(&pool, "peer");
+        let survivor = build(&pool, "survivor");
+        let _ = drain_values(&peer);
+        drain_values(&survivor)
+    };
+    // Chaos run: the victim dies mid-epoch at the derived point.
+    let pool = SharedExecutor::new(4);
+    let victim = build(&pool, "victim");
+    let survivor = build(&pool, "survivor");
+    let mut popped = 0usize;
+    for _ in 0..kill_after {
+        if let Some(b) = victim.next_batch(0) {
+            popped += b.len();
+        }
+    }
+    drop(victim); // Mid-epoch shutdown: reclaim + detach.
+    let delivered = drain_values(&survivor);
+    assert!(popped <= n, "victim popped at most its own epoch");
+    assert_eq!(
+        delivered, baseline,
+        "co-tenant delivery must be byte-identical to the no-kill run"
+    );
+    let tenants = survivor
+        .stats()
+        .tenants
+        .expect("shared-pool loaders report tenancy counters");
+    assert_eq!(tenants.admitted, 2, "both tenants were admitted");
+    assert_eq!(tenants.evicted, 0, "a voluntary detach is not an eviction");
+    assert!(
+        tenants.reclaimed >= 1,
+        "the victim's budgets were reclaimed at detach"
+    );
+    assert_eq!(tenants.active, 1, "only the survivor remains");
+}
+
+/// Admission control at the loader API: a tenant asking for more
+/// workers than the pool's declared capacity fails the build instead of
+/// silently oversubscribing, and a tenant that fits is admitted.
+#[test]
+fn oversized_tenant_ask_fails_the_build() {
+    let pool = SharedExecutor::with_capacity(
+        4,
+        TenantCapacity {
+            max_tenants: 4,
+            max_workers: 4,
+            max_bytes: u64::MAX,
+            lease: Duration::ZERO,
+        },
+    );
+    let ds = VecDataset::new((0..16u32).collect::<Vec<_>>());
+    let err = MinatoLoader::builder(ds, Pipeline::identity())
+        .batch_size(4)
+        .max_workers(4)
+        .tenant(TenantSpec::new("greedy").with_workers(64))
+        .executor(ExecutorConfig::Shared(pool.clone()))
+        .build()
+        .err()
+        .expect("oversized ask must be rejected");
+    assert!(
+        err.to_string().contains("admission"),
+        "rejection names admission control, got: {err}"
+    );
+    // A right-sized tenant on the same pool is admitted and runs.
+    let ds = VecDataset::new((0..16u32).collect::<Vec<_>>());
+    let loader = MinatoLoader::builder(ds, Pipeline::identity())
+        .batch_size(4)
+        .max_workers(4)
+        .tenant(TenantSpec::new("modest").with_workers(4))
+        .executor(ExecutorConfig::Shared(pool))
+        .build()
+        .expect("fitting ask admitted");
+    let delivered: usize = loader.iter().map(|b| b.len()).sum();
+    assert_eq!(delivered, 16);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    /// Satellite: under arbitrary attach/detach churn the registry
+    /// never admits past its declared capacity — the sum of admitted
+    /// worker asks, the sum of admitted byte asks, and the active
+    /// tenant count all stay within bounds after every operation.
+    #[test]
+    fn admission_never_exceeds_declared_capacity(
+        seed in 0u64..u64::MAX,
+        max_tenants in 1usize..6,
+        max_workers in 2usize..24,
+        max_bytes in 64u64..4096,
+        ops in 1usize..60,
+    ) {
+        let registry = TenantRegistry::new(
+            16,
+            TenantCapacity {
+                max_tenants,
+                max_workers,
+                max_bytes,
+                lease: Duration::ZERO,
+            },
+        );
+        let mut state = seed;
+        let mut ids: Vec<TenantId> = Vec::new();
+        for op in 0..ops {
+            if splitmix64(&mut state) % 3 < 2 || ids.is_empty() {
+                let spec = TenantSpec::new(format!("t{op}"))
+                    .with_weight((splitmix64(&mut state) % 4 + 1) as u32)
+                    .with_workers((splitmix64(&mut state) % 8 + 1) as usize)
+                    .with_bytes(splitmix64(&mut state) % 512);
+                if let Some(id) = registry.attach(spec).id() {
+                    ids.push(id);
+                }
+            } else {
+                let victim = splitmix64(&mut state) as usize % ids.len();
+                registry.detach(ids.swap_remove(victim));
+            }
+            let tenants = registry.tenants();
+            let workers: usize = tenants.iter().map(|t| t.workers).sum();
+            let bytes: u64 = tenants.iter().map(|t| t.bytes).sum();
+            prop_assert!(tenants.len() <= max_tenants, "tenant count over capacity");
+            prop_assert!(workers <= max_workers, "{workers} worker asks > {max_workers}");
+            prop_assert!(bytes <= max_bytes, "{bytes} byte asks > {max_bytes}");
+        }
+    }
 }

@@ -52,6 +52,13 @@ use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+pub mod tenant;
+
+pub use tenant::{
+    Admission, PlacementPolicy, PoolPlacer, TenantCapacity, TenantCounters, TenantEvent, TenantId,
+    TenantRegistry, TenantSnapshot, TenantSpec,
+};
+
 /// What one call to [`RoleStep::step`] accomplished.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StepOutcome {
@@ -441,6 +448,22 @@ impl ExecHandle {
         }
     }
 
+    /// Retires `ids` and removes them from the role table *immediately*
+    /// (tenant detach/eviction), instead of leaving them to be pruned
+    /// lazily at the next registration. Workers still holding a
+    /// snapshot Arc observe the bumped generation and drop their
+    /// references at the next bid; an occupied role's `finish` still
+    /// runs exactly once when its last occupant leaves (the snapshot
+    /// Arc keeps the state alive until then).
+    pub fn reclaim(&self, ids: &[RoleId]) {
+        self.retire(ids);
+        let mut roles = self.shared.roles.lock();
+        roles.retain(|r| !ids.contains(&r.id));
+        drop(roles);
+        self.shared.bump_generation();
+        self.shared.wake_all();
+    }
+
     /// Whether every role in `ids` has finished (pruned roles count as
     /// finished).
     pub fn roles_finished(&self, ids: &[RoleId]) -> bool {
@@ -688,10 +711,35 @@ fn elastic_loop(shared: &Shared, _id: usize) {
 /// and set per-role budgets independently — the pool arbitrates by
 /// budget deficit, so a tenant whose stage falls behind pulls workers
 /// from tenants with idle budget.
+///
+/// Every shared pool carries a [`TenantRegistry`]: loaders attach with
+/// a declared [`TenantSpec`] (admission-controlled against the pool's
+/// [`TenantCapacity`]), own a weighted-fair worker share, and heartbeat
+/// a lease the watchdog enforces. [`SharedExecutor::new`] admits
+/// everything ([`TenantCapacity::unlimited`]);
+/// [`SharedExecutor::with_capacity`] turns the limits on.
 #[derive(Clone)]
 pub struct SharedExecutor {
     handle: ExecHandle,
+    registry: Arc<TenantRegistry>,
     _pool: Arc<Mutex<Option<Executor>>>,
+    _watchdog: Arc<WatchdogGuard>,
+}
+
+/// Joins the lease-watchdog thread when the last pool clone drops.
+struct WatchdogGuard {
+    handle: ExecHandle,
+    thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Drop for WatchdogGuard {
+    fn drop(&mut self) {
+        self.handle.shutdown();
+        // Drop has exclusive access: no lock needed to take the handle.
+        if let Some(t) = self.thread.get_mut().take() {
+            let _ = t.join();
+        }
+    }
 }
 
 impl std::fmt::Debug for SharedExecutor {
@@ -709,6 +757,18 @@ impl SharedExecutor {
     ///
     /// Panics if `threads == 0` or a worker thread cannot be spawned.
     pub fn new(threads: usize) -> SharedExecutor {
+        SharedExecutor::with_capacity(threads, TenantCapacity::unlimited())
+    }
+
+    /// Spawns a shared pool whose [`TenantRegistry`] admits tenants
+    /// against `capacity`. With a non-zero [`TenantCapacity::lease`], a
+    /// watchdog thread reaps tenants that stop heartbeating, reclaiming
+    /// their roles and budgets for the co-tenants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or a worker thread cannot be spawned.
+    pub fn with_capacity(threads: usize, capacity: TenantCapacity) -> SharedExecutor {
         assert!(threads > 0, "shared pool needs at least one thread");
         let mut cfg = ExecConfig::elastic(threads);
         cfg.exit_when_drained = false;
@@ -716,8 +776,28 @@ impl SharedExecutor {
         let handle = ExecHandle::new(cfg);
         // minato-verify: allow(V1) documented panic contract (`# Panics` above); spawn failure here has no caller to report to
         let pool = handle.spawn().expect("spawn shared pool");
+        let registry = Arc::new(TenantRegistry::new(threads, capacity));
+        let watchdog = (!capacity.lease.is_zero()).then(|| {
+            let wd_handle = handle.clone();
+            let wd_registry = Arc::clone(&registry);
+            let tick = (capacity.lease / 4).max(Duration::from_millis(1));
+            std::thread::Builder::new()
+                .name("minato-tenant-watchdog".into())
+                .spawn(move || {
+                    while !wd_handle.is_shutdown() {
+                        std::thread::sleep(tick);
+                        wd_registry.reap_expired(&wd_handle);
+                    }
+                })
+                .ok()
+        });
         SharedExecutor {
+            _watchdog: Arc::new(WatchdogGuard {
+                handle: handle.clone(),
+                thread: Mutex::new(watchdog.flatten()),
+            }),
             handle,
+            registry,
             _pool: Arc::new(Mutex::new(Some(pool))),
         }
     }
@@ -725,6 +805,11 @@ impl SharedExecutor {
     /// The pool's control handle.
     pub fn handle(&self) -> &ExecHandle {
         &self.handle
+    }
+
+    /// The pool's tenant registry (admission, shares, lease watchdog).
+    pub fn registry(&self) -> &Arc<TenantRegistry> {
+        &self.registry
     }
 
     /// Pool size.
@@ -948,6 +1033,49 @@ mod tests {
             "finished tenant roles are pruned on the next registration"
         );
         drop(shared); // Joins the pool without hanging.
+    }
+
+    /// Drop-mid-epoch reclamation regression: a detached tenant's roles
+    /// must leave the role table immediately, not linger until the next
+    /// registration prunes them.
+    #[test]
+    fn reclaim_removes_roles_immediately_without_new_registration() {
+        let shared = SharedExecutor::new(2);
+        let a = CountdownRole::new(usize::MAX); // Tenant wedged mid-epoch.
+        let b = CountdownRole::with_cost(2_000, Duration::from_micros(50));
+        let ids_a = shared
+            .handle()
+            .register(vec![spec("tenant-a", a.clone(), 1, 0)]);
+        let ids_b = shared
+            .handle()
+            .register(vec![spec("tenant-b", b.clone(), 1, 0)]);
+        std::thread::sleep(Duration::from_millis(5));
+        shared.handle().reclaim(&ids_a);
+        // Gone from the table at once — no register() needed first.
+        assert!(
+            shared.handle().stats().role("tenant-a").is_none(),
+            "reclaimed roles must not linger in the role table"
+        );
+        assert!(shared.handle().roles_finished(&ids_a));
+        assert_eq!(shared.handle().budget(ids_a[0]), 0, "budget reclaimed");
+        // The finish hook runs when the wedged leaseholder reaches its
+        // next safe point — asynchronous, so bounded-wait rather than
+        // assert instantly.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while a.finishes.load(Ordering::Relaxed) == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "finish never ran for the reclaimed role"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(a.finishes.load(Ordering::Relaxed), 1, "finish ran once");
+        // The co-tenant keeps draining on the freed capacity.
+        while !shared.handle().roles_finished(&ids_b) {
+            assert!(std::time::Instant::now() < deadline, "co-tenant stalled");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(b.done.load(Ordering::Relaxed), 2_000);
     }
 
     #[test]

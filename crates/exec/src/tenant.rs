@@ -1,0 +1,884 @@
+//! Tenant admission, weighted-fair shares, lease watchdog, and pool
+//! placement for multi-tenant [`SharedExecutor`](crate::SharedExecutor)
+//! pools.
+//!
+//! A [`SharedExecutor`](crate::SharedExecutor) runs several loaders'
+//! roles on one worker pool. Without admission control every tenant
+//! believes it owns the whole pool: role budgets oversubscribe the
+//! thread count, and one tenant's slow-heavy phase can outbid a
+//! co-tenant's fast role indefinitely. The [`TenantRegistry`] closes
+//! that gap:
+//!
+//! * **Admission** — tenants attach with a declared resource ask
+//!   ([`TenantSpec`]: worker count + byte budget) checked against a
+//!   configurable [`TenantCapacity`]. An ask that can *never* fit is
+//!   [`Admission::Rejected`]; one that does not fit *right now* is
+//!   [`Admission::Queued`] (FIFO) and promoted when capacity frees up —
+//!   the pool never silently oversubscribes its declared capacity.
+//! * **Weighted-fair isolation** — each admitted tenant owns a worker
+//!   *share* (largest-remainder split of the pool's threads by declared
+//!   weight). The loader's scheduler clamps its Formula-1 limit to the
+//!   share ([`TenantRegistry::clamp_limit`]), so the sum of all
+//!   tenants' role budgets never exceeds the pool and a co-tenant's
+//!   fast role keeps its weighted floor ([`TenantRegistry::fast_floor`])
+//!   no matter how slow-heavy its neighbours turn — the starvation fix
+//!   at tenant granularity.
+//! * **Churn-tolerant degradation** — tenants heartbeat their lease
+//!   ([`TenantRegistry::heartbeat`]); a wedged or crashed tenant is
+//!   detected by the watchdog ([`TenantRegistry::reap_expired`]), its
+//!   roles retired and reclaimed from the pool immediately, and its
+//!   capacity returned so queued tenants admit — all without stalling
+//!   co-tenants.
+//! * **Placement** — [`PoolPlacer`] assigns tenants across several
+//!   pools' registries under a [`PlacementPolicy`] (BestFit / MinPools
+//!   / Random).
+//!
+//! Every transition is counted ([`TenantCounters`]) and logged as a
+//! [`TenantEvent`] for the loader's monitor to surface as trace events.
+
+use crate::{ExecHandle, RoleId};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Stable identifier of a tenant within one registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(u64);
+
+impl TenantId {
+    /// The raw index (stable, monotonically assigned) — used as the
+    /// `arg` of tenant-scoped trace events.
+    pub fn index(&self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A tenant's declared identity and resource ask.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Display name (surfaced in snapshots and traces).
+    pub name: String,
+    /// Weighted-fair share weight (≥ 1; clamped up from 0).
+    pub weight: u32,
+    /// Declared worker-count ask, checked against
+    /// [`TenantCapacity::max_workers`].
+    pub workers: usize,
+    /// Declared pool/cache byte ask, checked against
+    /// [`TenantCapacity::max_bytes`].
+    pub bytes: u64,
+}
+
+impl TenantSpec {
+    /// A minimal spec: weight 1, zero resource ask.
+    pub fn new(name: impl Into<String>) -> TenantSpec {
+        TenantSpec {
+            name: name.into(),
+            weight: 1,
+            workers: 0,
+            bytes: 0,
+        }
+    }
+
+    /// Sets the fair-share weight.
+    pub fn with_weight(mut self, weight: u32) -> TenantSpec {
+        self.weight = weight;
+        self
+    }
+
+    /// Sets the declared worker ask.
+    pub fn with_workers(mut self, workers: usize) -> TenantSpec {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the declared byte ask.
+    pub fn with_bytes(mut self, bytes: u64) -> TenantSpec {
+        self.bytes = bytes;
+        self
+    }
+}
+
+/// Capacity limits one registry admits tenants against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantCapacity {
+    /// Maximum concurrently admitted tenants.
+    pub max_tenants: usize,
+    /// Total declared worker ask the pool accepts.
+    pub max_workers: usize,
+    /// Total declared byte ask the pool accepts.
+    pub max_bytes: u64,
+    /// Heartbeat lease: a tenant whose last heartbeat is older than
+    /// this is considered wedged and evicted by the watchdog.
+    /// `Duration::ZERO` disables lease expiry.
+    pub lease: Duration,
+}
+
+impl TenantCapacity {
+    /// No limits and no lease — the behaviour of a pre-admission shared
+    /// pool. [`crate::SharedExecutor::new`] uses this.
+    pub fn unlimited() -> TenantCapacity {
+        TenantCapacity {
+            max_tenants: usize::MAX,
+            max_workers: usize::MAX,
+            max_bytes: u64::MAX,
+            lease: Duration::ZERO,
+        }
+    }
+}
+
+impl Default for TenantCapacity {
+    fn default() -> TenantCapacity {
+        TenantCapacity::unlimited()
+    }
+}
+
+/// Outcome of [`TenantRegistry::attach`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// The tenant holds its ask; it may register roles and run.
+    Admitted(TenantId),
+    /// The ask fits the capacity but not the current load; the tenant
+    /// waits FIFO and is promoted when capacity frees
+    /// ([`TenantRegistry::is_admitted`] flips to `true`).
+    Queued(TenantId),
+    /// The ask exceeds the pool's total capacity and can never fit.
+    Rejected,
+}
+
+impl Admission {
+    /// The assigned id, unless rejected.
+    pub fn id(&self) -> Option<TenantId> {
+        match self {
+            Admission::Admitted(id) | Admission::Queued(id) => Some(*id),
+            Admission::Rejected => None,
+        }
+    }
+}
+
+/// What happened to a tenant — drained by the loader's monitor and
+/// re-emitted as `TenantAdmit` / `TenantEvict` / `BudgetReclaim` trace
+/// events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TenantEvent {
+    /// The tenant was admitted (directly or promoted from the queue).
+    Admit(TenantId),
+    /// The tenant was evicted by the lease watchdog.
+    Evict(TenantId),
+    /// The tenant's budgets and roles were reclaimed (detach or
+    /// eviction).
+    BudgetReclaim(TenantId),
+}
+
+/// Registry-wide admission/lifecycle counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantCounters {
+    /// Tenants admitted (including queue promotions).
+    pub admitted: u64,
+    /// Tenants rejected outright (ask exceeds total capacity).
+    pub rejected: u64,
+    /// Tenants that had to wait in the admission queue.
+    pub queued: u64,
+    /// Tenants evicted by the lease watchdog.
+    pub evicted: u64,
+    /// Budget reclamations (detach + eviction).
+    pub reclaimed: u64,
+    /// Monitor ticks that observed a tenant's fast occupancy below its
+    /// weighted floor while it wanted at least the floor.
+    pub floor_violations: u64,
+    /// Currently admitted tenants.
+    pub active: usize,
+    /// Tenants currently waiting in the admission queue.
+    pub waiting: usize,
+}
+
+/// Point-in-time view of one admitted tenant.
+#[derive(Debug, Clone)]
+pub struct TenantSnapshot {
+    /// The tenant's id.
+    pub id: TenantId,
+    /// Declared name.
+    pub name: String,
+    /// Declared weight.
+    pub weight: u32,
+    /// Declared worker ask.
+    pub workers: usize,
+    /// Declared byte ask.
+    pub bytes: u64,
+    /// Weighted-fair worker share of the pool.
+    pub share: usize,
+    /// Roles currently bound to the tenant.
+    pub roles: usize,
+}
+
+struct Active {
+    id: TenantId,
+    spec: TenantSpec,
+    roles: Vec<RoleId>,
+    share: usize,
+    last_beat: Instant,
+}
+
+struct Waiting {
+    id: TenantId,
+    spec: TenantSpec,
+}
+
+struct Inner {
+    next_id: u64,
+    active: Vec<Active>,
+    waiting: VecDeque<Waiting>,
+    events: Vec<TenantEvent>,
+}
+
+/// Bound on undrained tenant events; beyond it the oldest are dropped
+/// (the monitor drains every tick, so this only guards a tracer-less
+/// registry).
+const EVENT_CAP: usize = 1024;
+
+/// Admission control, weighted-fair shares, and the lease watchdog for
+/// one shared pool. See the [module docs](self).
+pub struct TenantRegistry {
+    threads: usize,
+    capacity: TenantCapacity,
+    inner: Mutex<Inner>,
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    queued: AtomicU64,
+    evicted: AtomicU64,
+    reclaimed: AtomicU64,
+    floor_violations: AtomicU64,
+}
+
+impl std::fmt::Debug for TenantRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TenantRegistry")
+            .field("threads", &self.threads)
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+impl TenantRegistry {
+    /// Creates a registry for a pool of `threads` workers under
+    /// `capacity`.
+    pub fn new(threads: usize, capacity: TenantCapacity) -> TenantRegistry {
+        TenantRegistry {
+            threads: threads.max(1),
+            capacity,
+            inner: Mutex::new(Inner {
+                next_id: 0,
+                active: Vec::new(),
+                waiting: VecDeque::new(),
+                events: Vec::new(),
+            }),
+            admitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            queued: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+            reclaimed: AtomicU64::new(0),
+            floor_violations: AtomicU64::new(0),
+        }
+    }
+
+    /// The capacity this registry admits against.
+    pub fn capacity(&self) -> &TenantCapacity {
+        &self.capacity
+    }
+
+    /// Pool size the weighted shares split.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Declared worker ask still unclaimed by admitted tenants.
+    pub fn free_workers(&self) -> usize {
+        let inner = self.inner.lock();
+        self.capacity
+            .max_workers
+            .saturating_sub(inner.active.iter().map(|a| a.spec.workers).sum())
+    }
+
+    /// Declared byte ask still unclaimed by admitted tenants.
+    pub fn free_bytes(&self) -> u64 {
+        let inner = self.inner.lock();
+        self.capacity
+            .max_bytes
+            .saturating_sub(inner.active.iter().map(|a| a.spec.bytes).sum())
+    }
+
+    /// Currently admitted tenant count.
+    pub fn active_tenants(&self) -> usize {
+        self.inner.lock().active.len()
+    }
+
+    /// Whether `spec` would be admitted right now (placement probe; does
+    /// not change state).
+    pub fn would_admit(&self, spec: &TenantSpec) -> bool {
+        let inner = self.inner.lock();
+        Self::fits(&self.capacity, &inner.active, spec)
+    }
+
+    fn fits(cap: &TenantCapacity, active: &[Active], spec: &TenantSpec) -> bool {
+        let used_workers: usize = active.iter().map(|a| a.spec.workers).sum();
+        let used_bytes: u64 = active.iter().map(|a| a.spec.bytes).sum();
+        active.len() < cap.max_tenants
+            && used_workers.saturating_add(spec.workers) <= cap.max_workers
+            && used_bytes.saturating_add(spec.bytes) <= cap.max_bytes
+    }
+
+    fn push_event(inner: &mut Inner, ev: TenantEvent) {
+        if inner.events.len() >= EVENT_CAP {
+            inner.events.remove(0);
+        }
+        inner.events.push(ev);
+    }
+
+    /// Largest-remainder split of the pool's threads by weight, in
+    /// admission order; every tenant keeps a share of at least 1.
+    fn recompute_shares(threads: usize, active: &mut [Active]) {
+        let total_w: u64 = active.iter().map(|a| u64::from(a.spec.weight.max(1))).sum();
+        if total_w == 0 {
+            return;
+        }
+        let mut assigned = 0usize;
+        for a in active.iter_mut() {
+            a.share = ((threads as u64 * u64::from(a.spec.weight.max(1))) / total_w) as usize;
+            assigned += a.share;
+        }
+        let mut leftover = threads.saturating_sub(assigned);
+        for a in active.iter_mut() {
+            if leftover == 0 {
+                break;
+            }
+            a.share += 1;
+            leftover -= 1;
+        }
+        for a in active.iter_mut() {
+            a.share = a.share.max(1);
+        }
+    }
+
+    /// Attaches a tenant: admitted if its ask fits the current load,
+    /// queued (FIFO) if it fits the capacity but not the load, rejected
+    /// if it can never fit.
+    pub fn attach(&self, spec: TenantSpec) -> Admission {
+        if spec.workers > self.capacity.max_workers || spec.bytes > self.capacity.max_bytes {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Admission::Rejected;
+        }
+        let mut inner = self.inner.lock();
+        let id = TenantId(inner.next_id);
+        inner.next_id += 1;
+        // A FIFO queue stays a queue: fresh arrivals may not overtake
+        // tenants already waiting, even when they would fit.
+        if inner.waiting.is_empty() && Self::fits(&self.capacity, &inner.active, &spec) {
+            inner.active.push(Active {
+                id,
+                spec,
+                roles: Vec::new(),
+                share: 0,
+                last_beat: Instant::now(),
+            });
+            Self::recompute_shares(self.threads, &mut inner.active);
+            Self::push_event(&mut inner, TenantEvent::Admit(id));
+            self.admitted.fetch_add(1, Ordering::Relaxed);
+            Admission::Admitted(id)
+        } else {
+            inner.waiting.push_back(Waiting { id, spec });
+            self.queued.fetch_add(1, Ordering::Relaxed);
+            Admission::Queued(id)
+        }
+    }
+
+    /// Binds the roles a tenant registered on the pool, so eviction and
+    /// detach can retire and reclaim them. Returns `false` for unknown
+    /// (or not-yet-admitted) tenants.
+    pub fn bind_roles(&self, id: TenantId, roles: Vec<RoleId>) -> bool {
+        let mut inner = self.inner.lock();
+        match inner.active.iter_mut().find(|a| a.id == id) {
+            Some(a) => {
+                a.roles = roles;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Renews a tenant's lease. Call at least once per lease interval
+    /// (the loader's monitor heartbeats every tick).
+    pub fn heartbeat(&self, id: TenantId) {
+        let mut inner = self.inner.lock();
+        if let Some(a) = inner.active.iter_mut().find(|a| a.id == id) {
+            a.last_beat = Instant::now();
+        }
+    }
+
+    /// Whether `id` is currently admitted (queued tenants flip to
+    /// `true` once promoted).
+    pub fn is_admitted(&self, id: TenantId) -> bool {
+        self.inner.lock().active.iter().any(|a| a.id == id)
+    }
+
+    /// The tenant's weighted-fair worker share (0 if not admitted).
+    pub fn share(&self, id: TenantId) -> usize {
+        self.inner
+            .lock()
+            .active
+            .iter()
+            .find(|a| a.id == id)
+            .map(|a| a.share)
+            .unwrap_or(0)
+    }
+
+    /// Clamps a tenant's scheduler limit to its weighted share — the
+    /// isolation mechanism: with every tenant's role budgets summing to
+    /// at most its share, total demand never exceeds the pool, so no
+    /// tenant's slow-heavy phase can outbid a co-tenant's floor.
+    pub fn clamp_limit(&self, id: TenantId, limit: usize) -> usize {
+        match self.share(id) {
+            0 => limit,
+            share => limit.min(share),
+        }
+    }
+
+    /// The fast-role occupancy floor the tenant's weighted share
+    /// guarantees: its share minus one slow and one batch worker, never
+    /// below 1.
+    pub fn fast_floor(&self, id: TenantId) -> usize {
+        self.share(id).saturating_sub(2).max(1)
+    }
+
+    /// Records one monitor observation of a tenant's fast-role
+    /// occupancy. Counts a floor violation when the tenant wanted at
+    /// least its floor (`fast_budget >= floor`) but occupancy sampled
+    /// below it.
+    pub fn observe_fast_occupancy(&self, id: TenantId, occupancy: usize, fast_budget: usize) {
+        let floor = self.fast_floor(id);
+        if self.is_admitted(id) && fast_budget >= floor && occupancy < floor {
+            self.floor_violations.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Detaches a tenant (graceful departure or abandonment of a queued
+    /// slot): returns its capacity, logs a `BudgetReclaim`, and
+    /// promotes waiting tenants that now fit (FIFO). Idempotent.
+    /// Returns `true` if the tenant was present.
+    pub fn detach(&self, id: TenantId) -> bool {
+        let mut inner = self.inner.lock();
+        if let Some(pos) = inner.active.iter().position(|a| a.id == id) {
+            inner.active.remove(pos);
+            Self::recompute_shares(self.threads, &mut inner.active);
+            Self::push_event(&mut inner, TenantEvent::BudgetReclaim(id));
+            self.reclaimed.fetch_add(1, Ordering::Relaxed);
+            self.promote_locked(&mut inner);
+            true
+        } else if let Some(pos) = inner.waiting.iter().position(|w| w.id == id) {
+            inner.waiting.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Promotes waiting tenants from the queue head while they fit.
+    fn promote_locked(&self, inner: &mut Inner) {
+        while let Some(head) = inner.waiting.front() {
+            if !Self::fits(&self.capacity, &inner.active, &head.spec) {
+                break;
+            }
+            if let Some(w) = inner.waiting.pop_front() {
+                let id = w.id;
+                inner.active.push(Active {
+                    id,
+                    spec: w.spec,
+                    roles: Vec::new(),
+                    share: 0,
+                    last_beat: Instant::now(),
+                });
+                Self::recompute_shares(self.threads, &mut inner.active);
+                Self::push_event(inner, TenantEvent::Admit(id));
+                self.admitted.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Evicts every tenant whose lease expired, retiring and reclaiming
+    /// its roles from `handle` immediately so co-tenants repartition
+    /// the pool within one refresh. Returns the evicted ids. No-op when
+    /// the capacity has no lease.
+    pub fn reap_expired(&self, handle: &ExecHandle) -> Vec<TenantId> {
+        if self.capacity.lease.is_zero() {
+            return Vec::new();
+        }
+        let now = Instant::now();
+        let mut reaped: Vec<(TenantId, Vec<RoleId>)> = Vec::new();
+        {
+            let mut inner = self.inner.lock();
+            let lease = self.capacity.lease;
+            let mut i = 0;
+            while i < inner.active.len() {
+                if now.duration_since(inner.active[i].last_beat) > lease {
+                    let a = inner.active.remove(i);
+                    reaped.push((a.id, a.roles));
+                } else {
+                    i += 1;
+                }
+            }
+            if !reaped.is_empty() {
+                Self::recompute_shares(self.threads, &mut inner.active);
+                for (id, _) in &reaped {
+                    Self::push_event(&mut inner, TenantEvent::Evict(*id));
+                    Self::push_event(&mut inner, TenantEvent::BudgetReclaim(*id));
+                    self.evicted.fetch_add(1, Ordering::Relaxed);
+                    self.reclaimed.fetch_add(1, Ordering::Relaxed);
+                }
+                self.promote_locked(&mut inner);
+            }
+        }
+        // Outside the registry lock: role reclamation takes the pool's
+        // role-table lock.
+        let mut ids = Vec::with_capacity(reaped.len());
+        for (id, roles) in reaped {
+            if !roles.is_empty() {
+                handle.reclaim(&roles);
+            }
+            ids.push(id);
+        }
+        ids
+    }
+
+    /// Drains the pending lifecycle events (oldest first).
+    pub fn take_events(&self) -> Vec<TenantEvent> {
+        std::mem::take(&mut self.inner.lock().events)
+    }
+
+    /// Registry-wide counter snapshot.
+    pub fn counters(&self) -> TenantCounters {
+        let inner = self.inner.lock();
+        TenantCounters {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            queued: self.queued.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
+            reclaimed: self.reclaimed.load(Ordering::Relaxed),
+            floor_violations: self.floor_violations.load(Ordering::Relaxed),
+            active: inner.active.len(),
+            waiting: inner.waiting.len(),
+        }
+    }
+
+    /// Snapshot of every admitted tenant.
+    pub fn tenants(&self) -> Vec<TenantSnapshot> {
+        self.inner
+            .lock()
+            .active
+            .iter()
+            .map(|a| TenantSnapshot {
+                id: a.id,
+                name: a.spec.name.clone(),
+                weight: a.spec.weight,
+                workers: a.spec.workers,
+                bytes: a.spec.bytes,
+                share: a.share,
+                roles: a.roles.len(),
+            })
+            .collect()
+    }
+}
+
+/// Tenant-to-pool assignment policy for [`PoolPlacer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// Tightest fit: the admitting pool with the least free worker
+    /// capacity left after placement (consolidates load, preserves big
+    /// holes for big tenants).
+    BestFit,
+    /// Fewest pools: the first admitting pool in declaration order
+    /// (packs tenants onto as few pools as possible).
+    MinPools,
+    /// Seeded uniform choice among admitting pools (spreads load,
+    /// baseline arm for placement ablations).
+    Random,
+}
+
+impl PlacementPolicy {
+    /// Every policy, for sweep harnesses.
+    pub fn all() -> [PlacementPolicy; 3] {
+        [
+            PlacementPolicy::BestFit,
+            PlacementPolicy::MinPools,
+            PlacementPolicy::Random,
+        ]
+    }
+
+    /// Parses a policy name (`best_fit` / `min_pools` / `random`).
+    pub fn parse(s: &str) -> Option<PlacementPolicy> {
+        match s {
+            "best_fit" => Some(PlacementPolicy::BestFit),
+            "min_pools" => Some(PlacementPolicy::MinPools),
+            "random" => Some(PlacementPolicy::Random),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for PlacementPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PlacementPolicy::BestFit => "best_fit",
+            PlacementPolicy::MinPools => "min_pools",
+            PlacementPolicy::Random => "random",
+        })
+    }
+}
+
+/// Assigns tenants across several pools' registries under a
+/// [`PlacementPolicy`]. Deterministic: the `Random` policy draws from a
+/// seeded xorshift stream.
+#[derive(Debug)]
+pub struct PoolPlacer {
+    policy: PlacementPolicy,
+    rng: Mutex<u64>,
+}
+
+impl PoolPlacer {
+    /// Creates a placer. `seed` drives the `Random` policy only.
+    pub fn new(policy: PlacementPolicy, seed: u64) -> PoolPlacer {
+        PoolPlacer {
+            policy,
+            // Xorshift must not start at 0; splash the seed.
+            rng: Mutex::new(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1),
+        }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> PlacementPolicy {
+        self.policy
+    }
+
+    fn next_rand(&self) -> u64 {
+        let mut s = self.rng.lock();
+        let mut x = *s;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *s = x;
+        x
+    }
+
+    /// Picks the pool (index into `pools`) that should admit `spec`,
+    /// or `None` when no pool admits it right now.
+    pub fn place(&self, pools: &[&TenantRegistry], spec: &TenantSpec) -> Option<usize> {
+        let fitting: Vec<usize> = pools
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.would_admit(spec))
+            .map(|(i, _)| i)
+            .collect();
+        if fitting.is_empty() {
+            return None;
+        }
+        match self.policy {
+            PlacementPolicy::MinPools => fitting.first().copied(),
+            PlacementPolicy::BestFit => fitting
+                .iter()
+                .copied()
+                .min_by_key(|&i| pools[i].free_workers().saturating_sub(spec.workers)),
+            PlacementPolicy::Random => {
+                let pick = (self.next_rand() % fitting.len() as u64) as usize;
+                fitting.get(pick).copied()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cap(tenants: usize, workers: usize, bytes: u64) -> TenantCapacity {
+        TenantCapacity {
+            max_tenants: tenants,
+            max_workers: workers,
+            max_bytes: bytes,
+            lease: Duration::ZERO,
+        }
+    }
+
+    fn ask(name: &str, workers: usize, bytes: u64) -> TenantSpec {
+        TenantSpec::new(name)
+            .with_workers(workers)
+            .with_bytes(bytes)
+    }
+
+    #[test]
+    fn admits_within_capacity_and_queues_past_it() {
+        let reg = TenantRegistry::new(8, cap(8, 8, 1_000));
+        let a = reg.attach(ask("a", 4, 100));
+        let b = reg.attach(ask("b", 4, 100));
+        assert!(matches!(a, Admission::Admitted(_)));
+        assert!(matches!(b, Admission::Admitted(_)));
+        // Worker capacity exhausted: c queues instead of oversubscribing.
+        let c = reg.attach(ask("c", 1, 0));
+        let c_id = match c {
+            Admission::Queued(id) => id,
+            other => panic!("expected queued, got {other:?}"),
+        };
+        assert!(!reg.is_admitted(c_id));
+        let counters = reg.counters();
+        assert_eq!(counters.admitted, 2);
+        assert_eq!(counters.queued, 1);
+        assert_eq!(counters.active, 2);
+        assert_eq!(counters.waiting, 1);
+        // a departs: c is promoted FIFO.
+        let a_id = a.id().expect("admitted");
+        assert!(reg.detach(a_id));
+        assert!(reg.is_admitted(c_id));
+        assert_eq!(reg.counters().admitted, 3);
+        assert_eq!(reg.counters().reclaimed, 1);
+    }
+
+    #[test]
+    fn rejects_asks_that_can_never_fit() {
+        let reg = TenantRegistry::new(4, cap(4, 8, 100));
+        assert_eq!(reg.attach(ask("huge", 9, 0)), Admission::Rejected);
+        assert_eq!(reg.attach(ask("fat", 0, 101)), Admission::Rejected);
+        assert_eq!(reg.counters().rejected, 2);
+        assert_eq!(reg.counters().active, 0);
+    }
+
+    #[test]
+    fn fifo_queue_admits_in_arrival_order() {
+        let reg = TenantRegistry::new(4, cap(1, 8, 1_000));
+        let a = reg.attach(ask("a", 1, 0)).id().expect("admitted");
+        let b = reg.attach(ask("b", 1, 0)).id().expect("queued id");
+        // c would fit by resources but may not overtake b in the queue.
+        let c = reg.attach(ask("c", 0, 0)).id().expect("queued id");
+        assert!(!reg.is_admitted(b) && !reg.is_admitted(c));
+        reg.detach(a);
+        assert!(reg.is_admitted(b), "head of the queue promotes first");
+        assert!(!reg.is_admitted(c), "max_tenants 1 keeps c waiting");
+    }
+
+    #[test]
+    fn shares_split_threads_by_weight() {
+        let reg = TenantRegistry::new(8, TenantCapacity::unlimited());
+        let a = reg
+            .attach(TenantSpec::new("a").with_weight(3))
+            .id()
+            .expect("a");
+        let b = reg
+            .attach(TenantSpec::new("b").with_weight(1))
+            .id()
+            .expect("b");
+        assert_eq!(reg.share(a), 6);
+        assert_eq!(reg.share(b), 2);
+        assert_eq!(reg.clamp_limit(a, 8), 6);
+        assert_eq!(reg.clamp_limit(b, 8), 2);
+        assert_eq!(reg.fast_floor(a), 4);
+        assert_eq!(reg.fast_floor(b), 1, "share 2 still floors at 1");
+        // Shares recompute on departure: the survivor owns the pool.
+        reg.detach(b);
+        assert_eq!(reg.share(a), 8);
+        // Unknown tenants are never clamped.
+        assert_eq!(reg.clamp_limit(b, 5), 5);
+    }
+
+    #[test]
+    fn lease_watchdog_evicts_silent_tenants_and_promotes_waiters() {
+        let reg = TenantRegistry::new(
+            4,
+            TenantCapacity {
+                max_tenants: 1,
+                lease: Duration::from_millis(20),
+                ..TenantCapacity::unlimited()
+            },
+        );
+        let h = ExecHandle::new(crate::ExecConfig::elastic(1));
+        let wedged = reg
+            .attach(TenantSpec::new("wedged"))
+            .id()
+            .expect("admitted");
+        let waiter = reg.attach(TenantSpec::new("waiter")).id().expect("queued");
+        let ids = h.register(vec![crate::RoleSpec {
+            name: "wedged-fast".into(),
+            step: std::sync::Arc::new(NoopRole),
+            budget: 1,
+            threads: 0,
+            max_concurrency: None,
+        }]);
+        assert!(reg.bind_roles(wedged, ids.clone()));
+        // A live heartbeat keeps the tenant.
+        reg.heartbeat(wedged);
+        assert!(reg.reap_expired(&h).is_empty());
+        // Silence past the lease: evicted, roles reclaimed from the
+        // pool immediately, waiter promoted.
+        std::thread::sleep(Duration::from_millis(40));
+        assert_eq!(reg.reap_expired(&h), vec![wedged]);
+        assert!(!reg.is_admitted(wedged));
+        assert!(reg.is_admitted(waiter));
+        assert!(h.stats().roles.is_empty(), "roles reclaimed at eviction");
+        assert!(h.roles_finished(&ids));
+        let c = reg.counters();
+        assert_eq!((c.evicted, c.reclaimed), (1, 1));
+        let evs = reg.take_events();
+        assert!(evs.contains(&TenantEvent::Evict(wedged)));
+        assert!(evs.contains(&TenantEvent::BudgetReclaim(wedged)));
+        assert!(evs.contains(&TenantEvent::Admit(waiter)));
+        assert!(reg.take_events().is_empty(), "events drain once");
+    }
+
+    struct NoopRole;
+    impl crate::RoleStep for NoopRole {
+        fn step(&self) -> crate::StepOutcome {
+            crate::StepOutcome::Idle
+        }
+    }
+
+    #[test]
+    fn floor_violations_count_only_underfloor_with_demand() {
+        let reg = TenantRegistry::new(8, TenantCapacity::unlimited());
+        let a = reg.attach(TenantSpec::new("a")).id().expect("a");
+        let _b = reg.attach(TenantSpec::new("b")).id().expect("b");
+        let floor = reg.fast_floor(a);
+        assert_eq!(floor, 2, "share 4 − slow − batch");
+        reg.observe_fast_occupancy(a, floor, floor + 1); // at floor: fine
+        reg.observe_fast_occupancy(a, floor - 1, 0); // no demand: fine
+        assert_eq!(reg.counters().floor_violations, 0);
+        reg.observe_fast_occupancy(a, floor - 1, floor); // starved
+        assert_eq!(reg.counters().floor_violations, 1);
+    }
+
+    #[test]
+    fn placement_policies_pick_distinct_pools() {
+        let full = TenantRegistry::new(4, cap(8, 2, 1_000));
+        let roomy = TenantRegistry::new(4, cap(8, 10, 1_000));
+        let snug = TenantRegistry::new(4, cap(8, 5, 1_000));
+        full.attach(ask("pre", 2, 0));
+        let pools = [&full, &roomy, &snug];
+        let spec = ask("new", 4, 0);
+        // MinPools: first fitting pool (full cannot fit).
+        let min_pools = PoolPlacer::new(PlacementPolicy::MinPools, 1);
+        assert_eq!(min_pools.place(&pools, &spec), Some(1));
+        // BestFit: tightest residual — snug (5−4=1) beats roomy (10−4=6).
+        let best_fit = PoolPlacer::new(PlacementPolicy::BestFit, 1);
+        assert_eq!(best_fit.place(&pools, &spec), Some(2));
+        // Random: seeded and in-range; same seed, same stream.
+        let r1 = PoolPlacer::new(PlacementPolicy::Random, 42);
+        let r2 = PoolPlacer::new(PlacementPolicy::Random, 42);
+        let picks: Vec<_> = (0..8).map(|_| r1.place(&pools, &spec)).collect();
+        let picks2: Vec<_> = (0..8).map(|_| r2.place(&pools, &spec)).collect();
+        assert_eq!(picks, picks2);
+        assert!(picks.iter().all(|p| matches!(p, Some(1) | Some(2))));
+        // No pool fits: no placement.
+        let whale = ask("whale", 100, 0);
+        assert_eq!(min_pools.place(&pools, &whale), None);
+    }
+}
