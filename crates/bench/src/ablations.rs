@@ -160,6 +160,10 @@ pub fn queue_batching_run(ticket_chunk: usize) -> (f64, f64) {
     let loader = MinatoLoader::builder(ds, Pipeline::identity())
         .batch_size(16)
         .ticket_chunk(ticket_chunk)
+        // Lock amortization only exists on the locked core; the
+        // lock-free default would report ~0 for every chunk size (its
+        // locked-vs-lockfree comparison is the `queue_core` ablation).
+        .queue_core(QueueCore::Locked)
         // Queues big enough that producers never block: the measurement
         // isolates per-operation cost from capacity back-pressure.
         .queue_capacity(n)

@@ -1,0 +1,81 @@
+//! Release-mode scaling gate for the lock-free queue core.
+//!
+//! Drives the same raw MPMC stress the `queue_core` bench workload
+//! uses and asserts the lock-free core's throughput advantage over the
+//! locked core: at least parity at 8 threads and at least 1.3x at 16.
+//! Best-of-3 per cell to shave scheduler noise.
+//!
+//! The assertion only makes sense where contention is real, so it is
+//! skipped in debug builds (unoptimized atomics measure nothing) and on
+//! machines with fewer than 8 available cores (the cores cannot
+//! actually contend in parallel, and an oversubscribed box inverts the
+//! comparison: parked locked threads yield the CPU while lock-free
+//! threads burn their timeslice retrying).
+
+use minato_bench::bench_all::queue_stress;
+use minato_core::affinity;
+use minato_core::queue::QueueCore;
+
+const OPS: u64 = 100_000;
+
+fn best_of_3(core: QueueCore, threads: usize) -> f64 {
+    (0..3)
+        .map(|_| queue_stress(core, threads, OPS).ops_per_s)
+        .fold(0.0f64, f64::max)
+}
+
+#[test]
+fn lock_free_core_scales_past_locked() {
+    if cfg!(debug_assertions) {
+        eprintln!("queue_core scaling gate: skipped (debug build)");
+        return;
+    }
+    let cores = affinity::available_cores();
+    if cores < 8 {
+        eprintln!("queue_core scaling gate: skipped ({cores} cores < 8)");
+        return;
+    }
+
+    let locked8 = best_of_3(QueueCore::Locked, 8);
+    let free8 = best_of_3(QueueCore::LockFree, 8);
+    assert!(
+        free8 >= locked8,
+        "lock-free must at least match locked at 8 threads: \
+         {free8:.0} ops/s vs {locked8:.0} ops/s"
+    );
+
+    let locked16 = best_of_3(QueueCore::Locked, 16);
+    let free16 = best_of_3(QueueCore::LockFree, 16);
+    assert!(
+        free16 >= locked16 * 1.3,
+        "lock-free must beat locked by >=1.3x at 16 threads: \
+         {free16:.0} ops/s vs {locked16:.0} ops/s ({:.2}x)",
+        free16 / locked16.max(f64::MIN_POSITIVE)
+    );
+}
+
+/// The stress itself must be sound in any build: every produced item is
+/// delivered exactly once and the contention counters land on the right
+/// core (CAS retries only on lock-free, per-op locks only on locked).
+#[test]
+fn queue_stress_accounts_all_ops() {
+    for core in [QueueCore::Locked, QueueCore::LockFree] {
+        let row = queue_stress(core, 4, 8_000);
+        assert_eq!(row.ops, 8_000, "{core:?}: lost or duplicated items");
+        assert!(row.ops_per_s > 0.0);
+        match core {
+            QueueCore::Locked => {
+                assert_eq!(row.cas_retries_per_op, 0.0, "locked core cannot CAS-retry");
+                assert!(
+                    row.locks_per_op > 0.0,
+                    "locked core must take the state mutex"
+                );
+            }
+            QueueCore::LockFree => {
+                // Single digit threads may or may not retry; nothing to
+                // assert beyond the counter being finite.
+                assert!(row.cas_retries_per_op.is_finite());
+            }
+        }
+    }
+}

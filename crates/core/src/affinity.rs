@@ -1,0 +1,166 @@
+//! Worker-group affinity placement (best-effort, portable).
+//!
+//! The loader groups its workers into fixed-size **worker groups** (the
+//! paper's per-core-set placement, modeled on Exo-OS's NUMA affinity
+//! bookkeeping). The group id is the co-location key for everything the
+//! hot path touches per worker: the fast queue shard a worker drains
+//! first (owner-first/steal-second), the pool TLS fast slot, and — when
+//! pinning is enabled — the CPU core set the group's threads run on.
+//!
+//! Placement is strictly best-effort: on non-Linux targets (or when the
+//! kernel rejects the mask) [`pin_current_to_group`] is a no-op that
+//! returns `false`, and everything above it degrades to plain sharding
+//! with no correctness impact. Threads that never joined a group (e.g.
+//! user threads calling `pop` directly) get a sticky round-robin group
+//! so shard traffic still spreads.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Workers per group: one group ≈ one small core set. Four matches the
+/// paper's smallest worker increment and keeps a group inside one L2
+/// complex on common parts.
+pub const GROUP_SIZE: usize = 4;
+
+/// Round-robin dispenser for threads that never joined a group.
+static NEXT_FALLBACK: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static CURRENT: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The group a given worker id belongs to.
+pub fn group_of(worker_id: usize) -> usize {
+    worker_id / GROUP_SIZE
+}
+
+/// Number of groups needed for `workers` workers (at least 1).
+pub fn group_count(workers: usize) -> usize {
+    workers.div_ceil(GROUP_SIZE).max(1)
+}
+
+/// Registers the calling thread as a member of `group`. Idempotent;
+/// later calls overwrite (elastic workers migrate between roles).
+pub fn join_group(group: usize) {
+    CURRENT.with(|c| c.set(Some(group)));
+}
+
+/// The calling thread's group. Threads that never called
+/// [`join_group`] are assigned a sticky round-robin group on first use,
+/// so external producers/consumers still spread across queue shards.
+pub fn current_group() -> usize {
+    CURRENT.with(|c| match c.get() {
+        Some(g) => g,
+        None => {
+            // ORDERING: Relaxed — a ticket dispenser; only uniqueness
+            // per thread matters, not ordering against anything.
+            let g = NEXT_FALLBACK.fetch_add(1, Ordering::Relaxed);
+            c.set(Some(g));
+            g
+        }
+    })
+}
+
+/// CPUs visible to this process (1 if undeterminable).
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Pins the calling thread to `group`'s core set (cores
+/// `group*GROUP_SIZE .. group*GROUP_SIZE+GROUP_SIZE`, wrapped over the
+/// available cores). Returns whether pinning took effect; on
+/// unsupported platforms this is a portable no-op returning `false`.
+pub fn pin_current_to_group(group: usize) -> bool {
+    imp::pin(group)
+}
+
+#[cfg(target_os = "linux")]
+mod imp {
+    /// 1024-bit kernel cpu_set_t.
+    const CPU_SET_WORDS: usize = 16;
+
+    #[repr(C)]
+    struct CpuSetT {
+        bits: [u64; CPU_SET_WORDS],
+    }
+
+    extern "C" {
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const CpuSetT) -> i32;
+    }
+
+    pub(super) fn pin(group: usize) -> bool {
+        let cores = super::available_cores();
+        if cores == 0 {
+            return false;
+        }
+        let mut set = CpuSetT {
+            bits: [0; CPU_SET_WORDS],
+        };
+        let base = (group * super::GROUP_SIZE) % cores;
+        let mut any = false;
+        for i in 0..super::GROUP_SIZE {
+            let cpu = (base + i) % cores;
+            if cpu / 64 < CPU_SET_WORDS {
+                set.bits[cpu / 64] |= 1u64 << (cpu % 64);
+                any = true;
+            }
+        }
+        if !any {
+            return false;
+        }
+        // SAFETY: the mask is a fully initialized, properly sized
+        // cpu_set_t; pid 0 targets only the calling thread and the call
+        // has no memory effect beyond reading the mask.
+        unsafe { sched_setaffinity(0, std::mem::size_of::<CpuSetT>(), &set) == 0 }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    pub(super) fn pin(_group: usize) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_of_partitions_by_group_size() {
+        assert_eq!(group_of(0), 0);
+        assert_eq!(group_of(GROUP_SIZE - 1), 0);
+        assert_eq!(group_of(GROUP_SIZE), 1);
+        assert_eq!(group_count(0), 1);
+        assert_eq!(group_count(1), 1);
+        assert_eq!(group_count(GROUP_SIZE + 1), 2);
+    }
+
+    #[test]
+    fn joined_group_sticks_and_fallback_is_stable() {
+        std::thread::spawn(|| {
+            let first = current_group();
+            assert_eq!(current_group(), first, "fallback group must be sticky");
+            join_group(7);
+            assert_eq!(current_group(), 7);
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn pinning_is_best_effort() {
+        // Run in a throwaway thread so the test harness thread keeps its
+        // full mask whatever the platform does.
+        let took_effect = std::thread::spawn(|| pin_current_to_group(0))
+            .join()
+            .unwrap();
+        if cfg!(target_os = "linux") {
+            assert!(took_effect, "linux pinning to core 0 should succeed");
+        } else {
+            assert!(!took_effect);
+        }
+    }
+}

@@ -23,6 +23,7 @@
 //! assert_eq!(total, 64);
 //! ```
 
+use crate::affinity;
 use crate::balancer::{BalancerConfig, LoadBalancer, TimeoutPolicy};
 use crate::batch::{Batch, TransferHook};
 use crate::cache::{CacheConfig, ClonedSampleCache, EvictionPolicy, SampleCache, SampleWeigher};
@@ -35,7 +36,7 @@ use crate::error::{LoaderError, Result};
 use crate::fault::FaultInjector;
 use crate::pool::AcquireObserver;
 use crate::pool::{PoolRecycler, PoolSet, Reclaim, SampleRecycler};
-use crate::queue::{MinatoQueue, WakeupPolicy};
+use crate::queue::{MinatoQueue, QueueCore, WakeupPolicy};
 use crate::scheduler::{RoleBudgets, SchedulerConfig, WorkerScheduler};
 use crate::stats::{LoaderStats, MonitorTrace};
 use crate::transform::{Pipeline, StageObserver};
@@ -135,6 +136,17 @@ pub struct LoaderConfig {
     pub ticket_chunk: usize,
     /// How blocked queue operations wait.
     pub wakeup: WakeupPolicy,
+    /// Which internal core backs the loader's queues (lock-free
+    /// segmented rings by default). Resolved through
+    /// [`QueueCore::from_env_or`] at build time, so setting
+    /// `MINATO_QUEUE_CORE=locked|lockfree` forces a core fleet-wide
+    /// (CI's chaos and lock-graph sweeps rely on this).
+    pub queue_core: QueueCore,
+    /// Pin each worker group to its CPU core set (best-effort; a no-op
+    /// where unsupported). Off by default — pinning helps dedicated
+    /// hosts but hurts oversubscribed ones; group membership (and with
+    /// it fast-queue shard ownership) is tracked either way.
+    pub affinity: bool,
     /// How long a starved batch worker waits before re-checking queues.
     pub starvation_wait: Duration,
     /// Strict sampler-order mode (§6); disables fast/slow classification.
@@ -177,6 +189,8 @@ pub struct LoaderConfig {
     /// loader attaches to the pool's [`TenantRegistry`] under this spec
     /// at start and detaches at shutdown. `None` derives a default spec
     /// (weight 1, worker/byte asks from this config).
+    ///
+    /// [`TenantRegistry`]: minato_exec::TenantRegistry
     pub tenant: Option<TenantSpec>,
 }
 
@@ -240,6 +254,8 @@ impl<D: Dataset> MinatoLoaderBuilder<D> {
                 scheduler: SchedulerConfig::paper_default(max_workers),
                 ticket_chunk: 8,
                 wakeup: WakeupPolicy::Condvar,
+                queue_core: QueueCore::LockFree,
+                affinity: false,
                 starvation_wait: Duration::from_millis(1),
                 order_preserving: false,
                 error_policy: ErrorPolicy::Skip,
@@ -364,6 +380,21 @@ impl<D: Dataset> MinatoLoaderBuilder<D> {
     /// Queue wakeup policy (condvar vs paper-faithful sleep-poll).
     pub fn wakeup(mut self, w: WakeupPolicy) -> Self {
         self.cfg.wakeup = w;
+        self
+    }
+
+    /// Queue core: [`QueueCore::LockFree`] (default) or the
+    /// mutex+condvar [`QueueCore::Locked`] baseline. The
+    /// `MINATO_QUEUE_CORE` environment variable overrides this knob at
+    /// build time.
+    pub fn queue_core(mut self, core: QueueCore) -> Self {
+        self.cfg.queue_core = core;
+        self
+    }
+
+    /// Pin worker groups to CPU core sets (see [`crate::affinity`]).
+    pub fn affinity(mut self, yes: bool) -> Self {
+        self.cfg.affinity = yes;
         self
     }
 
@@ -934,9 +965,25 @@ impl<D: Dataset> MinatoLoader<D> {
                 .min_workers
                 .clamp(1, cfg.scheduler.max_workers);
         }
+        // The env override wins over the builder knob so CI's chaos and
+        // lock-graph sweeps can force a core without touching call sites.
+        let qcore = cfg.queue_core.from_env_or();
+        // Shard the fast queue per worker group (owner-first pop, steal
+        // second). Strict-order mode keeps one shard: it needs the
+        // global FIFO a single ring provides.
+        let fast_shards = if cfg.order_preserving || qcore != QueueCore::LockFree {
+            1
+        } else {
+            affinity::group_count(cfg.max_workers)
+        };
         let batch_qs: Vec<MinatoQueue<Batch<D::Sample>>> = (0..cfg.num_gpus)
             .map(|g| {
-                MinatoQueue::with_policy(&format!("batch[{g}]"), cfg.prefetch_factor, cfg.wakeup)
+                MinatoQueue::with_core(
+                    &format!("batch[{g}]"),
+                    cfg.prefetch_factor,
+                    cfg.wakeup,
+                    qcore,
+                )
             })
             .collect();
         // One monotonic clock for the whole run: `issued_ns` stamps,
@@ -975,9 +1022,15 @@ impl<D: Dataset> MinatoLoader<D> {
             p.set_observer(Arc::new(TracerPoolObserver(Arc::clone(t))));
         }
         let rt = Arc::new(Runtime {
-            fast_q: MinatoQueue::with_policy("fast", cfg.queue_capacity, cfg.wakeup),
-            slow_q: MinatoQueue::with_policy("slow", cfg.queue_capacity, cfg.wakeup),
-            temp_q: MinatoQueue::with_policy("temp", cfg.queue_capacity, cfg.wakeup),
+            fast_q: MinatoQueue::with_shards(
+                "fast",
+                cfg.queue_capacity,
+                cfg.wakeup,
+                qcore,
+                fast_shards,
+            ),
+            slow_q: MinatoQueue::with_core("slow", cfg.queue_capacity, cfg.wakeup, qcore),
+            temp_q: MinatoQueue::with_core("temp", cfg.queue_capacity, cfg.wakeup, qcore),
             batch_qs,
             exec: exec.clone(),
             exec_roles: OnceLock::new(),
@@ -1111,6 +1164,20 @@ impl<D: Dataset> MinatoLoader<D> {
                     3
                 };
                 t2.record(EventKind::RoleSwitch, 0, 0, arg, 0);
+            }));
+        }
+        if exec_owned {
+            // Join every pool worker to its affinity group before its
+            // first lease, so owner-first shard discipline holds from
+            // the first pop; pinning stays opt-in. Shared pools are not
+            // ours to place.
+            let pin = rt.cfg.affinity;
+            exec.set_worker_init(Arc::new(move |wid| {
+                let g = affinity::group_of(wid);
+                affinity::join_group(g);
+                if pin {
+                    let _ = affinity::pin_current_to_group(g);
+                }
             }));
         }
         let executor = if exec_owned {
@@ -1328,6 +1395,10 @@ impl<D: Dataset> MinatoLoader<D> {
                     .iter()
                     .map(|q| q.lock_acquisitions())
                     .sum::<u64>(),
+            queue_cas_retries: rt.fast_q.cas_retries()
+                + rt.slow_q.cas_retries()
+                + rt.temp_q.cas_retries()
+                + rt.batch_qs.iter().map(|q| q.cas_retries()).sum::<u64>(),
             cache: rt.cache.as_ref().map(|c| c.stats()),
             pool: rt.pools.as_ref().map(|p| p.stats()),
             exec: rt

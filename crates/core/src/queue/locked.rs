@@ -1,0 +1,560 @@
+//! The mutex+condvar queue core ([`QueueCore::Locked`]).
+//!
+//! This is the original `MinatoQueue` implementation: one mutex guards
+//! a `VecDeque` plus the closed flag and the reservation count, and two
+//! condvars wake blocked producers/consumers. PR 2 amortized its lock
+//! traffic with batched operations; the lock-free core
+//! ([`super::lockfree`]) removes the lock from the uncontended path
+//! entirely. Kept as a selectable core so the `queue_core` ablation can
+//! measure the difference and as the reference implementation the
+//! equivalence proptests compare against.
+//!
+//! [`QueueCore::Locked`]: super::QueueCore::Locked
+
+use super::{Closed, PopResult, TryPutError, TryReserveError, WakeupPolicy};
+use minato_metrics::Counter;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+#[derive(Debug)]
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    /// Slots claimed by outstanding reservations: counted against
+    /// capacity but not yet holding an item.
+    reserved: usize,
+}
+
+impl<T> Inner<T> {
+    fn space(&self, capacity: usize) -> usize {
+        capacity - self.items.len() - self.reserved
+    }
+}
+
+/// The locked core: a bounded MPMC queue guarded by a single mutex.
+#[derive(Debug)]
+pub(super) struct LockedQueue<T> {
+    capacity: usize,
+    policy: WakeupPolicy,
+    inner: Mutex<Inner<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    puts: Counter,
+    pops: Counter,
+    // Mutex acquisitions made by put/pop operations (including wakeups
+    // from a condvar wait, which re-acquire the lock). Monitoring-only
+    // accessors (`len`, `is_closed`, ...) are not counted: the counter
+    // measures the synchronization cost of moving items, the quantity
+    // the `queue_batching` ablation divides by delivered samples.
+    lock_ops: Counter,
+    // Occupancy accumulator for the scheduler's moving average: sum of
+    // queue lengths observed at each operation.
+    occupancy_sum: AtomicU64,
+    occupancy_obs: AtomicU64,
+}
+
+impl<T> LockedQueue<T> {
+    pub(super) fn new(capacity: usize, policy: WakeupPolicy) -> LockedQueue<T> {
+        LockedQueue {
+            capacity,
+            policy,
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity.min(1024)),
+                closed: false,
+                reserved: 0,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            puts: Counter::new(),
+            pops: Counter::new(),
+            lock_ops: Counter::new(),
+            occupancy_sum: AtomicU64::new(0),
+            occupancy_obs: AtomicU64::new(0),
+        }
+    }
+
+    fn observe_len(&self, len: usize) {
+        // ORDERING: Relaxed — monitoring counters; no data is published
+        // through them and the reader tolerates any interleaving.
+        self.occupancy_sum.fetch_add(len as u64, Ordering::Relaxed);
+        self.occupancy_obs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Acquires the state mutex for a put/pop operation, counting the
+    /// acquisition.
+    fn lock_op(&self) -> parking_lot::MutexGuard<'_, Inner<T>> {
+        self.lock_ops.incr();
+        self.inner.lock()
+    }
+
+    // minato-verify: hot-path
+    pub(super) fn put(&self, item: T) -> Result<(), Closed> {
+        match self.policy {
+            WakeupPolicy::Condvar => {
+                let mut g = self.lock_op();
+                loop {
+                    if g.closed {
+                        return Err(Closed);
+                    }
+                    if g.space(self.capacity) > 0 {
+                        g.items.push_back(item);
+                        let len = g.items.len();
+                        drop(g);
+                        self.observe_len(len);
+                        self.puts.incr();
+                        self.not_empty.notify_one();
+                        return Ok(());
+                    }
+                    self.not_full.wait(&mut g);
+                    self.lock_ops.incr();
+                }
+            }
+            WakeupPolicy::SleepPoll(nap) => {
+                let mut item = item;
+                loop {
+                    match self.try_put(item) {
+                        Ok(()) => return Ok(()),
+                        Err(TryPutError::Closed(_)) => return Err(Closed),
+                        Err(TryPutError::Full(v)) => {
+                            item = v;
+                            std::thread::sleep(nap);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // minato-verify: hot-path
+    pub(super) fn try_put(&self, item: T) -> Result<(), TryPutError<T>> {
+        let mut g = self.lock_op();
+        if g.closed {
+            return Err(TryPutError::Closed(item));
+        }
+        if g.space(self.capacity) == 0 {
+            return Err(TryPutError::Full(item));
+        }
+        g.items.push_back(item);
+        let len = g.items.len();
+        drop(g);
+        self.observe_len(len);
+        self.puts.incr();
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Claims one slot without filling it; the counterpart release /
+    /// publish calls live on [`LockedResv`].
+    pub(super) fn try_reserve(&self) -> Result<LockedResv<'_, T>, TryReserveError> {
+        let mut g = self.lock_op();
+        if g.closed {
+            return Err(TryReserveError::Closed);
+        }
+        if g.space(self.capacity) == 0 {
+            return Err(TryReserveError::Full);
+        }
+        g.reserved += 1;
+        drop(g);
+        Ok(LockedResv {
+            queue: self,
+            active: true,
+        })
+    }
+
+    pub(super) fn reserve_timeout(
+        &self,
+        timeout: Duration,
+    ) -> Result<LockedResv<'_, T>, TryReserveError> {
+        match self.policy {
+            WakeupPolicy::Condvar => {
+                let deadline = std::time::Instant::now() + timeout;
+                let mut g = self.lock_op();
+                loop {
+                    if g.closed {
+                        return Err(TryReserveError::Closed);
+                    }
+                    if g.space(self.capacity) > 0 {
+                        g.reserved += 1;
+                        drop(g);
+                        return Ok(LockedResv {
+                            queue: self,
+                            active: true,
+                        });
+                    }
+                    if self.not_full.wait_until(&mut g, deadline).timed_out() {
+                        return Err(TryReserveError::Full);
+                    }
+                    self.lock_ops.incr();
+                }
+            }
+            WakeupPolicy::SleepPoll(nap) => {
+                let deadline = std::time::Instant::now() + timeout;
+                loop {
+                    match self.try_reserve() {
+                        Ok(r) => return Ok(r),
+                        Err(TryReserveError::Closed) => return Err(TryReserveError::Closed),
+                        Err(TryReserveError::Full) => {
+                            if std::time::Instant::now() >= deadline {
+                                return Err(TryReserveError::Full);
+                            }
+                            std::thread::sleep(nap.min(
+                                deadline.saturating_duration_since(std::time::Instant::now()),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    pub(super) fn put_many(&self, items: Vec<T>) -> Result<(), Closed> {
+        if items.is_empty() {
+            return Ok(());
+        }
+        let total = items.len();
+        let mut it = items.into_iter();
+        let mut done = 0usize;
+        match self.policy {
+            WakeupPolicy::Condvar => {
+                let mut g = self.lock_op();
+                loop {
+                    if g.closed {
+                        return Err(Closed);
+                    }
+                    let space = g.space(self.capacity);
+                    if space > 0 {
+                        let take = space.min(total - done);
+                        g.items.extend(it.by_ref().take(take));
+                        done += take;
+                        let len = g.items.len();
+                        self.observe_len(len);
+                        self.puts.add(take as u64);
+                        if done == total {
+                            drop(g);
+                            self.not_empty.notify_all();
+                            return Ok(());
+                        }
+                        self.not_empty.notify_all();
+                    }
+                    self.not_full.wait(&mut g);
+                    self.lock_ops.incr();
+                }
+            }
+            WakeupPolicy::SleepPoll(nap) => loop {
+                {
+                    let mut g = self.lock_op();
+                    if g.closed {
+                        return Err(Closed);
+                    }
+                    let space = g.space(self.capacity);
+                    if space > 0 {
+                        let take = space.min(total - done);
+                        g.items.extend(it.by_ref().take(take));
+                        done += take;
+                        let len = g.items.len();
+                        drop(g);
+                        self.observe_len(len);
+                        self.puts.add(take as u64);
+                        self.not_empty.notify_all();
+                        if done == total {
+                            return Ok(());
+                        }
+                        continue;
+                    }
+                }
+                std::thread::sleep(nap);
+            },
+        }
+    }
+
+    pub(super) fn try_put_many(&self, mut items: Vec<T>) -> Result<(), TryPutError<Vec<T>>> {
+        if items.is_empty() {
+            return Ok(());
+        }
+        let mut g = self.lock_op();
+        if g.closed {
+            return Err(TryPutError::Closed(items));
+        }
+        let take = g.space(self.capacity).min(items.len());
+        if take == 0 {
+            return Err(TryPutError::Full(items));
+        }
+        let rest = items.split_off(take);
+        g.items.extend(items);
+        let len = g.items.len();
+        drop(g);
+        self.observe_len(len);
+        self.puts.add(take as u64);
+        self.not_empty.notify_all();
+        if rest.is_empty() {
+            Ok(())
+        } else {
+            Err(TryPutError::Full(rest))
+        }
+    }
+
+    // minato-verify: hot-path
+    pub(super) fn pop(&self) -> Option<T> {
+        match self.policy {
+            WakeupPolicy::Condvar => {
+                let mut g = self.lock_op();
+                loop {
+                    if let Some(item) = g.items.pop_front() {
+                        let len = g.items.len();
+                        drop(g);
+                        self.observe_len(len);
+                        self.pops.incr();
+                        self.not_full.notify_one();
+                        return Some(item);
+                    }
+                    if g.closed {
+                        return None;
+                    }
+                    self.not_empty.wait(&mut g);
+                    self.lock_ops.incr();
+                }
+            }
+            WakeupPolicy::SleepPoll(nap) => loop {
+                match self.try_pop() {
+                    PopResult::Item(v) => return Some(v),
+                    PopResult::Empty => std::thread::sleep(nap),
+                    PopResult::ClosedAndDrained => return None,
+                }
+            },
+        }
+    }
+
+    pub(super) fn pop_timeout(&self, timeout: Duration) -> Result<Option<T>, Closed> {
+        match self.policy {
+            WakeupPolicy::Condvar => {
+                let deadline = std::time::Instant::now() + timeout;
+                let mut g = self.lock_op();
+                loop {
+                    if let Some(item) = g.items.pop_front() {
+                        let len = g.items.len();
+                        drop(g);
+                        self.observe_len(len);
+                        self.pops.incr();
+                        self.not_full.notify_one();
+                        return Ok(Some(item));
+                    }
+                    if g.closed {
+                        return Err(Closed);
+                    }
+                    if self.not_empty.wait_until(&mut g, deadline).timed_out() {
+                        return Ok(None);
+                    }
+                    self.lock_ops.incr();
+                }
+            }
+            WakeupPolicy::SleepPoll(nap) => {
+                let deadline = std::time::Instant::now() + timeout;
+                loop {
+                    match self.try_pop() {
+                        PopResult::Item(v) => return Ok(Some(v)),
+                        PopResult::ClosedAndDrained => return Err(Closed),
+                        PopResult::Empty => {
+                            if std::time::Instant::now() >= deadline {
+                                return Ok(None);
+                            }
+                            std::thread::sleep(nap.min(
+                                deadline.saturating_duration_since(std::time::Instant::now()),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // minato-verify: hot-path
+    pub(super) fn try_pop(&self) -> PopResult<T> {
+        let mut g = self.lock_op();
+        if let Some(item) = g.items.pop_front() {
+            let len = g.items.len();
+            drop(g);
+            self.observe_len(len);
+            self.pops.incr();
+            self.not_full.notify_one();
+            PopResult::Item(item)
+        } else if g.closed {
+            PopResult::ClosedAndDrained
+        } else {
+            PopResult::Empty
+        }
+    }
+
+    /// Dequeues up to `max` already-available items under one lock
+    /// acquisition, releasing blocked producers with one `notify_all`.
+    fn drain_burst(&self, g: &mut parking_lot::MutexGuard<'_, Inner<T>>, max: usize) -> Vec<T> {
+        let take = max.min(g.items.len());
+        let out: Vec<T> = g.items.drain(..take).collect();
+        if !out.is_empty() {
+            self.observe_len(g.items.len());
+            self.pops.add(out.len() as u64);
+            self.not_full.notify_all();
+        }
+        out
+    }
+
+    pub(super) fn pop_many(&self, max: usize) -> Vec<T> {
+        if max == 0 {
+            return Vec::new();
+        }
+        match self.policy {
+            WakeupPolicy::Condvar => {
+                let mut g = self.lock_op();
+                loop {
+                    let out = self.drain_burst(&mut g, max);
+                    if !out.is_empty() {
+                        return out;
+                    }
+                    if g.closed {
+                        return Vec::new();
+                    }
+                    self.not_empty.wait(&mut g);
+                    self.lock_ops.incr();
+                }
+            }
+            WakeupPolicy::SleepPoll(nap) => loop {
+                match self.try_pop_many(max) {
+                    Ok(out) if !out.is_empty() => return out,
+                    Ok(_) => std::thread::sleep(nap),
+                    Err(Closed) => return Vec::new(),
+                }
+            },
+        }
+    }
+
+    pub(super) fn try_pop_many(&self, max: usize) -> Result<Vec<T>, Closed> {
+        let mut g = self.lock_op();
+        let out = self.drain_burst(&mut g, max);
+        if out.is_empty() && g.closed {
+            return Err(Closed);
+        }
+        Ok(out)
+    }
+
+    pub(super) fn pop_many_timeout(&self, max: usize, timeout: Duration) -> Result<Vec<T>, Closed> {
+        if max == 0 {
+            return Ok(Vec::new());
+        }
+        match self.policy {
+            WakeupPolicy::Condvar => {
+                let deadline = std::time::Instant::now() + timeout;
+                let mut g = self.lock_op();
+                loop {
+                    let out = self.drain_burst(&mut g, max);
+                    if !out.is_empty() {
+                        return Ok(out);
+                    }
+                    if g.closed {
+                        return Err(Closed);
+                    }
+                    if self.not_empty.wait_until(&mut g, deadline).timed_out() {
+                        return Ok(Vec::new());
+                    }
+                    self.lock_ops.incr();
+                }
+            }
+            WakeupPolicy::SleepPoll(nap) => {
+                let deadline = std::time::Instant::now() + timeout;
+                loop {
+                    match self.try_pop_many(max) {
+                        Ok(out) if !out.is_empty() => return Ok(out),
+                        Err(Closed) => return Err(Closed),
+                        Ok(_) => {
+                            if std::time::Instant::now() >= deadline {
+                                return Ok(Vec::new());
+                            }
+                            std::thread::sleep(nap.min(
+                                deadline.saturating_duration_since(std::time::Instant::now()),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    pub(super) fn close(&self) {
+        let mut g = self.inner.lock();
+        g.closed = true;
+        drop(g);
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+
+    pub(super) fn is_closed(&self) -> bool {
+        self.inner.lock().closed
+    }
+
+    pub(super) fn len(&self) -> usize {
+        self.inner.lock().items.len()
+    }
+
+    pub(super) fn total_puts(&self) -> u64 {
+        self.puts.get()
+    }
+
+    pub(super) fn total_pops(&self) -> u64 {
+        self.pops.get()
+    }
+
+    pub(super) fn lock_acquisitions(&self) -> u64 {
+        self.lock_ops.get()
+    }
+
+    pub(super) fn mean_occupancy(&self) -> f64 {
+        // ORDERING: Relaxed — the two monitoring counters are read
+        // independently; a torn pair only skews the average by one
+        // observation.
+        let obs = self.occupancy_obs.load(Ordering::Relaxed);
+        if obs == 0 {
+            0.0
+        } else {
+            // ORDERING: Relaxed — same monitoring pair as above.
+            self.occupancy_sum.load(Ordering::Relaxed) as f64 / obs as f64
+        }
+    }
+}
+
+/// A claimed slot on the locked core awaiting its item.
+#[derive(Debug)]
+pub(super) struct LockedResv<'a, T> {
+    queue: &'a LockedQueue<T>,
+    active: bool,
+}
+
+impl<T> LockedResv<'_, T> {
+    pub(super) fn publish(mut self, item: T) -> Result<(), Closed> {
+        self.active = false;
+        let mut g = self.queue.lock_op();
+        g.reserved -= 1;
+        if g.closed {
+            drop(g);
+            self.queue.not_full.notify_one();
+            return Err(Closed);
+        }
+        g.items.push_back(item);
+        let len = g.items.len();
+        drop(g);
+        self.queue.observe_len(len);
+        self.queue.puts.incr();
+        self.queue.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Drop for LockedResv<'_, T> {
+    fn drop(&mut self) {
+        if self.active {
+            let mut g = self.queue.lock_op();
+            g.reserved -= 1;
+            drop(g);
+            self.queue.not_full.notify_one();
+        }
+    }
+}

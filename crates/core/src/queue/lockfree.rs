@@ -1,0 +1,1018 @@
+//! The lock-free segmented MPMC queue core ([`QueueCore::LockFree`]).
+//!
+//! # Design
+//!
+//! Each shard is a Vyukov-style bounded MPMC ring: every slot carries a
+//! sequence number, producers claim tickets by CAS on `tail`, consumers
+//! by CAS on `head`, and the slot's sequence publishes the handoff. The
+//! ring is *segmented* — slots live in fixed 64-slot segments chained in
+//! a boxed slice — so a large capacity never allocates one giant
+//! contiguous block and slot lookup stays two shifts and two indexes.
+//!
+//! Capacity is enforced by a per-shard **credit counter** rather than by
+//! ring geometry (the ring is rounded up to a power of two): a producer
+//! must win a credit (`capacity − items − reservations − in-flight
+//! puts`) before claiming a ticket, which preserves the locked core's
+//! exact-capacity semantics, and makes a reservation simply a held
+//! credit with no ticket until publish — dropping it returns the credit
+//! and nothing ever occupies the ring.
+//!
+//! # Close / drain protocol
+//!
+//! `close` is a flag, not a lock. A producer that passed the closed
+//! check could otherwise publish *after* a consumer decided the queue
+//! was drained, stranding an item. The commit protocol prevents that:
+//! producers increment `inflight` (SeqCst), re-check `closed`, and only
+//! then claim a ticket — every claimed ticket is always published.
+//! Consumers report drained only when `closed && inflight == 0 && every
+//! shard's head == tail`; the SeqCst total order guarantees a producer
+//! either aborts on its re-check or is visible through `inflight`/the
+//! ticket counters.
+//!
+//! # Parking
+//!
+//! The condvars are a pure slow path (futex-style): `wake` is a SeqCst
+//! fence plus one relaxed-as-if load of the waiter count — no lock, no
+//! syscall — unless a waiter is registered. Waiters increment the count
+//! (SeqCst) under the parking mutex and re-check readiness before
+//! sleeping, the classic eventcount handshake that makes lost wakeups
+//! impossible. `lock_acquisitions()` counts these parking-mutex
+//! acquisitions; `cas_retries()` counts failed CAS attempts — together
+//! they keep contention observable where the locked core reported mutex
+//! traffic.
+//!
+//! [`QueueCore::LockFree`]: super::QueueCore::LockFree
+
+use super::{Closed, PopResult, TryPutError, TryReserveError, WakeupPolicy};
+use crate::affinity;
+use minato_metrics::Counter;
+use parking_lot::{Condvar, Mutex};
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Slots per segment (64 = one cache-line-friendly chunk of sequence
+/// numbers; lookup is `idx >> 6` then `idx & 63`).
+const SEG_SHIFT: u32 = 6;
+const SEG_LEN: u64 = 1 << SEG_SHIFT;
+
+/// A cache-line-aligned atomic, so `head`, `tail`, and `credits` do not
+/// false-share under producer/consumer cross-traffic.
+#[repr(align(64))]
+#[derive(Debug)]
+struct PaddedU64(AtomicU64);
+
+/// One ring slot: the sequence number encodes lap + handoff state.
+#[derive(Debug)]
+struct Slot<T> {
+    /// `seq == ticket` — free for the producer holding `ticket`;
+    /// `seq == ticket + 1` — published, readable by the consumer;
+    /// `seq == ticket + ring_size` — consumed, free for the next lap.
+    seq: AtomicU64,
+    val: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// A segmented bounded ring. Only the ticket protocol touches it.
+#[derive(Debug)]
+struct Ring<T> {
+    segs: Box<[Box<[Slot<T>]>]>,
+    mask: u64,
+    size: u64,
+    head: PaddedU64,
+    tail: PaddedU64,
+}
+
+// SAFETY: slot values are handed between threads strictly by the
+// sequence-number protocol — a producer writes a slot only after
+// winning the tail CAS for its ticket, a consumer reads it only after
+// winning the head CAS, and the Acquire/Release pairs on `seq` order
+// the accesses. `T: Send` is all that crossing threads requires.
+unsafe impl<T: Send> Send for Ring<T> {}
+// SAFETY: see the Send impl — `&Ring` only exposes the atomics plus
+// protocol-guarded slot access, so sharing references is as safe as
+// sending values.
+unsafe impl<T: Send> Sync for Ring<T> {}
+
+impl<T> Ring<T> {
+    fn new(capacity: u64) -> Ring<T> {
+        let size = capacity.next_power_of_two();
+        let nsegs = size.div_ceil(SEG_LEN);
+        let segs: Vec<Box<[Slot<T>]>> = (0..nsegs)
+            .map(|s| {
+                let base = s * SEG_LEN;
+                let len = SEG_LEN.min(size - base);
+                (0..len)
+                    .map(|i| Slot {
+                        seq: AtomicU64::new(base + i),
+                        val: UnsafeCell::new(MaybeUninit::uninit()),
+                    })
+                    .collect()
+            })
+            .collect();
+        Ring {
+            segs: segs.into_boxed_slice(),
+            mask: size - 1,
+            size,
+            head: PaddedU64(AtomicU64::new(0)),
+            tail: PaddedU64(AtomicU64::new(0)),
+        }
+    }
+
+    /// The slot owned by `ticket` this lap.
+    // minato-verify: hot-path
+    fn slot(&self, ticket: u64) -> &Slot<T> {
+        let idx = ticket & self.mask;
+        &self.segs[(idx >> SEG_SHIFT) as usize][(idx & (SEG_LEN - 1)) as usize]
+    }
+
+    /// Claimed-ticket occupancy (counts claimed-but-unpublished slots).
+    fn len(&self) -> u64 {
+        // ORDERING: Relaxed — monitoring read; drain decisions re-read
+        // these with SeqCst in `LockFreeQueue::drained`.
+        let tail = self.tail.0.load(Ordering::Relaxed);
+        let head = self.head.0.load(Ordering::Relaxed);
+        tail.saturating_sub(head)
+    }
+}
+
+impl<T> Drop for Ring<T> {
+    fn drop(&mut self) {
+        // With `&mut self` no ticket holder can be live; drop every
+        // published-but-unconsumed item (claimed-unpublished slots are
+        // impossible here, unpublished slots are uninit and need no drop).
+        let head = *self.head.0.get_mut();
+        let tail = *self.tail.0.get_mut();
+        for t in head..tail {
+            let idx = t & self.mask;
+            let slot = &mut self.segs[(idx >> SEG_SHIFT) as usize][(idx & (SEG_LEN - 1)) as usize];
+            if *slot.seq.get_mut() == t + 1 {
+                // SAFETY: seq == ticket + 1 means this slot was
+                // published and never consumed; we hold `&mut`, so
+                // reading (and thereby dropping) the value is exclusive.
+                unsafe { slot.val.get_mut().assume_init_drop() };
+            }
+        }
+    }
+}
+
+/// One shard: a ring plus the credit counter enforcing its capacity.
+#[derive(Debug)]
+struct Shard<T> {
+    ring: Ring<T>,
+    /// Free capacity: `cap − items − reservations − in-flight puts`.
+    credits: PaddedU64,
+}
+
+/// The futex-style park: condvar as slow path only.
+#[derive(Debug)]
+struct Park {
+    mu: Mutex<()>,
+    cv: Condvar,
+    waiters: AtomicU64,
+}
+
+impl Park {
+    fn new() -> Park {
+        Park {
+            mu: Mutex::new(()),
+            cv: Condvar::new(),
+            waiters: AtomicU64::new(0),
+        }
+    }
+
+    /// One bounded park: registers as a waiter, re-checks `ready` (so a
+    /// wake between the caller's failed attempt and this registration is
+    /// not lost), and sleeps once. Callers loop.
+    fn wait_until_ready(&self, ops: &Counter, ready: impl Fn() -> bool) {
+        ops.incr();
+        let mut g = self.mu.lock();
+        // ORDERING: SeqCst — pairs with the waker's SeqCst fence+load:
+        // either the waker sees this increment, or this thread's `ready`
+        // re-check sees the waker's state change.
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        if !ready() {
+            self.cv.wait(&mut g);
+        }
+        // ORDERING: SeqCst — symmetric with the increment above.
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// [`Park::wait_until_ready`] with a deadline; returns whether the
+    /// wait timed out.
+    fn wait_deadline(&self, ops: &Counter, deadline: Instant, ready: impl Fn() -> bool) -> bool {
+        ops.incr();
+        let mut g = self.mu.lock();
+        // ORDERING: SeqCst — see `wait_until_ready`.
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        let mut timed_out = false;
+        if !ready() {
+            timed_out = self.cv.wait_until(&mut g, deadline).timed_out();
+        }
+        // ORDERING: SeqCst — symmetric with the increment above.
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+        timed_out
+    }
+
+    /// Fast-path wake: a fence and one load when nobody is parked.
+    // minato-verify: hot-path
+    fn wake(&self, ops: &Counter) {
+        // ORDERING: SeqCst fence — orders this thread's preceding state
+        // change (credit release / slot publish) before the waiter-count
+        // load, pairing with the waiter's SeqCst registration: one side
+        // always observes the other.
+        fence(Ordering::SeqCst);
+        // ORDERING: SeqCst — the load half of the eventcount handshake.
+        if self.waiters.load(Ordering::SeqCst) > 0 {
+            ops.incr();
+            // Lock then notify: a waiter between registration and
+            // `cv.wait` holds the mutex, so the notify cannot pass it.
+            let _g = self.mu.lock();
+            self.cv.notify_all();
+        }
+    }
+
+    /// Unconditional wake for cold transitions (close).
+    fn wake_all(&self, ops: &Counter) {
+        ops.incr();
+        let _g = self.mu.lock();
+        self.cv.notify_all();
+    }
+}
+
+/// The lock-free core: sharded segmented rings with credit-enforced
+/// capacity and eventcount parking.
+#[derive(Debug)]
+pub(super) struct LockFreeQueue<T> {
+    shards: Box<[Shard<T>]>,
+    policy: WakeupPolicy,
+    closed: AtomicBool,
+    /// Producers past the closed re-check that will certainly publish.
+    inflight: AtomicU64,
+    not_empty: Park,
+    not_full: Park,
+    puts: Counter,
+    pops: Counter,
+    /// Parking-mutex acquisitions (park entries + contended wakes) —
+    /// the lock-free core's analogue of the locked core's lock count.
+    park_ops: Counter,
+    /// Failed CAS attempts on tickets and credits: the contention
+    /// signal `LoaderStats::queue_cas_retries` aggregates.
+    cas_retries: Counter,
+    occupancy_sum: AtomicU64,
+    occupancy_obs: AtomicU64,
+}
+
+impl<T> LockFreeQueue<T> {
+    pub(super) fn new(capacity: usize, policy: WakeupPolicy, shards: usize) -> LockFreeQueue<T> {
+        let nshards = shards.max(1).min(capacity);
+        let base = capacity / nshards;
+        let rem = capacity % nshards;
+        let shards: Vec<Shard<T>> = (0..nshards)
+            .map(|s| {
+                let cap = (base + usize::from(s < rem)) as u64;
+                Shard {
+                    ring: Ring::new(cap),
+                    credits: PaddedU64(AtomicU64::new(cap)),
+                }
+            })
+            .collect();
+        LockFreeQueue {
+            shards: shards.into_boxed_slice(),
+            policy,
+            closed: AtomicBool::new(false),
+            inflight: AtomicU64::new(0),
+            not_empty: Park::new(),
+            not_full: Park::new(),
+            puts: Counter::new(),
+            pops: Counter::new(),
+            park_ops: Counter::new(),
+            cas_retries: Counter::new(),
+            occupancy_sum: AtomicU64::new(0),
+            occupancy_obs: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards (1 unless built via `with_shards`).
+    pub(super) fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// This thread's home shard, from the affinity layer's worker-group
+    /// id (arbitrary but stable for unregistered threads).
+    // minato-verify: hot-path
+    fn home(&self) -> usize {
+        if self.shards.len() == 1 {
+            0
+        } else {
+            affinity::current_group() % self.shards.len()
+        }
+    }
+
+    fn observe(&self) {
+        let len: u64 = self.shards.iter().map(|s| s.ring.len()).sum();
+        // ORDERING: Relaxed — monitoring counters only.
+        self.occupancy_sum.fetch_add(len, Ordering::Relaxed);
+        self.occupancy_obs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes up to `want` credits from shard `s`, returning how many.
+    // minato-verify: hot-path
+    fn take_credits(&self, s: usize, want: usize) -> usize {
+        let credits = &self.shards[s].credits.0;
+        // ORDERING: Relaxed initial read — the CAS below revalidates.
+        let mut cur = credits.load(Ordering::Relaxed);
+        loop {
+            let take = cur.min(want as u64);
+            if take == 0 {
+                return 0;
+            }
+            match credits.compare_exchange_weak(
+                cur,
+                cur - take,
+                // ORDERING: Acquire on success — the won credit's freed
+                // slot is visible (release sequence); Relaxed retry.
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return take as usize,
+                Err(c) => {
+                    self.cas_retries.incr();
+                    cur = c;
+                }
+            }
+        }
+    }
+
+    /// Returns `n` credits to shard `s` and wakes a parked producer.
+    // minato-verify: hot-path
+    fn release_credits(&self, s: usize, n: u64) {
+        // ORDERING: Release — the freed slots' seq stores precede this,
+        // so a producer acquiring the credit sees free slots.
+        self.shards[s].credits.0.fetch_add(n, Ordering::Release);
+        self.not_full.wake(&self.park_ops);
+    }
+
+    /// Begins a committed put: after this returns `Ok`, the caller MUST
+    /// claim and publish its tickets, then call [`Self::commit_end`].
+    // minato-verify: hot-path
+    fn commit_begin(&self) -> Result<(), Closed> {
+        // ORDERING: SeqCst — the increment precedes the closed
+        // re-check in the SeqCst total order, so `drained` can never
+        // miss a producer that will publish (see module docs).
+        self.inflight.fetch_add(1, Ordering::SeqCst);
+        if self.closed.load(Ordering::SeqCst) {
+            // ORDERING: SeqCst — leave the commit window before failing.
+            self.inflight.fetch_sub(1, Ordering::SeqCst);
+            // A consumer may be parked waiting for this in-flight put to
+            // resolve; tell it the put aborted.
+            self.not_empty.wake(&self.park_ops);
+            return Err(Closed);
+        }
+        Ok(())
+    }
+
+    /// Ends a committed put (all tickets published).
+    // minato-verify: hot-path
+    fn commit_end(&self) {
+        // ORDERING: SeqCst — pairs with `drained`'s inflight read: the
+        // RMW releases the ticket/seq stores made inside the window.
+        self.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Publishes `item` into shard `s`. Caller holds one credit and is
+    /// inside a commit window.
+    // minato-verify: hot-path
+    fn enqueue(&self, s: usize, item: T) {
+        let ring = &self.shards[s].ring;
+        // ORDERING: Relaxed — the seq Acquire load below revalidates.
+        let mut pos = ring.tail.0.load(Ordering::Relaxed);
+        loop {
+            let slot = ring.slot(pos);
+            // ORDERING: Acquire — pairs with the previous-lap consumer's
+            // Release store, so the slot is truly free before we write.
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq == pos {
+                match ring.tail.0.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    // ORDERING: Acquire on success keeps the slot write
+                    // ordered after the claim; Relaxed retry.
+                    Ordering::Acquire,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: winning the tail CAS for `pos` grants
+                        // exclusive slot access until the seq store
+                        // below hands it to a consumer.
+                        unsafe { (*slot.val.get()).write(item) };
+                        // ORDERING: Release — publishes the value to the
+                        // consumer's Acquire seq load.
+                        slot.seq.store(pos + 1, Ordering::Release);
+                        return;
+                    }
+                    Err(cur) => {
+                        self.cas_retries.incr();
+                        pos = cur;
+                    }
+                }
+            } else if seq < pos {
+                // Previous-lap consumer mid-release: credits bound this
+                // to the instants between its head claim and seq store.
+                std::hint::spin_loop();
+                std::thread::yield_now();
+                // ORDERING: Relaxed — revalidated next iteration.
+                pos = ring.tail.0.load(Ordering::Relaxed);
+            } else {
+                // Lost a race; reload the tail.
+                // ORDERING: Relaxed — revalidated next iteration.
+                pos = ring.tail.0.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Dequeues one item from shard `s`, if one is published.
+    // minato-verify: hot-path
+    fn dequeue_one(&self, s: usize) -> Option<T> {
+        let ring = &self.shards[s].ring;
+        // ORDERING: Relaxed — the seq Acquire load below revalidates.
+        let mut pos = ring.head.0.load(Ordering::Relaxed);
+        loop {
+            let slot = ring.slot(pos);
+            // ORDERING: Acquire — pairs with the producer's Release seq
+            // store, making the slot value visible before the read below.
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq == pos + 1 {
+                match ring.head.0.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    // ORDERING: Acquire on success orders the value
+                    // read after the claim; Relaxed retry.
+                    Ordering::Acquire,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: winning the head CAS for `pos` grants
+                        // exclusive read access to this published slot.
+                        let item = unsafe { (*slot.val.get()).assume_init_read() };
+                        // ORDERING: Release — hands the emptied slot to
+                        // the lap+`size` producer.
+                        slot.seq.store(pos + ring.size, Ordering::Release);
+                        self.release_credits(s, 1);
+                        return Some(item);
+                    }
+                    Err(cur) => {
+                        self.cas_retries.incr();
+                        pos = cur;
+                    }
+                }
+            } else if seq <= pos {
+                // Empty (or a producer mid-publish — the caller's
+                // park/drain logic handles both).
+                return None;
+            } else {
+                // Another consumer advanced head; retry from its value.
+                // ORDERING: Relaxed — revalidated next iteration.
+                pos = ring.head.0.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Dequeues up to `max` consecutive published items from shard `s`
+    /// under a single head CAS.
+    fn dequeue_burst(&self, s: usize, max: usize, out: &mut Vec<T>) -> usize {
+        let ring = &self.shards[s].ring;
+        loop {
+            // ORDERING: Relaxed — the per-slot Acquire loads revalidate.
+            let pos = ring.head.0.load(Ordering::Relaxed);
+            let mut k = 0u64;
+            while (k as usize) < max {
+                // ORDERING: Acquire — pairs with the producers' Release
+                // seq stores for every slot the burst will read.
+                if ring.slot(pos + k).seq.load(Ordering::Acquire) != pos + k + 1 {
+                    break;
+                }
+                k += 1;
+            }
+            if k == 0 {
+                return 0;
+            }
+            match ring
+                .head
+                .0
+                // ORDERING: Acquire on success orders the value reads
+                // after the claim; Relaxed retry with a fresh head.
+                .compare_exchange(pos, pos + k, Ordering::Acquire, Ordering::Relaxed)
+            {
+                Ok(_) => {
+                    for i in 0..k {
+                        let slot = ring.slot(pos + i);
+                        // SAFETY: the head CAS granted exclusive read
+                        // access to slots `pos..pos+k`, each observed
+                        // published by the Acquire loads above.
+                        let item = unsafe { (*slot.val.get()).assume_init_read() };
+                        // ORDERING: Release — hands each emptied slot to
+                        // the next-lap producer.
+                        slot.seq.store(pos + i + ring.size, Ordering::Release);
+                        out.push(item);
+                    }
+                    self.release_credits(s, k);
+                    return k as usize;
+                }
+                Err(_) => self.cas_retries.incr(),
+            }
+        }
+    }
+
+    /// Owner-first, steal-second scan for one published item.
+    // minato-verify: hot-path
+    fn pop_visible(&self) -> Option<T> {
+        let h = self.home();
+        let n = self.shards.len();
+        for i in 0..n {
+            if let Some(v) = self.dequeue_one((h + i) % n) {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// True once no put can ever succeed again: closed, no committed
+    /// producers, every claimed ticket consumed.
+    fn drained(&self) -> bool {
+        // ORDERING: SeqCst — closed must be read before inflight, and
+        // inflight before the ticket counters, in the SeqCst total order
+        // against the producers' commit protocol (see module docs).
+        if !self.closed.load(Ordering::SeqCst) {
+            return false;
+        }
+        // ORDERING: SeqCst — read after closed, before tickets.
+        if self.inflight.load(Ordering::SeqCst) != 0 {
+            return false;
+        }
+        self.shards.iter().all(|s| {
+            // ORDERING: SeqCst — a producer's ticket claim inside a
+            // commit window is visible here because its inflight RMWs
+            // bracket it in the total order.
+            s.ring.head.0.load(Ordering::SeqCst) == s.ring.tail.0.load(Ordering::SeqCst)
+        })
+    }
+
+    fn is_closed_now(&self) -> bool {
+        // ORDERING: SeqCst — part of the close/drain protocol.
+        self.closed.load(Ordering::SeqCst)
+    }
+
+    /// Park readiness for consumers: something visible, or drained.
+    fn pop_ready(&self) -> bool {
+        self.len() > 0 || self.drained()
+    }
+
+    /// Park readiness for producers: a credit somewhere, or closed.
+    fn put_ready(&self) -> bool {
+        self.is_closed_now()
+            || self
+                .shards
+                .iter()
+                // ORDERING: Relaxed peek — `take_credits` revalidates.
+                .any(|s| s.credits.0.load(Ordering::Relaxed) > 0)
+    }
+
+    /// Takes one credit, scanning home shard first. Returns the shard.
+    // minato-verify: hot-path
+    fn claim_one(&self) -> Option<usize> {
+        let h = self.home();
+        let n = self.shards.len();
+        for i in 0..n {
+            let s = (h + i) % n;
+            if self.take_credits(s, 1) == 1 {
+                return Some(s);
+            }
+        }
+        None
+    }
+
+    // minato-verify: hot-path
+    pub(super) fn put(&self, item: T) -> Result<(), Closed> {
+        match self.policy {
+            WakeupPolicy::Condvar => {
+                let mut item = item;
+                loop {
+                    match self.try_put(item) {
+                        Ok(()) => return Ok(()),
+                        Err(TryPutError::Closed(_)) => return Err(Closed),
+                        Err(TryPutError::Full(v)) => {
+                            item = v;
+                            self.not_full
+                                .wait_until_ready(&self.park_ops, || self.put_ready());
+                        }
+                    }
+                }
+            }
+            WakeupPolicy::SleepPoll(nap) => {
+                let mut item = item;
+                loop {
+                    match self.try_put(item) {
+                        Ok(()) => return Ok(()),
+                        Err(TryPutError::Closed(_)) => return Err(Closed),
+                        Err(TryPutError::Full(v)) => {
+                            item = v;
+                            std::thread::sleep(nap);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // minato-verify: hot-path
+    pub(super) fn try_put(&self, item: T) -> Result<(), TryPutError<T>> {
+        if self.is_closed_now() {
+            return Err(TryPutError::Closed(item));
+        }
+        let Some(s) = self.claim_one() else {
+            return Err(TryPutError::Full(item));
+        };
+        if self.commit_begin().is_err() {
+            self.release_credits(s, 1);
+            return Err(TryPutError::Closed(item));
+        }
+        self.enqueue(s, item);
+        self.commit_end();
+        self.puts.incr();
+        self.observe();
+        self.not_empty.wake(&self.park_ops);
+        Ok(())
+    }
+
+    pub(super) fn try_reserve(&self) -> Result<FreeResv<'_, T>, TryReserveError> {
+        if self.is_closed_now() {
+            return Err(TryReserveError::Closed);
+        }
+        match self.claim_one() {
+            Some(s) => Ok(FreeResv {
+                queue: self,
+                shard: s,
+                active: true,
+            }),
+            None => Err(TryReserveError::Full),
+        }
+    }
+
+    pub(super) fn reserve_timeout(
+        &self,
+        timeout: Duration,
+    ) -> Result<FreeResv<'_, T>, TryReserveError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.try_reserve() {
+                Ok(r) => return Ok(r),
+                Err(TryReserveError::Closed) => return Err(TryReserveError::Closed),
+                Err(TryReserveError::Full) => match self.policy {
+                    WakeupPolicy::Condvar => {
+                        if self
+                            .not_full
+                            .wait_deadline(&self.park_ops, deadline, || self.put_ready())
+                        {
+                            return Err(TryReserveError::Full);
+                        }
+                    }
+                    WakeupPolicy::SleepPoll(nap) => {
+                        if Instant::now() >= deadline {
+                            return Err(TryReserveError::Full);
+                        }
+                        std::thread::sleep(
+                            nap.min(deadline.saturating_duration_since(Instant::now())),
+                        );
+                    }
+                },
+            }
+        }
+    }
+
+    pub(super) fn put_many(&self, items: Vec<T>) -> Result<(), Closed> {
+        if items.is_empty() {
+            return Ok(());
+        }
+        let total = items.len();
+        let mut it = items.into_iter();
+        let mut done = 0usize;
+        loop {
+            if self.is_closed_now() {
+                // Completed bursts stay and drain; the rest are dropped
+                // — exactly the locked core's close-mid-put_many result.
+                return Err(Closed);
+            }
+            let mut progressed = false;
+            let h = self.home();
+            let n = self.shards.len();
+            for i in 0..n {
+                if done == total {
+                    break;
+                }
+                let s = (h + i) % n;
+                let got = self.take_credits(s, total - done);
+                if got == 0 {
+                    continue;
+                }
+                if self.commit_begin().is_err() {
+                    self.release_credits(s, got as u64);
+                    return Err(Closed);
+                }
+                for v in it.by_ref().take(got) {
+                    self.enqueue(s, v);
+                }
+                self.commit_end();
+                done += got;
+                self.puts.add(got as u64);
+                self.observe();
+                self.not_empty.wake(&self.park_ops);
+                progressed = true;
+            }
+            if done == total {
+                return Ok(());
+            }
+            if progressed {
+                continue;
+            }
+            match self.policy {
+                WakeupPolicy::Condvar => {
+                    self.not_full
+                        .wait_until_ready(&self.park_ops, || self.put_ready());
+                }
+                WakeupPolicy::SleepPoll(nap) => std::thread::sleep(nap),
+            }
+        }
+    }
+
+    pub(super) fn try_put_many(&self, items: Vec<T>) -> Result<(), TryPutError<Vec<T>>> {
+        if items.is_empty() {
+            return Ok(());
+        }
+        if self.is_closed_now() {
+            return Err(TryPutError::Closed(items));
+        }
+        let total = items.len();
+        let mut it = items.into_iter();
+        let mut done = 0usize;
+        let h = self.home();
+        let n = self.shards.len();
+        for i in 0..n {
+            if done == total {
+                break;
+            }
+            let s = (h + i) % n;
+            let got = self.take_credits(s, total - done);
+            if got == 0 {
+                continue;
+            }
+            if self.commit_begin().is_err() {
+                self.release_credits(s, got as u64);
+                let rest: Vec<T> = it.collect();
+                return Err(TryPutError::Closed(rest));
+            }
+            for v in it.by_ref().take(got) {
+                self.enqueue(s, v);
+            }
+            self.commit_end();
+            done += got;
+            self.puts.add(got as u64);
+            self.observe();
+            self.not_empty.wake(&self.park_ops);
+        }
+        if done == total {
+            Ok(())
+        } else {
+            let rest: Vec<T> = it.collect();
+            Err(TryPutError::Full(rest))
+        }
+    }
+
+    // minato-verify: hot-path
+    pub(super) fn pop(&self) -> Option<T> {
+        loop {
+            if let Some(v) = self.pop_visible() {
+                self.pops.incr();
+                self.observe();
+                return Some(v);
+            }
+            if self.drained() {
+                return None;
+            }
+            match self.policy {
+                WakeupPolicy::Condvar => {
+                    self.not_empty
+                        .wait_until_ready(&self.park_ops, || self.pop_ready());
+                }
+                WakeupPolicy::SleepPoll(nap) => std::thread::sleep(nap),
+            }
+        }
+    }
+
+    pub(super) fn pop_timeout(&self, timeout: Duration) -> Result<Option<T>, Closed> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(v) = self.pop_visible() {
+                self.pops.incr();
+                self.observe();
+                return Ok(Some(v));
+            }
+            if self.drained() {
+                return Err(Closed);
+            }
+            match self.policy {
+                WakeupPolicy::Condvar => {
+                    if self
+                        .not_empty
+                        .wait_deadline(&self.park_ops, deadline, || self.pop_ready())
+                    {
+                        return Ok(None);
+                    }
+                }
+                WakeupPolicy::SleepPoll(nap) => {
+                    if Instant::now() >= deadline {
+                        return Ok(None);
+                    }
+                    std::thread::sleep(nap.min(deadline.saturating_duration_since(Instant::now())));
+                }
+            }
+        }
+    }
+
+    // minato-verify: hot-path
+    pub(super) fn try_pop(&self) -> PopResult<T> {
+        if let Some(v) = self.pop_visible() {
+            self.pops.incr();
+            self.observe();
+            return PopResult::Item(v);
+        }
+        if self.drained() {
+            PopResult::ClosedAndDrained
+        } else {
+            PopResult::Empty
+        }
+    }
+
+    /// Burst scan across shards, home first.
+    fn pop_burst(&self, max: usize, out: &mut Vec<T>) {
+        let h = self.home();
+        let n = self.shards.len();
+        for i in 0..n {
+            if out.len() >= max {
+                return;
+            }
+            self.dequeue_burst((h + i) % n, max - out.len(), out);
+        }
+    }
+
+    pub(super) fn pop_many(&self, max: usize) -> Vec<T> {
+        let mut out = Vec::new();
+        if max == 0 {
+            return out;
+        }
+        loop {
+            self.pop_burst(max, &mut out);
+            if !out.is_empty() {
+                self.pops.add(out.len() as u64);
+                self.observe();
+                return out;
+            }
+            if self.drained() {
+                return out;
+            }
+            match self.policy {
+                WakeupPolicy::Condvar => {
+                    self.not_empty
+                        .wait_until_ready(&self.park_ops, || self.pop_ready());
+                }
+                WakeupPolicy::SleepPoll(nap) => std::thread::sleep(nap),
+            }
+        }
+    }
+
+    pub(super) fn try_pop_many(&self, max: usize) -> Result<Vec<T>, Closed> {
+        let mut out = Vec::new();
+        self.pop_burst(max, &mut out);
+        if out.is_empty() && self.drained() {
+            return Err(Closed);
+        }
+        if !out.is_empty() {
+            self.pops.add(out.len() as u64);
+            self.observe();
+        }
+        Ok(out)
+    }
+
+    pub(super) fn pop_many_timeout(&self, max: usize, timeout: Duration) -> Result<Vec<T>, Closed> {
+        let mut out = Vec::new();
+        if max == 0 {
+            return Ok(out);
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            self.pop_burst(max, &mut out);
+            if !out.is_empty() {
+                self.pops.add(out.len() as u64);
+                self.observe();
+                return Ok(out);
+            }
+            if self.drained() {
+                return Err(Closed);
+            }
+            match self.policy {
+                WakeupPolicy::Condvar => {
+                    if self
+                        .not_empty
+                        .wait_deadline(&self.park_ops, deadline, || self.pop_ready())
+                    {
+                        return Ok(out);
+                    }
+                }
+                WakeupPolicy::SleepPoll(nap) => {
+                    if Instant::now() >= deadline {
+                        return Ok(out);
+                    }
+                    std::thread::sleep(nap.min(deadline.saturating_duration_since(Instant::now())));
+                }
+            }
+        }
+    }
+
+    pub(super) fn close(&self) {
+        // ORDERING: SeqCst — the close/drain protocol's pivot store.
+        self.closed.store(true, Ordering::SeqCst);
+        self.not_empty.wake_all(&self.park_ops);
+        self.not_full.wake_all(&self.park_ops);
+    }
+
+    pub(super) fn is_closed(&self) -> bool {
+        self.is_closed_now()
+    }
+
+    pub(super) fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.ring.len()).sum::<u64>() as usize
+    }
+
+    pub(super) fn total_puts(&self) -> u64 {
+        self.puts.get()
+    }
+
+    pub(super) fn total_pops(&self) -> u64 {
+        self.pops.get()
+    }
+
+    pub(super) fn lock_acquisitions(&self) -> u64 {
+        self.park_ops.get()
+    }
+
+    pub(super) fn cas_retries(&self) -> u64 {
+        self.cas_retries.get()
+    }
+
+    pub(super) fn mean_occupancy(&self) -> f64 {
+        // ORDERING: Relaxed — independent monitoring reads; a torn pair
+        // skews the average by at most one observation.
+        let obs = self.occupancy_obs.load(Ordering::Relaxed);
+        if obs == 0 {
+            0.0
+        } else {
+            // ORDERING: Relaxed — same monitoring pair as above.
+            self.occupancy_sum.load(Ordering::Relaxed) as f64 / obs as f64
+        }
+    }
+}
+
+/// A held credit on the lock-free core awaiting its item. No ticket is
+/// claimed until publish, so FIFO reflects publication order and an
+/// abandoned reservation never occupies the ring.
+#[derive(Debug)]
+pub(super) struct FreeResv<'a, T> {
+    queue: &'a LockFreeQueue<T>,
+    shard: usize,
+    active: bool,
+}
+
+impl<T> FreeResv<'_, T> {
+    pub(super) fn publish(mut self, item: T) -> Result<(), Closed> {
+        self.active = false;
+        let q = self.queue;
+        if q.commit_begin().is_err() {
+            q.release_credits(self.shard, 1);
+            return Err(Closed);
+        }
+        q.enqueue(self.shard, item);
+        q.commit_end();
+        q.puts.incr();
+        q.observe();
+        q.not_empty.wake(&q.park_ops);
+        Ok(())
+    }
+}
+
+impl<T> Drop for FreeResv<'_, T> {
+    fn drop(&mut self) {
+        if self.active {
+            self.queue.release_credits(self.shard, 1);
+        }
+    }
+}

@@ -1,0 +1,1045 @@
+//! Bounded, instrumented, closable MPMC queues.
+//!
+//! The paper's runtime is built from four queue roles (fast, slow, temp,
+//! batch; §4.1). All of them share the same semantics: bounded capacity
+//! (the paper caps every queue at 100), multi-producer/multi-consumer,
+//! occupancy statistics for the worker scheduler, and a close signal for
+//! clean drain at end of training.
+//!
+//! Two wakeup policies are provided. [`WakeupPolicy::Condvar`] blocks
+//! consumers on a condition variable (the efficient default);
+//! [`WakeupPolicy::SleepPoll`] re-checks on a fixed sleep, reproducing the
+//! paper's 10 ms polling loops (Algorithm 1 lines 28/37) for the ablation
+//! benchmark.
+//!
+//! # Queue cores
+//!
+//! Two interchangeable cores implement the same semantics, selected by
+//! [`QueueCore`]:
+//!
+//! * [`QueueCore::Locked`] — the original mutex+condvar core: one
+//!   `Mutex<VecDeque>` per queue, batched operations amortizing
+//!   acquisitions. Simple, strictly FIFO, and the baseline the
+//!   `queue_core` ablation measures against.
+//! * [`QueueCore::LockFree`] (default) — a segmented Vyukov-style MPMC
+//!   ring per shard: per-slot sequence numbers, atomic head/tail CAS
+//!   ticket claims, credit-counter capacity enforcement, and futex-style
+//!   parking where the condvar is only the empty/full slow path. See
+//!   the `lockfree` module docs for the memory-ordering and close/drain
+//!   protocols. With [`MinatoQueue::with_shards`] the ring is sharded
+//!   per worker group with an owner-first/steal-second discipline.
+//!
+//! Every API below behaves identically on both cores (the equivalence
+//! proptests in `tests/queue_core.rs` check this), with one documented
+//! exception: [`MinatoQueue::lock_acquisitions`] counts state-mutex
+//! acquisitions on the locked core but parking-mutex acquisitions on
+//! the lock-free core, whose fast path takes no lock at all —
+//! [`MinatoQueue::cas_retries`] is the contention signal there.
+
+mod locked;
+mod lockfree;
+
+use std::time::Duration;
+
+/// How blocked producers/consumers wait for queue state changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WakeupPolicy {
+    /// Block on a condition variable; woken exactly when state changes.
+    #[default]
+    Condvar,
+    /// Poll with a fixed sleep between checks (paper-faithful mode).
+    SleepPoll(Duration),
+}
+
+/// Which internal implementation a [`MinatoQueue`] runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueCore {
+    /// Mutex+condvar core (the pre-lock-free baseline).
+    Locked,
+    /// Lock-free segmented MPMC ring with eventcount parking.
+    #[default]
+    LockFree,
+}
+
+impl QueueCore {
+    /// Resolves the core from the `MINATO_QUEUE_CORE` environment
+    /// variable (`locked` / `lockfree`, case-insensitive), falling back
+    /// to `self`. Lets CI and the chaos suites force a core without
+    /// touching call sites.
+    pub fn from_env_or(self) -> QueueCore {
+        std::env::var("MINATO_QUEUE_CORE")
+            .ok()
+            .and_then(|v| QueueCore::parse(&v))
+            .unwrap_or(self)
+    }
+
+    /// Parses a core name (`locked` / `lockfree`, case-insensitive);
+    /// `None` for anything else.
+    pub fn parse(name: &str) -> Option<QueueCore> {
+        if name.eq_ignore_ascii_case("locked") {
+            Some(QueueCore::Locked)
+        } else if name.eq_ignore_ascii_case("lockfree") {
+            Some(QueueCore::LockFree)
+        } else {
+            None
+        }
+    }
+}
+
+/// Error returned when putting into a closed queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Closed;
+
+/// Error from [`MinatoQueue::try_put`], returning the rejected item.
+#[derive(Debug)]
+pub enum TryPutError<T> {
+    /// The queue is at capacity.
+    Full(T),
+    /// The queue is closed.
+    Closed(T),
+}
+
+/// Error from [`MinatoQueue::try_reserve`] / [`MinatoQueue::reserve_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryReserveError {
+    /// No free slot (for `reserve_timeout`: none appeared in time).
+    Full,
+    /// The queue is closed.
+    Closed,
+}
+
+/// Result of [`MinatoQueue::try_pop`].
+#[derive(Debug, PartialEq, Eq)]
+#[must_use = "ignoring the result silently drops a popped item"]
+pub enum PopResult<T> {
+    /// An item was dequeued.
+    Item(T),
+    /// The queue is currently empty but still open.
+    Empty,
+    /// The queue is closed and fully drained.
+    ClosedAndDrained,
+}
+
+#[derive(Debug)]
+enum CoreImpl<T> {
+    Locked(locked::LockedQueue<T>),
+    Free(lockfree::LockFreeQueue<T>),
+}
+
+/// A bounded MPMC queue with occupancy instrumentation and close-to-drain
+/// semantics.
+///
+/// * `put` blocks while full (unless closed — then it fails),
+/// * `pop` blocks while empty (unless closed — then it returns `None`),
+/// * after [`MinatoQueue::close`], remaining items can still be popped;
+///   `pop` returns `None` only when closed *and* empty.
+///
+/// # Examples
+///
+/// ```
+/// use minato_core::queue::MinatoQueue;
+///
+/// let q: MinatoQueue<u32> = MinatoQueue::new("fast", 2);
+/// q.put(1).unwrap();
+/// q.put(2).unwrap();
+/// q.close();
+/// assert_eq!(q.pop(), Some(1));
+/// assert_eq!(q.pop(), Some(2));
+/// assert_eq!(q.pop(), None); // Closed and drained.
+/// ```
+#[derive(Debug)]
+pub struct MinatoQueue<T> {
+    name: String,
+    capacity: usize,
+    core: CoreImpl<T>,
+}
+
+impl<T> MinatoQueue<T> {
+    /// Creates a queue with the given display `name` and `capacity` on
+    /// the default (lock-free) core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(name: &str, capacity: usize) -> MinatoQueue<T> {
+        Self::with_policy(name, capacity, WakeupPolicy::Condvar)
+    }
+
+    /// Creates a queue with an explicit [`WakeupPolicy`].
+    pub fn with_policy(name: &str, capacity: usize, policy: WakeupPolicy) -> MinatoQueue<T> {
+        Self::with_core(name, capacity, policy, QueueCore::default())
+    }
+
+    /// Creates a queue on an explicit [`QueueCore`].
+    pub fn with_core(
+        name: &str,
+        capacity: usize,
+        policy: WakeupPolicy,
+        core: QueueCore,
+    ) -> MinatoQueue<T> {
+        Self::with_shards(name, capacity, policy, core, 1)
+    }
+
+    /// Creates a queue on an explicit core with `shards` lock-free
+    /// shards (the capacity is split across them; strict global FIFO
+    /// holds only with one shard, per-shard FIFO otherwise). The locked
+    /// core ignores `shards`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_shards(
+        name: &str,
+        capacity: usize,
+        policy: WakeupPolicy,
+        core: QueueCore,
+        shards: usize,
+    ) -> MinatoQueue<T> {
+        assert!(capacity > 0, "queue capacity must be positive");
+        let core = match core {
+            QueueCore::Locked => CoreImpl::Locked(locked::LockedQueue::new(capacity, policy)),
+            QueueCore::LockFree => {
+                CoreImpl::Free(lockfree::LockFreeQueue::new(capacity, policy, shards))
+            }
+        };
+        MinatoQueue {
+            name: name.to_string(),
+            capacity,
+            core,
+        }
+    }
+
+    /// Queue display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Maximum number of items (the paper's `Qmax`).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Which core this queue runs on.
+    pub fn core(&self) -> QueueCore {
+        match &self.core {
+            CoreImpl::Locked(_) => QueueCore::Locked,
+            CoreImpl::Free(_) => QueueCore::LockFree,
+        }
+    }
+
+    /// Number of internal shards (always 1 on the locked core).
+    pub fn shard_count(&self) -> usize {
+        match &self.core {
+            CoreImpl::Locked(_) => 1,
+            CoreImpl::Free(q) => q.shard_count(),
+        }
+    }
+
+    /// Blocking put. Fails with [`Closed`] if the queue was closed (before
+    /// or while waiting for space).
+    // minato-verify: hot-path
+    pub fn put(&self, item: T) -> Result<(), Closed> {
+        match &self.core {
+            CoreImpl::Locked(q) => q.put(item),
+            CoreImpl::Free(q) => q.put(item),
+        }
+    }
+
+    /// Non-blocking put.
+    // minato-verify: hot-path
+    pub fn try_put(&self, item: T) -> Result<(), TryPutError<T>> {
+        match &self.core {
+            CoreImpl::Locked(q) => q.try_put(item),
+            CoreImpl::Free(q) => q.try_put(item),
+        }
+    }
+
+    /// Non-blocking reservation of one slot, for reserve-then-publish
+    /// puts.
+    ///
+    /// A reservation counts against capacity immediately but holds no
+    /// item; the caller does its pre-publication work (e.g. a device
+    /// prefetch that must target the queue that will actually deliver
+    /// the item) *outside* the queue's synchronization, then calls
+    /// [`PutReservation::publish`]. Dropping the reservation without
+    /// publishing releases the slot. A plain `try_put` cannot express
+    /// this: the caller only learns which queue accepted the item after
+    /// it is already poppable.
+    pub fn try_reserve(&self) -> Result<PutReservation<'_, T>, TryReserveError> {
+        match &self.core {
+            CoreImpl::Locked(q) => q.try_reserve().map(|r| PutReservation {
+                inner: ResvImpl::Locked(r),
+            }),
+            CoreImpl::Free(q) => q.try_reserve().map(|r| PutReservation {
+                inner: ResvImpl::Free(r),
+            }),
+        }
+    }
+
+    /// [`MinatoQueue::try_reserve`] with a bounded wait for space.
+    /// Returns `Err(Full)` on timeout.
+    pub fn reserve_timeout(
+        &self,
+        timeout: Duration,
+    ) -> Result<PutReservation<'_, T>, TryReserveError> {
+        match &self.core {
+            CoreImpl::Locked(q) => q.reserve_timeout(timeout).map(|r| PutReservation {
+                inner: ResvImpl::Locked(r),
+            }),
+            CoreImpl::Free(q) => q.reserve_timeout(timeout).map(|r| PutReservation {
+                inner: ResvImpl::Free(r),
+            }),
+        }
+    }
+
+    /// Blocking bulk put: enqueues all of `items` in bursts of available
+    /// space instead of one synchronization round per item, waking
+    /// consumers once per burst.
+    ///
+    /// If the chunk exceeds the free space (or the queue capacity), the
+    /// put proceeds in capacity-sized bursts, blocking between them.
+    /// Fails with [`Closed`] if the queue is closed before every item is
+    /// enqueued; items from already-completed bursts stay in the queue
+    /// and drain normally (close-to-drain semantics), the rest are
+    /// dropped — exactly the items a failing single-item `put` loop
+    /// would have dropped.
+    pub fn put_many(&self, items: Vec<T>) -> Result<(), Closed> {
+        match &self.core {
+            CoreImpl::Locked(q) => q.put_many(items),
+            CoreImpl::Free(q) => q.put_many(items),
+        }
+    }
+
+    /// Non-blocking bulk put: enqueues as many leading `items` as
+    /// currently fit, in one burst. Returns `Err(Full(rest))` with the
+    /// items that did not fit (possibly all of them) and
+    /// `Err(Closed(items))` when the queue is closed — callers retry or
+    /// hand the leftover to a blocking [`MinatoQueue::put_many`].
+    pub fn try_put_many(&self, items: Vec<T>) -> Result<(), TryPutError<Vec<T>>> {
+        match &self.core {
+            CoreImpl::Locked(q) => q.try_put_many(items),
+            CoreImpl::Free(q) => q.try_put_many(items),
+        }
+    }
+
+    /// Blocking pop. Returns `None` only when the queue is closed and
+    /// empty.
+    // minato-verify: hot-path
+    pub fn pop(&self) -> Option<T> {
+        match &self.core {
+            CoreImpl::Locked(q) => q.pop(),
+            CoreImpl::Free(q) => q.pop(),
+        }
+    }
+
+    /// Pop with a bounded wait. Returns `Ok(None)` on timeout and
+    /// `Err(Closed)` when closed and drained.
+    pub fn pop_timeout(&self, timeout: Duration) -> Result<Option<T>, Closed> {
+        match &self.core {
+            CoreImpl::Locked(q) => q.pop_timeout(timeout),
+            CoreImpl::Free(q) => q.pop_timeout(timeout),
+        }
+    }
+
+    /// Non-blocking pop.
+    // minato-verify: hot-path
+    pub fn try_pop(&self) -> PopResult<T> {
+        match &self.core {
+            CoreImpl::Locked(q) => q.try_pop(),
+            CoreImpl::Free(q) => q.try_pop(),
+        }
+    }
+
+    /// Blocking bulk pop: waits until at least one item is available and
+    /// returns up to `max` of them, dequeued as one burst. Returns an
+    /// empty vector only when the queue is closed and drained (or
+    /// `max == 0`).
+    pub fn pop_many(&self, max: usize) -> Vec<T> {
+        match &self.core {
+            CoreImpl::Locked(q) => q.pop_many(max),
+            CoreImpl::Free(q) => q.pop_many(max),
+        }
+    }
+
+    /// Non-blocking bulk pop of up to `max` items as one burst. `Ok`
+    /// with an empty vector means the queue is open but currently empty;
+    /// `Err(Closed)` means closed and fully drained.
+    pub fn try_pop_many(&self, max: usize) -> Result<Vec<T>, Closed> {
+        match &self.core {
+            CoreImpl::Locked(q) => q.try_pop_many(max),
+            CoreImpl::Free(q) => q.try_pop_many(max),
+        }
+    }
+
+    /// Bulk pop with a bounded wait for the first item. `Ok` with an
+    /// empty vector means the wait timed out; `Err(Closed)` means closed
+    /// and drained.
+    pub fn pop_many_timeout(&self, max: usize, timeout: Duration) -> Result<Vec<T>, Closed> {
+        match &self.core {
+            CoreImpl::Locked(q) => q.pop_many_timeout(max, timeout),
+            CoreImpl::Free(q) => q.pop_many_timeout(max, timeout),
+        }
+    }
+
+    /// Closes the queue: pending and future `put`s fail, `pop` drains the
+    /// remaining items then returns `None`. Idempotent.
+    pub fn close(&self) {
+        match &self.core {
+            CoreImpl::Locked(q) => q.close(),
+            CoreImpl::Free(q) => q.close(),
+        }
+    }
+
+    /// Whether [`MinatoQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        match &self.core {
+            CoreImpl::Locked(q) => q.is_closed(),
+            CoreImpl::Free(q) => q.is_closed(),
+        }
+    }
+
+    /// Current number of items.
+    pub fn len(&self) -> usize {
+        match &self.core {
+            CoreImpl::Locked(q) => q.len(),
+            CoreImpl::Free(q) => q.len(),
+        }
+    }
+
+    /// Whether the queue currently holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total successful puts.
+    pub fn total_puts(&self) -> u64 {
+        match &self.core {
+            CoreImpl::Locked(q) => q.total_puts(),
+            CoreImpl::Free(q) => q.total_puts(),
+        }
+    }
+
+    /// Total successful pops.
+    pub fn total_pops(&self) -> u64 {
+        match &self.core {
+            CoreImpl::Locked(q) => q.total_pops(),
+            CoreImpl::Free(q) => q.total_pops(),
+        }
+    }
+
+    /// Mutex acquisitions made by put/pop operations so far.
+    ///
+    /// On the locked core this counts state-mutex acquisitions (condvar
+    /// wakeups count: each one re-acquires the lock); divided by
+    /// [`MinatoQueue::total_pops`] it is the per-item synchronization
+    /// cost the `queue_batching` ablation reports. On the lock-free
+    /// core the fast path takes no lock, so this counts parking-mutex
+    /// acquisitions (park entries and contended wakes) — the residual
+    /// slow-path traffic; see [`MinatoQueue::cas_retries`] for the
+    /// fast-path contention signal.
+    pub fn lock_acquisitions(&self) -> u64 {
+        match &self.core {
+            CoreImpl::Locked(q) => q.lock_acquisitions(),
+            CoreImpl::Free(q) => q.lock_acquisitions(),
+        }
+    }
+
+    /// Failed CAS attempts (ticket and credit claims) on the lock-free
+    /// core — its contention signal, analogous to lock contention on
+    /// the locked core. Always 0 on [`QueueCore::Locked`].
+    pub fn cas_retries(&self) -> u64 {
+        match &self.core {
+            CoreImpl::Locked(_) => 0,
+            CoreImpl::Free(q) => q.cas_retries(),
+        }
+    }
+
+    /// Average occupancy observed across all put/pop operations — the
+    /// `Qsize` input to the scheduler's Formula 2.
+    pub fn mean_occupancy(&self) -> f64 {
+        match &self.core {
+            CoreImpl::Locked(q) => q.mean_occupancy(),
+            CoreImpl::Free(q) => q.mean_occupancy(),
+        }
+    }
+}
+
+#[derive(Debug)]
+enum ResvImpl<'a, T> {
+    Locked(locked::LockedResv<'a, T>),
+    Free(lockfree::FreeResv<'a, T>),
+}
+
+/// A claimed slot awaiting its item (see [`MinatoQueue::try_reserve`]).
+///
+/// The slot counts against queue capacity from reservation until
+/// [`PutReservation::publish`] or drop, so concurrent producers cannot
+/// oversubscribe the queue while the holder works outside the queue's
+/// synchronization.
+#[derive(Debug)]
+#[must_use = "an unpublished reservation holds a capacity slot until dropped"]
+pub struct PutReservation<'a, T> {
+    inner: ResvImpl<'a, T>,
+}
+
+impl<T> PutReservation<'_, T> {
+    /// Fills the reserved slot, making `item` visible to consumers.
+    ///
+    /// Fails with [`Closed`] (dropping the item, like a lost `put` race)
+    /// if the queue was closed after the reservation was taken.
+    pub fn publish(self, item: T) -> Result<(), Closed> {
+        match self.inner {
+            ResvImpl::Locked(r) => r.publish(item),
+            ResvImpl::Free(r) => r.publish(item),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _: MinatoQueue<u8> = MinatoQueue::new("q", 0);
+    }
+
+    #[test]
+    fn default_core_is_lock_free() {
+        let q: MinatoQueue<u8> = MinatoQueue::new("q", 4);
+        assert_eq!(q.core(), QueueCore::LockFree);
+        assert_eq!(q.shard_count(), 1);
+        let l: MinatoQueue<u8> =
+            MinatoQueue::with_core("q", 4, WakeupPolicy::Condvar, QueueCore::Locked);
+        assert_eq!(l.core(), QueueCore::Locked);
+    }
+
+    #[test]
+    fn core_env_override_parses() {
+        assert_eq!(QueueCore::parse("locked"), Some(QueueCore::Locked));
+        assert_eq!(QueueCore::parse("LockFree"), Some(QueueCore::LockFree));
+        assert_eq!(QueueCore::parse("nope"), None);
+        // `from_env_or` must agree with whatever the environment holds
+        // right now (CI forces MINATO_QUEUE_CORE for whole sweeps, so
+        // this test cannot assume the variable is unset).
+        let want = std::env::var("MINATO_QUEUE_CORE")
+            .ok()
+            .and_then(|v| QueueCore::parse(&v));
+        assert_eq!(
+            QueueCore::Locked.from_env_or(),
+            want.unwrap_or(QueueCore::Locked)
+        );
+        assert_eq!(
+            QueueCore::LockFree.from_env_or(),
+            want.unwrap_or(QueueCore::LockFree)
+        );
+    }
+
+    fn both_cores<T: Send>(capacity: usize) -> Vec<MinatoQueue<T>> {
+        vec![
+            MinatoQueue::with_core("locked", capacity, WakeupPolicy::Condvar, QueueCore::Locked),
+            MinatoQueue::with_core(
+                "lockfree",
+                capacity,
+                WakeupPolicy::Condvar,
+                QueueCore::LockFree,
+            ),
+        ]
+    }
+
+    #[test]
+    fn fifo_order() {
+        for q in both_cores(8) {
+            for i in 0..5 {
+                q.put(i).unwrap();
+            }
+            for i in 0..5 {
+                assert_eq!(q.pop(), Some(i));
+            }
+        }
+    }
+
+    #[test]
+    fn try_put_full_returns_item() {
+        for q in both_cores(1) {
+            q.put(1).unwrap();
+            match q.try_put(2) {
+                Err(TryPutError::Full(2)) => {}
+                other => panic!("expected Full(2), got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn put_blocks_until_space() {
+        for q in both_cores(1) {
+            let q = Arc::new(q);
+            q.put(1).unwrap();
+            let q2 = Arc::clone(&q);
+            let h = thread::spawn(move || q2.put(2));
+            thread::sleep(Duration::from_millis(20));
+            assert_eq!(q.pop(), Some(1));
+            h.join().unwrap().unwrap();
+            assert_eq!(q.pop(), Some(2));
+        }
+    }
+
+    #[test]
+    fn pop_blocks_until_item() {
+        for q in both_cores::<u32>(4) {
+            let q = Arc::new(q);
+            let q2 = Arc::clone(&q);
+            let h = thread::spawn(move || q2.pop());
+            thread::sleep(Duration::from_millis(20));
+            q.put(9).unwrap();
+            assert_eq!(h.join().unwrap(), Some(9));
+        }
+    }
+
+    #[test]
+    fn close_unblocks_consumers_with_none() {
+        for q in both_cores::<u32>(4) {
+            let q = Arc::new(q);
+            let q2 = Arc::clone(&q);
+            let h = thread::spawn(move || q2.pop());
+            thread::sleep(Duration::from_millis(20));
+            q.close();
+            assert_eq!(h.join().unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn close_unblocks_blocked_producers_with_err() {
+        for q in both_cores(1) {
+            let q = Arc::new(q);
+            q.put(1).unwrap();
+            let q2 = Arc::clone(&q);
+            let h = thread::spawn(move || q2.put(2));
+            thread::sleep(Duration::from_millis(20));
+            q.close();
+            assert_eq!(h.join().unwrap(), Err(Closed));
+        }
+    }
+
+    #[test]
+    fn closed_queue_drains_then_none() {
+        for q in both_cores(4) {
+            q.put(1).unwrap();
+            q.close();
+            assert!(q.put(2).is_err());
+            assert_eq!(q.pop(), Some(1));
+            assert_eq!(q.pop(), None);
+        }
+    }
+
+    #[test]
+    fn pop_timeout_times_out() {
+        for q in both_cores::<u32>(4) {
+            let r = q.pop_timeout(Duration::from_millis(10));
+            assert_eq!(r, Ok(None));
+            q.close();
+            assert_eq!(q.pop_timeout(Duration::from_millis(10)), Err(Closed));
+        }
+    }
+
+    #[test]
+    fn sleep_poll_policy_works_end_to_end() {
+        for core in [QueueCore::Locked, QueueCore::LockFree] {
+            let q = Arc::new(MinatoQueue::with_core(
+                "q",
+                1,
+                WakeupPolicy::SleepPoll(Duration::from_millis(1)),
+                core,
+            ));
+            let q2 = Arc::clone(&q);
+            let h = thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = q2.pop() {
+                    got.push(v);
+                }
+                got
+            });
+            for i in 0..10 {
+                q.put(i).unwrap();
+            }
+            q.close();
+            assert_eq!(h.join().unwrap(), (0..10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        for q in both_cores(4) {
+            q.put(1).unwrap();
+            q.put(2).unwrap();
+            let _ = q.pop();
+            assert_eq!(q.total_puts(), 2);
+            assert_eq!(q.total_pops(), 1);
+            assert!(q.mean_occupancy() > 0.0);
+            assert_eq!(q.len(), 1);
+        }
+    }
+
+    #[test]
+    fn put_many_pop_many_preserve_fifo() {
+        for q in both_cores(64) {
+            q.put_many((0..10).collect()).unwrap();
+            assert_eq!(q.pop_many(4), vec![0, 1, 2, 3]);
+            assert_eq!(q.pop_many(100), (4..10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn put_many_larger_than_capacity_blocks_in_bursts() {
+        for q in both_cores(3) {
+            let q = Arc::new(q);
+            let q2 = Arc::clone(&q);
+            let h = thread::spawn(move || q2.put_many((0..10).collect()));
+            let mut got = Vec::new();
+            while got.len() < 10 {
+                got.extend(q.pop_many(2));
+            }
+            h.join().unwrap().unwrap();
+            assert_eq!(got, (0..10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn put_many_on_closed_fails_and_keeps_enqueued_burst() {
+        for q in both_cores(2) {
+            let q = Arc::new(q);
+            let q2 = Arc::clone(&q);
+            // First burst (0, 1) fits; the producer then blocks for space.
+            let h = thread::spawn(move || q2.put_many(vec![0, 1, 2, 3]));
+            thread::sleep(Duration::from_millis(20));
+            q.close();
+            assert_eq!(h.join().unwrap(), Err(Closed));
+            // The completed burst drains; the unfinished tail is dropped.
+            assert_eq!(q.pop_many(10), vec![0, 1]);
+            assert!(q.pop_many(10).is_empty());
+        }
+    }
+
+    #[test]
+    fn pop_many_blocks_until_first_item() {
+        for q in both_cores::<u32>(8) {
+            let q = Arc::new(q);
+            let q2 = Arc::clone(&q);
+            let h = thread::spawn(move || q2.pop_many(8));
+            thread::sleep(Duration::from_millis(20));
+            q.put_many(vec![7]).unwrap();
+            assert_eq!(h.join().unwrap(), vec![7]);
+        }
+    }
+
+    #[test]
+    fn pop_many_empty_only_when_closed_and_drained() {
+        for q in both_cores(8) {
+            q.put_many(vec![1, 2]).unwrap();
+            q.close();
+            assert_eq!(q.pop_many(8), vec![1, 2]);
+            assert!(q.pop_many(8).is_empty());
+            assert!(q.pop_many(0).is_empty());
+        }
+    }
+
+    #[test]
+    fn try_pop_many_reports_closed() {
+        for q in both_cores(8) {
+            assert_eq!(q.try_pop_many(4), Ok(Vec::new()));
+            q.put(1).unwrap();
+            assert_eq!(q.try_pop_many(4), Ok(vec![1]));
+            q.close();
+            assert_eq!(q.try_pop_many(4), Err(Closed));
+        }
+    }
+
+    #[test]
+    fn pop_many_timeout_times_out_then_closes() {
+        for q in both_cores::<u32>(8) {
+            assert_eq!(q.pop_many_timeout(4, Duration::from_millis(5)), Ok(vec![]));
+            q.put(9).unwrap();
+            assert_eq!(q.pop_many_timeout(4, Duration::from_millis(5)), Ok(vec![9]));
+            q.close();
+            assert_eq!(q.pop_many_timeout(4, Duration::from_millis(5)), Err(Closed));
+        }
+    }
+
+    #[test]
+    fn reservation_holds_capacity_until_published() {
+        for q in both_cores(2) {
+            let r = q.try_reserve().unwrap();
+            q.put(1).unwrap();
+            // Reservation + item fill both slots.
+            assert!(matches!(q.try_put(2), Err(TryPutError::Full(2))));
+            assert_eq!(q.try_reserve().unwrap_err(), TryReserveError::Full);
+            assert_eq!(q.len(), 1, "reserved slot holds no item yet");
+            r.publish(0).unwrap();
+            // FIFO reflects publication order, not reservation order.
+            assert_eq!(q.pop(), Some(1));
+            assert_eq!(q.pop(), Some(0));
+        }
+    }
+
+    #[test]
+    fn dropped_reservation_releases_the_slot() {
+        for q in both_cores(1) {
+            drop(q.try_reserve().unwrap());
+            q.put(7).unwrap();
+            assert_eq!(q.pop(), Some(7));
+        }
+    }
+
+    #[test]
+    fn reserve_timeout_times_out_and_publish_fails_after_close() {
+        for q in both_cores(1) {
+            q.put(1).unwrap();
+            assert_eq!(
+                q.reserve_timeout(Duration::from_millis(5)).unwrap_err(),
+                TryReserveError::Full
+            );
+            let _ = q.pop();
+            let r = q.reserve_timeout(Duration::from_millis(5)).unwrap();
+            q.close();
+            assert_eq!(r.publish(2), Err(Closed));
+            assert_eq!(q.try_reserve().unwrap_err(), TryReserveError::Closed);
+        }
+    }
+
+    #[test]
+    fn dropped_reservation_wakes_blocked_producer() {
+        for q in both_cores(1) {
+            let q = Arc::new(q);
+            let r = q.try_reserve().unwrap();
+            let q2 = Arc::clone(&q);
+            let h = thread::spawn(move || q2.put(5));
+            thread::sleep(Duration::from_millis(20));
+            drop(r);
+            h.join().unwrap().unwrap();
+            assert_eq!(q.pop(), Some(5));
+        }
+    }
+
+    #[test]
+    fn try_put_many_enqueues_prefix_and_returns_rest() {
+        for q in both_cores(3) {
+            q.put(0).unwrap();
+            match q.try_put_many(vec![1, 2, 3, 4]) {
+                Err(TryPutError::Full(rest)) => assert_eq!(rest, vec![3, 4]),
+                other => panic!("expected Full([3, 4]), got {other:?}"),
+            }
+            assert_eq!(q.pop_many(10), vec![0, 1, 2]);
+            q.try_put_many(vec![5]).unwrap();
+            assert_eq!(q.pop(), Some(5));
+            q.close();
+            assert!(matches!(
+                q.try_put_many(vec![6]),
+                Err(TryPutError::Closed(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn batched_ops_take_fewer_locks_than_single_ops() {
+        // Lock-count semantics only hold on the locked core; the
+        // lock-free core's fast path takes no lock at all.
+        let single =
+            MinatoQueue::with_core("single", 256, WakeupPolicy::Condvar, QueueCore::Locked);
+        for i in 0..64 {
+            single.put(i).unwrap();
+        }
+        while single.try_pop() != PopResult::Empty {}
+        let batched =
+            MinatoQueue::with_core("batched", 256, WakeupPolicy::Condvar, QueueCore::Locked);
+        batched.put_many((0..64).collect()).unwrap();
+        assert_eq!(batched.pop_many(64).len(), 64);
+        assert!(
+            batched.lock_acquisitions() * 8 <= single.lock_acquisitions(),
+            "batched {} vs single {}",
+            batched.lock_acquisitions(),
+            single.lock_acquisitions()
+        );
+        // Occupancy/throughput accounting still matches.
+        assert_eq!(batched.total_puts(), 64);
+        assert_eq!(batched.total_pops(), 64);
+        assert!(batched.mean_occupancy() > 0.0);
+    }
+
+    #[test]
+    fn lock_free_uncontended_ops_take_no_locks() {
+        let q = MinatoQueue::new("q", 16);
+        for i in 0..8 {
+            q.put(i).unwrap();
+        }
+        for _ in 0..8 {
+            let _ = q.pop();
+        }
+        assert_eq!(
+            q.lock_acquisitions(),
+            0,
+            "uncontended lock-free ops must not park"
+        );
+        assert_eq!(q.cas_retries(), 0, "single-threaded ops cannot lose a CAS");
+    }
+
+    #[test]
+    fn locked_core_reports_zero_cas_retries() {
+        let q = MinatoQueue::with_core("q", 4, WakeupPolicy::Condvar, QueueCore::Locked);
+        q.put(1).unwrap();
+        assert_eq!(q.cas_retries(), 0);
+    }
+
+    #[test]
+    fn sharded_queue_delivers_everything() {
+        let q = Arc::new(MinatoQueue::with_shards(
+            "q",
+            64,
+            WakeupPolicy::Condvar,
+            QueueCore::LockFree,
+            4,
+        ));
+        assert_eq!(q.shard_count(), 4);
+        let producers: Vec<_> = (0..4u64)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    for i in 0..200u64 {
+                        q.put(p * 1000 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = q.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<u64> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all.len(), 800);
+        all.dedup();
+        assert_eq!(all.len(), 800, "duplicated items");
+        assert_eq!(q.total_puts(), 800);
+        assert_eq!(q.total_pops(), 800);
+    }
+
+    #[test]
+    fn sharded_capacity_is_exact() {
+        // 5 across 2 shards: 3 + 2. All 5 single puts must land without
+        // blocking, the 6th must report Full.
+        let q = MinatoQueue::with_shards("q", 5, WakeupPolicy::Condvar, QueueCore::LockFree, 2);
+        for i in 0..5 {
+            q.try_put(i)
+                .unwrap_or_else(|_| panic!("put {i} should fit"));
+        }
+        assert!(matches!(q.try_put(9), Err(TryPutError::Full(9))));
+        assert_eq!(q.len(), 5);
+    }
+
+    #[test]
+    fn put_many_pop_many_under_sleep_poll_policy() {
+        for core in [QueueCore::Locked, QueueCore::LockFree] {
+            let q = Arc::new(MinatoQueue::with_core(
+                "q",
+                4,
+                WakeupPolicy::SleepPoll(Duration::from_millis(1)),
+                core,
+            ));
+            let q2 = Arc::clone(&q);
+            let h = thread::spawn(move || {
+                let mut got = Vec::new();
+                loop {
+                    let burst = q2.pop_many(3);
+                    if burst.is_empty() {
+                        return got;
+                    }
+                    got.extend(burst);
+                }
+            });
+            q.put_many((0..20).collect()).unwrap();
+            q.close();
+            assert_eq!(h.join().unwrap(), (0..20).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn mpmc_no_loss_no_duplication() {
+        for q in both_cores(16) {
+            let q = Arc::new(q);
+            let producers: Vec<_> = (0..4u64)
+                .map(|p| {
+                    let q = Arc::clone(&q);
+                    thread::spawn(move || {
+                        for i in 0..250u64 {
+                            q.put(p * 1000 + i).unwrap();
+                        }
+                    })
+                })
+                .collect();
+            let consumers: Vec<_> = (0..4)
+                .map(|_| {
+                    let q = Arc::clone(&q);
+                    thread::spawn(move || {
+                        let mut got = Vec::new();
+                        while let Some(v) = q.pop() {
+                            got.push(v);
+                        }
+                        got
+                    })
+                })
+                .collect();
+            for p in producers {
+                p.join().unwrap();
+            }
+            q.close();
+            let mut all: Vec<u64> = consumers
+                .into_iter()
+                .flat_map(|c| c.join().unwrap())
+                .collect();
+            all.sort_unstable();
+            assert_eq!(all.len(), 1000);
+            all.dedup();
+            assert_eq!(all.len(), 1000, "duplicated items");
+        }
+    }
+
+    #[test]
+    fn ring_drop_releases_unconsumed_items() {
+        // Leak detection relies on Drop running for queued items; use a
+        // type with a drop counter.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Probe;
+        impl Drop for Probe {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        DROPS.store(0, Ordering::SeqCst);
+        let q = MinatoQueue::new("q", 8);
+        for _ in 0..5 {
+            q.put(Probe).unwrap();
+        }
+        let _ = q.pop();
+        assert_eq!(DROPS.load(Ordering::SeqCst), 1);
+        drop(q);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 5, "ring drop must drain");
+    }
+}

@@ -35,11 +35,20 @@ pub struct LoaderStats {
     pub temp_queue_len: usize,
     /// Summed occupancy of all per-GPU batch queues.
     pub batch_queue_len: usize,
-    /// Total mutex acquisitions by put/pop operations across all runtime
-    /// queues (fast, slow, temp, batch). Divided by `samples_done` this
+    /// Mutex acquisitions by put/pop operations across all runtime
+    /// queues (fast, slow, temp, batch). On the locked queue core this
+    /// is every state-mutex acquisition; divided by `samples_done` it
     /// is the per-sample synchronization cost the `queue_batching`
-    /// ablation reports.
+    /// ablation reports. On the lock-free core (the default) the fast
+    /// path takes no lock, so this counts only parking-mutex
+    /// acquisitions — park entries and contended wakes; fast-path
+    /// contention shows up in `queue_cas_retries` instead.
     pub queue_lock_acquisitions: u64,
+    /// Failed CAS attempts (ticket and credit claims) across all
+    /// runtime queues — the lock-free core's contention signal, the
+    /// sibling of `queue_lock_acquisitions`. Always 0 on the locked
+    /// core.
+    pub queue_cas_retries: u64,
     /// Cross-epoch sample-cache counters; `None` when the cache is
     /// disabled (the default). With the cache enabled, `samples_done`
     /// counts pipeline *executions* — delivered-but-cached samples show

@@ -1376,6 +1376,8 @@ mod tests {
             scheduler: SchedulerConfig::paper_default(1),
             ticket_chunk: 4,
             wakeup: WakeupPolicy::Condvar,
+            queue_core: crate::queue::QueueCore::LockFree,
+            affinity: false,
             starvation_wait: Duration::from_millis(1),
             order_preserving: false,
             error_policy: ErrorPolicy::Skip,

@@ -1,0 +1,332 @@
+//! Queue-core equivalence and liveness tests (PR 10 satellites).
+//!
+//! The lock-free core replaces `MinatoQueue`'s mutex+condvar internals
+//! but must be observationally identical through the public API. These
+//! tests drive both cores side by side:
+//!
+//! - a proptest MPMC stress proving no-loss/no-duplication across
+//!   randomized producer/consumer/capacity/shard mixes, with identical
+//!   delivered multisets on `Locked` and `LockFree`;
+//! - close-while-parked wakeups: threads blocked in `pop` (empty) and
+//!   `put` (full) must all return promptly after `close`;
+//! - reservation abandonment: a `PutReservation` dropped without
+//!   `publish` must return its capacity credit so neither producers nor
+//!   the close-to-drain protocol hang on a phantom occupant.
+
+use minato_core::queue::{Closed, MinatoQueue, PopResult, QueueCore, WakeupPolicy};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::Duration;
+
+const CORES: [QueueCore; 2] = [QueueCore::Locked, QueueCore::LockFree];
+
+/// Runs `producers` threads pushing disjoint tagged ranges through a
+/// queue and `consumers` threads draining it until close-to-drain, and
+/// returns the sorted multiset of everything delivered.
+fn mpmc_drain(
+    core: QueueCore,
+    capacity: usize,
+    shards: usize,
+    producers: usize,
+    consumers: usize,
+    per_producer: usize,
+    batched: bool,
+) -> Vec<u64> {
+    let q = Arc::new(MinatoQueue::with_shards(
+        "mpmc-equiv",
+        capacity,
+        WakeupPolicy::Condvar,
+        core,
+        shards,
+    ));
+    let start = Arc::new(Barrier::new(producers + consumers));
+    let mut handles = Vec::new();
+    for p in 0..producers {
+        let q = Arc::clone(&q);
+        let start = Arc::clone(&start);
+        handles.push(thread::spawn(move || {
+            start.wait();
+            let items: Vec<u64> = (0..per_producer)
+                .map(|i| ((p as u64) << 32) | i as u64)
+                .collect();
+            if batched {
+                for chunk in items.chunks(3) {
+                    q.put_many(chunk.to_vec()).unwrap();
+                }
+            } else {
+                for v in items {
+                    q.put(v).unwrap();
+                }
+            }
+        }));
+    }
+    let mut drains = Vec::new();
+    for c in 0..consumers {
+        let q = Arc::clone(&q);
+        let start = Arc::clone(&start);
+        drains.push(thread::spawn(move || {
+            start.wait();
+            let mut got = Vec::new();
+            loop {
+                // Alternate single pops and bursts so both dequeue
+                // paths run under contention.
+                if c % 2 == 0 {
+                    match q.pop() {
+                        Some(v) => got.push(v),
+                        None => break,
+                    }
+                } else {
+                    let burst = q.pop_many(4);
+                    if burst.is_empty() {
+                        break;
+                    }
+                    got.extend(burst);
+                }
+            }
+            got
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    q.close();
+    let mut all: Vec<u64> = Vec::new();
+    for d in drains {
+        all.extend(d.join().unwrap());
+    }
+    all.sort_unstable();
+    all
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// No item is lost or duplicated under concurrent put/pop on either
+    /// core, and the delivered multiset is identical between the locked
+    /// and lock-free implementations across randomized shapes.
+    #[test]
+    fn mpmc_no_loss_no_dup_and_cores_equivalent(
+        capacity in 1usize..24,
+        shards in 1usize..5,
+        producers in 1usize..4,
+        consumers in 1usize..4,
+        per_producer in 1usize..40,
+        batched in any::<bool>(),
+    ) {
+        let mut expect: Vec<u64> = (0..producers)
+            .flat_map(|p| (0..per_producer).map(move |i| ((p as u64) << 32) | i as u64))
+            .collect();
+        expect.sort_unstable();
+
+        let locked = mpmc_drain(
+            QueueCore::Locked, capacity, shards, producers, consumers,
+            per_producer, batched,
+        );
+        let free = mpmc_drain(
+            QueueCore::LockFree, capacity, shards, producers, consumers,
+            per_producer, batched,
+        );
+        prop_assert_eq!(&locked, &expect, "locked core lost/duplicated items");
+        prop_assert_eq!(&free, &expect, "lock-free core lost/duplicated items");
+    }
+}
+
+/// A single-shard queue preserves strict FIFO order per producer on
+/// both cores (the sharded fast path intentionally relaxes global
+/// order, so this is pinned to `shards = 1`).
+#[test]
+fn single_shard_preserves_per_producer_fifo() {
+    for core in CORES {
+        let got = mpmc_drain(core, 8, 1, 3, 1, 64, false);
+        // Sorted output already proves the multiset; re-run unsorted to
+        // check per-producer order with one consumer.
+        let q = Arc::new(MinatoQueue::with_shards(
+            "fifo",
+            8,
+            WakeupPolicy::Condvar,
+            core,
+            1,
+        ));
+        let mut handles = Vec::new();
+        for p in 0..3u64 {
+            let q = Arc::clone(&q);
+            handles.push(thread::spawn(move || {
+                for i in 0..64u64 {
+                    q.put((p << 32) | i).unwrap();
+                }
+            }));
+        }
+        let mut last: HashMap<u64, u64> = HashMap::new();
+        let mut seen = 0;
+        while seen < 3 * 64 {
+            if let Some(v) = q.pop_timeout(Duration::from_secs(5)).unwrap() {
+                let (p, i) = (v >> 32, v & u32::MAX as u64);
+                if let Some(prev) = last.insert(p, i) {
+                    assert!(
+                        i > prev,
+                        "{core:?}: producer {p} reordered: {prev} then {i}"
+                    );
+                }
+                seen += 1;
+            }
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(got.len(), 3 * 64);
+    }
+}
+
+/// `close` must wake every thread parked in a blocking `pop` on an
+/// empty queue; each returns `None` promptly instead of hanging.
+#[test]
+fn close_wakes_consumers_parked_on_empty() {
+    for core in CORES {
+        let q: Arc<MinatoQueue<u32>> = Arc::new(MinatoQueue::with_core(
+            "park-empty",
+            4,
+            WakeupPolicy::Condvar,
+            core,
+        ));
+        let woke = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                let woke = Arc::clone(&woke);
+                thread::spawn(move || {
+                    assert_eq!(q.pop(), None, "closed empty queue must yield None");
+                    woke.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        // Give the consumers time to actually park before closing.
+        thread::sleep(Duration::from_millis(30));
+        q.close();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            woke.load(Ordering::SeqCst),
+            4,
+            "{core:?}: a consumer stayed parked"
+        );
+    }
+}
+
+/// `close` must also wake producers parked on a full queue (they get
+/// `Err(Closed)`), and the items already inside remain poppable —
+/// close-to-drain, not close-and-discard.
+#[test]
+fn close_wakes_producers_parked_on_full_and_drains() {
+    for core in CORES {
+        let q: Arc<MinatoQueue<u32>> = Arc::new(MinatoQueue::with_core(
+            "park-full",
+            2,
+            WakeupPolicy::Condvar,
+            core,
+        ));
+        q.put(1).unwrap();
+        q.put(2).unwrap();
+        let handles: Vec<_> = (0..3)
+            .map(|i| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || q.put(100 + i))
+            })
+            .collect();
+        thread::sleep(Duration::from_millis(30));
+        q.close();
+        for h in handles {
+            assert_eq!(
+                h.join().unwrap(),
+                Err(Closed),
+                "{core:?}: parked put must fail"
+            );
+        }
+        let mut drained = q.pop_many(16);
+        drained.sort_unstable();
+        assert_eq!(
+            drained,
+            vec![1, 2],
+            "{core:?}: pre-close items must survive"
+        );
+        assert_eq!(q.pop(), None);
+    }
+}
+
+/// A reservation abandoned without `publish` returns its capacity
+/// credit: a full round of reserve-then-drop leaves the queue usable at
+/// full capacity, and `total_puts` counts only published items.
+#[test]
+fn reservation_abandoned_mid_publish_releases_capacity() {
+    for core in CORES {
+        let q: MinatoQueue<u32> =
+            MinatoQueue::with_core("resv-abandon", 2, WakeupPolicy::Condvar, core);
+        // Hold the whole capacity in reservations, then abandon both.
+        {
+            let r1 = q.try_reserve().unwrap();
+            let _r2 = q.try_reserve().unwrap();
+            assert!(q.try_reserve().is_err(), "{core:?}: capacity must be exact");
+            drop(r1);
+            // One credit back: a new reservation succeeds while _r2 is
+            // still held.
+            let r3 = q.try_reserve().unwrap();
+            r3.publish(7).unwrap();
+        }
+        // _r2 dropped: full remaining capacity is back.
+        q.put(8).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(
+            q.total_puts(),
+            2,
+            "{core:?}: abandoned reservations must not count"
+        );
+        let mut got = vec![q.pop().unwrap(), q.pop().unwrap()];
+        got.sort_unstable();
+        assert_eq!(got, vec![7, 8]);
+    }
+}
+
+/// An abandoned reservation must not wedge close-to-drain: a consumer
+/// blocked on an empty-but-reserved queue is woken when the reservation
+/// holder gives up and the queue closes.
+#[test]
+fn abandoned_reservation_does_not_wedge_close() {
+    for core in CORES {
+        let q: Arc<MinatoQueue<u32>> = Arc::new(MinatoQueue::with_core(
+            "resv-close",
+            1,
+            WakeupPolicy::Condvar,
+            core,
+        ));
+        let consumer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.pop())
+        };
+        let resv = q.try_reserve().unwrap();
+        thread::sleep(Duration::from_millis(20));
+        // Abandon the only slot's reservation, then close: the parked
+        // consumer must wake with None, not wait for a publish that
+        // never comes.
+        drop(resv);
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None, "{core:?}: consumer wedged");
+        // And publishing after close fails cleanly.
+        assert!(q.try_reserve().is_err());
+    }
+}
+
+/// `try_pop` on a closed-and-drained queue reports `ClosedAndDrained`
+/// (not `Empty`) on both cores — the signal workers use to exit.
+#[test]
+fn drained_signal_matches_across_cores() {
+    for core in CORES {
+        let q: MinatoQueue<u32> = MinatoQueue::with_core("drained", 2, WakeupPolicy::Condvar, core);
+        q.put(1).unwrap();
+        q.close();
+        assert_eq!(q.try_pop(), PopResult::Item(1), "{core:?}");
+        assert_eq!(q.try_pop(), PopResult::ClosedAndDrained, "{core:?}");
+    }
+}

@@ -1,0 +1,8 @@
+fn bump(&self) {
+    self.head.fetch_add(1, Ordering::Relaxed);
+}
+
+fn publish(&self) {
+    // ORDERING: Release — pairs with the consumer's Acquire load.
+    self.seq.store(1, Ordering::Release);
+}
